@@ -1,0 +1,57 @@
+"""Ablation: permanent deep-link index entries for popular content.
+
+Section IV-C: "a very popular file can be linked to deep in the
+hierarchy to short-circuit some indexes and speed up lookups" (the
+``(q6; d1)`` example).  We add permanent shortcut entries for the top-N
+most popular articles at every entry index class and measure the
+interaction reduction, which should grow with N and concentrate on the
+head of the popularity distribution.
+"""
+
+from conftest import REDUCED, cell, emit
+from repro.analysis.tables import format_table
+
+TOP_NS = (0, 50, 200, 1_000)
+
+
+def run_cells():
+    return {
+        top_n: cell("complex", "none", base=REDUCED, shortcut_top_n=top_n)
+        for top_n in TOP_NS
+    }
+
+
+def test_ablation_popular_content_shortcuts(benchmark):
+    cells = benchmark.pedantic(run_cells, rounds=1, iterations=1)
+    baseline = cells[0].avg_interactions
+    rows = []
+    for top_n in TOP_NS:
+        result = cells[top_n]
+        rows.append(
+            [
+                top_n,
+                round(result.avg_interactions, 3),
+                f"{100 * (1 - result.avg_interactions / baseline):.1f}%",
+                int(result.index_storage_bytes / 1e3),
+            ]
+        )
+    emit(
+        "ablation_shortcuts",
+        format_table(
+            ["shortcut top-N", "interactions", "saved", "index KB"],
+            rows,
+            title=(
+                "Shortcut ablation -- deep links for the N most popular "
+                "articles (complex scheme, no cache)"
+            ),
+        ),
+    )
+
+    interactions = [cells[top_n].avg_interactions for top_n in TOP_NS]
+    # Monotone improvement with coverage of the popularity head.
+    assert all(a >= b for a, b in zip(interactions, interactions[1:]))
+    # Even covering just the top 50 of 4,000 articles is visible (the
+    # head of the power law carries a large share of all requests).
+    assert cells[50].avg_interactions < baseline - 0.05
+    # Extra index entries cost storage.
+    assert cells[1_000].index_storage_bytes > cells[0].index_storage_bytes

@@ -1,0 +1,67 @@
+"""Figure 11: average number of interactions required to find data.
+
+Paper's observations: the *flat* scheme (shortest chains) needs the
+fewest interactions; caching further reduces lookup steps, more so with
+larger cache capacity; multi-cache behaves like single-cache (and is
+omitted from the figure).
+"""
+
+from conftest import cell, emit
+from repro.analysis.tables import format_table
+from repro.sim.presets import CACHE_POLICIES_FIG11, SCHEMES
+
+
+def run_grid():
+    return {
+        (scheme, cache): cell(scheme, cache)
+        for scheme in SCHEMES
+        for cache in CACHE_POLICIES_FIG11
+    }
+
+
+def test_fig11_interactions_per_query(benchmark):
+    grid = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    rows = []
+    for cache in CACHE_POLICIES_FIG11:
+        rows.append(
+            [cache]
+            + [round(grid[(scheme, cache)].avg_interactions, 2) for scheme in SCHEMES]
+        )
+    emit(
+        "fig11_interactions",
+        format_table(
+            ["cache policy", *SCHEMES],
+            rows,
+            title=(
+                "Figure 11 -- avg interactions per query "
+                "(paper: flat < simple < complex; caching reduces, "
+                "larger caches reduce more)"
+            ),
+        ),
+    )
+
+    for cache in CACHE_POLICIES_FIG11:
+        flat = grid[("flat", cache)].avg_interactions
+        simple = grid[("simple", cache)].avg_interactions
+        complex_ = grid[("complex", cache)].avg_interactions
+        # Flat requires the fewest interactions; complex the most.
+        assert flat < simple < complex_, cache
+
+    for scheme in SCHEMES:
+        none = grid[(scheme, "none")].avg_interactions
+        single = grid[(scheme, "single")].avg_interactions
+        lru10 = grid[(scheme, "lru10")].avg_interactions
+        lru20 = grid[(scheme, "lru20")].avg_interactions
+        lru30 = grid[(scheme, "lru30")].avg_interactions
+        # Caching reduces interactions ...
+        assert single <= none
+        assert lru30 <= none
+        # ... and the reduction grows with capacity, approaching the
+        # unbounded single cache.
+        assert lru30 <= lru20 <= lru10
+        assert abs(single - lru30) <= abs(single - lru10) + 1e-9
+
+    # Paper magnitudes: flat ~2, simple ~3, complex ~3.5-4 without cache.
+    assert 1.9 <= grid[("flat", "none")].avg_interactions <= 2.3
+    assert 2.7 <= grid[("simple", "none")].avg_interactions <= 3.3
+    assert 3.2 <= grid[("complex", "none")].avg_interactions <= 4.2

@@ -1,0 +1,120 @@
+"""Figure 14: average number of cached keys per node (and Section V-f).
+
+Paper's observations: single-cache is about twice as space-efficient as
+multi-cache; *flat* is unaffected by multi vs single (its chains only
+allow caching at the first node); LRU maxima equal the configured
+capacities; with unbounded policies the maxima reach a few hundred keys
+(simple 345 / flat 253 / complex 413 under multi; 253 under single); a
+large fraction of LRU10 caches fill up (72%), fewer for LRU20 (51.2%)
+and LRU30 (37.6%); regular keys per node: simple 155, flat 195, complex
+180.
+"""
+
+from conftest import cell, emit
+from repro.analysis.tables import format_table
+from repro.sim.presets import CACHE_POLICIES_CACHED, SCHEMES
+
+
+def run_grid():
+    return {
+        (scheme, cache): cell(scheme, cache)
+        for scheme in SCHEMES
+        for cache in CACHE_POLICIES_CACHED
+    }
+
+
+def test_fig14_cached_keys_per_node(benchmark):
+    grid = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    rows = []
+    for cache in CACHE_POLICIES_CACHED:
+        row = [cache]
+        for scheme in SCHEMES:
+            result = grid[(scheme, cache)]
+            row.append(
+                f"{result.avg_cached_keys_per_node:.1f} (max {result.max_cached_keys})"
+            )
+        rows.append(row)
+    regular = [
+        ["regular keys/node"]
+        + [
+            round(grid[(scheme, "single")].avg_index_keys_per_node, 1)
+            for scheme in SCHEMES
+        ]
+    ]
+    occupancy = []
+    for capacity in (10, 20, 30):
+        result = grid[("simple", f"lru{capacity}")]
+        occupancy.append(
+            [
+                f"lru{capacity}",
+                f"{100 * result.caches_full_fraction:.1f}%",
+                f"{100 * result.caches_empty_fraction:.1f}%",
+            ]
+        )
+    text = "\n\n".join(
+        [
+            format_table(
+                ["cache policy", *(f"{s} avg (max)" for s in SCHEMES)],
+                rows,
+                title=(
+                    "Figure 14 -- cached keys per node "
+                    "(paper: multi ~2x single; flat unaffected; LRU maxima = "
+                    "capacity)"
+                ),
+            ),
+            format_table(
+                ["", *SCHEMES],
+                regular,
+                title=(
+                    "Regular keys per node after 50,000 queries "
+                    "(paper: simple 155 / flat 195 / complex 180)"
+                ),
+            ),
+            format_table(
+                ["policy", "caches full", "caches empty"],
+                occupancy,
+                title=(
+                    "LRU occupancy, simple scheme "
+                    "(paper: 72% / 51.2% / 37.6% full; ~4.4% empty overall)"
+                ),
+            ),
+        ]
+    )
+    emit("fig14_cache_storage", text)
+
+    for scheme in ("simple", "complex"):
+        multi = grid[(scheme, "multi")]
+        single = grid[(scheme, "single")]
+        # Multi-cache stores roughly twice the keys of single-cache.
+        ratio = multi.avg_cached_keys_per_node / single.avg_cached_keys_per_node
+        assert 1.4 <= ratio <= 3.0, (scheme, ratio)
+        assert multi.max_cached_keys > single.max_cached_keys
+
+    # Flat (nearly) unaffected by multi vs single: one-node index chains.
+    flat_ratio = (
+        grid[("flat", "multi")].avg_cached_keys_per_node
+        / grid[("flat", "single")].avg_cached_keys_per_node
+    )
+    assert 1.0 <= flat_ratio <= 1.1
+
+    # LRU maxima are exactly the capacities.
+    for capacity in (10, 20, 30):
+        for scheme in SCHEMES:
+            assert grid[(scheme, f"lru{capacity}")].max_cached_keys == capacity
+
+    # Fuller caches at smaller capacities.
+    full10 = grid[("simple", "lru10")].caches_full_fraction
+    full20 = grid[("simple", "lru20")].caches_full_fraction
+    full30 = grid[("simple", "lru30")].caches_full_fraction
+    assert full10 > full20 > full30 > 0
+
+    # Regular keys per node: flat stores the most entries, and magnitudes
+    # sit in the paper's 100-200 band.
+    keys = {
+        scheme: grid[(scheme, "single")].avg_index_keys_per_node
+        for scheme in SCHEMES
+    }
+    assert keys["flat"] > keys["simple"]
+    assert keys["flat"] > keys["complex"] > keys["simple"] * 0.9
+    for scheme in SCHEMES:
+        assert 60 <= keys[scheme] <= 260

@@ -1,0 +1,108 @@
+"""Micro-benchmarks of the hot operations.
+
+Unlike the figure benches (one-shot reproductions), these time the core
+primitives over many rounds: record insertion (index construction),
+query resolution at a node, the end-to-end search, the covering check,
+and substrate lookups.  They guard the simulator's performance envelope
+-- the full evaluation feeds 50,000 queries through these paths.
+"""
+
+import itertools
+
+from repro.core.cache import CachePolicy
+from repro.core.engine import LookupEngine
+from repro.core.fields import ARTICLE_SCHEMA
+from repro.core.query import FieldQuery
+from repro.core.scheme import simple_scheme
+from repro.core.service import IndexService
+from repro.dht.chord import ChordNetwork
+from repro.dht.idspace import hash_key
+from repro.dht.ring import IdealRing
+from repro.net.transport import SimulatedTransport
+from repro.storage.store import DHTStorage
+from repro.workload.corpus import CorpusConfig, SyntheticCorpus
+from repro.workload.querygen import QueryGenerator
+from repro.xmlq.pattern import covers
+
+
+def build_stack(num_nodes=64, populate=0):
+    ring = IdealRing(64)
+    for index in range(num_nodes):
+        ring.add_node(hash_key(f"peer-{index}", 64))
+    service = IndexService(
+        ARTICLE_SCHEMA,
+        simple_scheme(),
+        DHTStorage(ring),
+        DHTStorage(ring),
+        SimulatedTransport(),
+        cache_policy=CachePolicy.SINGLE,
+    )
+    corpus = SyntheticCorpus(
+        CorpusConfig(num_articles=max(populate, 64), num_authors=64, seed=5)
+    )
+    for record in corpus.records[:populate]:
+        service.insert_record(record)
+    return service, corpus
+
+
+def test_micro_insert_record(benchmark):
+    service, corpus = build_stack()
+    records = itertools.cycle(corpus.records)
+    seen = set()
+
+    def insert():
+        record = next(records)
+        if record in seen:
+            service.delete_record(record)
+        else:
+            seen.add(record)
+        service.insert_record(record)
+
+    benchmark(insert)
+
+
+def test_micro_query_resolution(benchmark):
+    service, corpus = build_stack(populate=64)
+    queries = itertools.cycle(
+        [
+            FieldQuery.of_record(record, ["author"])
+            for record in corpus.records[:64]
+        ]
+    )
+    benchmark(lambda: service.query(next(queries), user="user:micro"))
+
+
+def test_micro_end_to_end_search(benchmark):
+    service, corpus = build_stack(populate=64)
+    engine = LookupEngine(service, user="user:micro2")
+    generator = QueryGenerator(corpus, seed=8)
+    items = itertools.cycle(list(generator.generate(256)))
+
+    def search():
+        item = next(items)
+        trace = engine.search(item.query, item.target)
+        service.transport.meter.end_query()
+        assert trace.found
+
+    benchmark(search)
+
+
+def test_micro_covering_check(benchmark):
+    general = "/article[author[name[John_Smith]]]"
+    specific = (
+        "/article[author[name[John_Smith]]][conf[SIGCOMM]]"
+        "[size[315635]][title[TCP]][year[1989]]"
+    )
+    benchmark(lambda: covers(general, specific))
+
+
+def test_micro_canonical_key(benchmark):
+    constraints = {"author": "John_Smith", "title": "TCP", "year": "1989"}
+    benchmark(lambda: ARTICLE_SCHEMA.xpath_for(constraints))
+
+
+def test_micro_chord_lookup(benchmark):
+    ids = sorted(hash_key(f"peer-{i}", 64) for i in range(256))
+    network = ChordNetwork.bulk_build(ids, bits=64)
+    keys = itertools.cycle([hash_key(f"key-{i}", 64) for i in range(512)])
+    benchmark(lambda: network.lookup(next(keys)))

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""A distributed bibliographic database under a realistic workload.
+
+Reproduces the paper's evaluation scenario at laptop scale: a 100-node
+overlay storing a 2,000-article synthetic archive, queried 10,000 times
+with the BibFinder query-structure distribution and the power-law
+article popularity of Section V-C -- comparing the three indexing
+schemes of Figure 8 with and without the adaptive cache.
+
+Run:  python examples/bibliographic_database.py
+"""
+
+from dataclasses import replace
+
+from repro.analysis import format_table
+from repro.sim import Experiment, ExperimentConfig
+from repro.workload import CorpusConfig, SyntheticCorpus
+
+BASE = ExperimentConfig(
+    num_nodes=100,
+    num_articles=2_000,
+    num_queries=10_000,
+    num_authors=800,
+)
+
+
+def main() -> None:
+    corpus = SyntheticCorpus(
+        CorpusConfig(
+            num_articles=BASE.num_articles,
+            num_authors=BASE.num_authors,
+            seed=BASE.corpus_seed,
+        )
+    )
+    print(
+        f"corpus: {len(corpus):,} articles, "
+        f"{corpus.field_cardinalities()['author']:,} authors, "
+        f"{corpus.field_cardinalities()['conf']} venues, "
+        f"{corpus.total_article_bytes() / 1e9:.2f} GB of article data"
+    )
+
+    rows = []
+    for scheme in ("simple", "flat", "complex"):
+        for cache in ("none", "lru30", "single"):
+            config = replace(BASE, scheme=scheme, cache=cache)
+            result = Experiment(config, corpus=corpus).run()
+            rows.append(
+                [
+                    scheme,
+                    cache,
+                    round(result.avg_interactions, 2),
+                    int(result.normal_bytes_per_query),
+                    int(result.cache_bytes_per_query),
+                    f"{100 * result.hit_ratio:.0f}%",
+                    result.nonindexed_queries,
+                    f"{result.index_storage_bytes / 1e6:.1f} MB",
+                ]
+            )
+            print(f"ran {scheme}/{cache}: "
+                  f"{result.avg_interactions:.2f} interactions/query")
+
+    print()
+    print(
+        format_table(
+            [
+                "scheme",
+                "cache",
+                "interactions",
+                "normal B/q",
+                "cache B/q",
+                "hit ratio",
+                "errors",
+                "index size",
+            ],
+            rows,
+            title="Scheme x cache-policy comparison (cf. Figures 11-13, Table I)",
+        )
+    )
+    print(
+        "\nReading the table like the paper does:\n"
+        " - flat answers in the fewest steps but ships the largest\n"
+        "   responses (every query returns full descriptors);\n"
+        " - complex has the deepest chains and the leanest responses;\n"
+        " - the adaptive cache cuts both interactions and the errors\n"
+        "   caused by the non-indexed author+year queries."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Resilience: membership churn and replica load-spreading.
+
+The paper delegates failure handling and hot-spot avoidance to the DHT
+substrate (Sections III-A and V-g).  This example shows both mechanisms
+working underneath unchanged indexes:
+
+1. nodes leave and join *during* a query workload, with the storage
+   layer rebalancing keys -- every search still succeeds;
+2. storing keys on r replicas and rotating queries across them flattens
+   the hot-spot curve without touching the indexing layer.
+
+Run:  python examples/churn_and_replication.py
+"""
+
+from dataclasses import replace
+
+from repro.analysis import format_table
+from repro.sim import Experiment, ExperimentConfig
+from repro.workload import CorpusConfig, SyntheticCorpus
+
+BASE = ExperimentConfig(
+    num_nodes=80,
+    num_articles=1_200,
+    num_queries=6_000,
+    num_authors=500,
+    cache="single",
+)
+
+
+def main() -> None:
+    corpus = SyntheticCorpus(
+        CorpusConfig(
+            num_articles=BASE.num_articles,
+            num_authors=BASE.num_authors,
+            seed=BASE.corpus_seed,
+        )
+    )
+
+    print("-- churn: leave+join events during the workload --")
+    rows = []
+    for events in (0, 20, 100):
+        experiment = Experiment(replace(BASE, churn_events=events), corpus=corpus)
+        result = experiment.run()
+        rows.append(
+            [
+                events,
+                f"{result.found}/{result.searches}",
+                round(result.avg_interactions, 2),
+                f"{100 * result.hit_ratio:.0f}%",
+                experiment.churn_keys_moved,
+            ]
+        )
+    print(
+        format_table(
+            ["churn events", "found", "interactions", "hit ratio",
+             "keys moved"],
+            rows,
+        )
+    )
+    print(
+        "availability is untouched; churn only costs moved keys and the\n"
+        "caches that departed with their nodes.\n"
+    )
+
+    print("-- replication: spreading hot keys across replicas --")
+    rows = []
+    for replication in (1, 2, 4):
+        result = Experiment(
+            replace(BASE, cache="none", replication=replication), corpus=corpus
+        ).run()
+        rows.append(
+            [
+                replication,
+                round(result.avg_interactions, 2),
+                f"{100 * result.busiest_node_share:.2f}%",
+                round(result.avg_index_keys_per_node, 1),
+            ]
+        )
+    print(
+        format_table(
+            ["replicas", "interactions", "busiest node", "keys/node"],
+            rows,
+        )
+    )
+    print(
+        "the busiest node's share falls roughly with the replication\n"
+        "factor, while the number of user-system interactions -- a\n"
+        "property of the index hierarchy alone -- stays constant."
+    )
+
+
+if __name__ == "__main__":
+    main()

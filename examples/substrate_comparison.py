@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Layering claim: the same indexes over three different DHTs.
+
+Section V: the indexing techniques "do not depend on a specific lookup
+and storage layer".  This example runs an identical workload over the
+ideal one-hop ring, Chord, and Kademlia and prints both views: the
+indexing-level metrics (identical) and the routing cost underneath
+(protocol-specific).
+
+Run:  python examples/substrate_comparison.py
+"""
+
+from dataclasses import replace
+
+from repro.analysis import format_table
+from repro.sim import Experiment, ExperimentConfig
+from repro.workload import CorpusConfig, SyntheticCorpus
+
+BASE = ExperimentConfig(
+    num_nodes=64,
+    num_articles=800,
+    num_queries=4_000,
+    num_authors=300,
+    cache="single",
+    bits=32,
+)
+
+
+def main() -> None:
+    corpus = SyntheticCorpus(
+        CorpusConfig(
+            num_articles=BASE.num_articles,
+            num_authors=BASE.num_authors,
+            seed=BASE.corpus_seed,
+        )
+    )
+    rows = []
+    for substrate in ("ideal", "chord", "kademlia"):
+        result = Experiment(
+            replace(BASE, substrate=substrate), corpus=corpus
+        ).run()
+        rows.append(
+            [
+                substrate,
+                round(result.avg_interactions, 3),
+                f"{100 * result.hit_ratio:.1f}%",
+                result.nonindexed_queries,
+                round(result.avg_dht_hops, 2),
+            ]
+        )
+        print(f"ran {substrate} in {result.runtime_seconds:.1f}s")
+
+    print()
+    print(
+        format_table(
+            [
+                "substrate",
+                "interactions/query",
+                "hit ratio",
+                "errors",
+                "DHT hops/key",
+            ],
+            rows,
+            title="Same indexes, three substrates",
+        )
+    )
+    print(
+        "\nThe first three columns are identical: interactions, cache\n"
+        "behaviour, and errors are properties of the indexing layer.\n"
+        "Only the substrate hop count differs -- the ideal ring resolves\n"
+        "keys in one hop, Chord and Kademlia in O(log N)."
+    )
+
+
+if __name__ == "__main__":
+    main()

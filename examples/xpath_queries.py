@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""The query layer by itself: descriptors, XPath, covering, Figure 3.
+
+The indexing system rests on three ideas from Section III-B: descriptors
+are semi-structured XML, queries are an XPath subset, and queries form a
+partial order under *covering*.  This example works through all three
+with the paper's own data, without any network at all.
+
+Run:  python examples/xpath_queries.py
+"""
+
+from repro.xmlq import (
+    PartialOrderGraph,
+    covers,
+    evaluate,
+    matches,
+    normalize_xpath,
+    parse_xml,
+    serialize_xml,
+)
+
+DESCRIPTORS = {
+    "d1": """
+        <article>
+          <author><first>John</first><last>Smith</last></author>
+          <title>TCP</title><conf>SIGCOMM</conf>
+          <year>1989</year><size>315635</size>
+        </article>""",
+    "d2": """
+        <article>
+          <author><first>John</first><last>Smith</last></author>
+          <title>IPv6</title><conf>INFOCOM</conf>
+          <year>1996</year><size>312352</size>
+        </article>""",
+    "d3": """
+        <article>
+          <author><first>Alan</first><last>Doe</last></author>
+          <title>Wavelets</title><conf>INFOCOM</conf>
+          <year>1996</year><size>259827</size>
+        </article>""",
+}
+
+QUERIES = {
+    "q1": "/article[author[first/John][last/Smith]][title/TCP]"
+          "[conf/SIGCOMM][year/1989][size/315635]",
+    "q2": "/article[author[first/John][last/Smith]][conf/INFOCOM]",
+    "q3": "/article/author[first/John][last/Smith]",
+    "q4": "/article/title/TCP",
+    "q5": "/article/conf/INFOCOM",
+    "q6": "/article/author/last/Smith",
+}
+
+
+def main() -> None:
+    descriptors = {
+        name: parse_xml(text) for name, text in DESCRIPTORS.items()
+    }
+    print("-- descriptors round-trip through the XML layer --")
+    d1 = descriptors["d1"]
+    print(serialize_xml(d1, indent=2))
+
+    print("-- matching matrix (Figures 1 and 2) --")
+    header = "     " + "  ".join(QUERIES)
+    print(header)
+    for d_name, descriptor in descriptors.items():
+        cells = [
+            " X " if matches(descriptor, query) else " . "
+            for query in QUERIES.values()
+        ]
+        print(f"{d_name}:  " + "  ".join(cells))
+
+    print("\n-- evaluation returns node sets, not just booleans --")
+    result = evaluate("/article/author/last", d1)
+    print(f"/article/author/last on d1 selects: {result!r}")
+
+    print("\n-- equivalent spellings normalize to one canonical key --")
+    for spelling in (
+        "/article/author/last/Smith",
+        "/article[author/last/Smith]",
+        "/article[author[last[Smith]]]",
+    ):
+        print(f"  {spelling:<40} -> {normalize_xpath(spelling)}")
+
+    print("\n-- covering relations (arrows of Figure 3) --")
+    expectations = [
+        ("q3", "q1"), ("q4", "q1"), ("q3", "q2"), ("q5", "q2"), ("q6", "q3"),
+    ]
+    for general, specific in expectations:
+        held = covers(QUERIES[general], QUERIES[specific])
+        print(f"  {general} covers {specific}: {held}")
+    print(f"  q6 covers q1 (transitively): "
+          f"{covers(QUERIES['q6'], QUERIES['q1'])}")
+    print(f"  q5 covers q1 (should be False): "
+          f"{covers(QUERIES['q5'], QUERIES['q1'])}")
+
+    print("\n-- the partial-order graph, computed from scratch --")
+    graph = PartialOrderGraph(QUERIES.values())
+    print("  roots (most general):")
+    for root in graph.roots():
+        print(f"    {root}")
+    print("  Hasse edges (specific -> general):")
+    for specific, general in graph.hasse_edges():
+        print(f"    {specific}")
+        print(f"      -> {general}")
+
+    print("\n-- range queries via comparison predicates --")
+    nineties = "/article[year>=1990][year<2000]"
+    for name, descriptor in descriptors.items():
+        print(f"  {name} matches {nineties}: {matches(descriptor, nineties)}")
+
+
+if __name__ == "__main__":
+    main()

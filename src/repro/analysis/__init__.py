@@ -1,0 +1,27 @@
+"""Analysis utilities: power-law fitting, distributions, table rendering.
+
+These are the tools Section V uses to turn raw logs into its figures:
+least-squares power-law fits on log-log data (Figure 9), CCDF
+construction (Figure 10), rank-ordered load curves (Figure 15), and the
+textual tables/bars the benchmark harness prints.
+"""
+
+from repro.analysis.powerlaw import PowerLawFit, fit_power_law
+from repro.analysis.stats import (
+    ccdf_points,
+    lorenz_skew,
+    rank_ordered,
+    summarize,
+)
+from repro.analysis.tables import bar_chart, format_table
+
+__all__ = [
+    "PowerLawFit",
+    "fit_power_law",
+    "ccdf_points",
+    "lorenz_skew",
+    "rank_ordered",
+    "summarize",
+    "bar_chart",
+    "format_table",
+]

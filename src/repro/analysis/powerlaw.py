@@ -1,0 +1,74 @@
+"""Least-squares power-law fitting on log-log data.
+
+Section V-C: "we have computed (using the minimum square method) from the
+plot of BibFinder's author probabilities the line that best fits the
+distribution; switching to a linear scale, we obtain the power-law
+distribution describing the popularity of each article".
+
+A power law ``p_i = k / i**alpha`` is a straight line on log-log axes:
+``log p_i = log k - alpha * log i``.  :func:`fit_power_law` performs the
+ordinary least-squares fit of that line and reports the implied ``k`` and
+``alpha`` together with the coefficient of determination.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Result of a log-log least-squares fit of ``p_i = k / i**alpha``."""
+
+    k: float
+    alpha: float
+    r_squared: float
+
+    def predict(self, rank: int) -> float:
+        """The fitted probability at a given rank."""
+        if rank < 1:
+            raise ValueError("rank must be >= 1")
+        return self.k / rank**self.alpha
+
+    @property
+    def is_power_law(self) -> bool:
+        """Rough goodness check used by the Figure 9 reproduction."""
+        return self.r_squared >= 0.8
+
+
+def fit_power_law(
+    ranks: Sequence[int], probabilities: Sequence[float]
+) -> PowerLawFit:
+    """Fit ``p_i = k / i**alpha`` by least squares on log-log axes.
+
+    Zero-probability points are skipped (they have no log); at least two
+    usable points are required.
+    """
+    if len(ranks) != len(probabilities):
+        raise ValueError("ranks and probabilities must have the same length")
+    points = [
+        (math.log(rank), math.log(probability))
+        for rank, probability in zip(ranks, probabilities)
+        if probability > 0
+    ]
+    if len(points) < 2:
+        raise ValueError("need at least two nonzero points to fit")
+    n = len(points)
+    sum_x = sum(x for x, _ in points)
+    sum_y = sum(y for _, y in points)
+    sum_xx = sum(x * x for x, _ in points)
+    sum_xy = sum(x * y for x, y in points)
+    denominator = n * sum_xx - sum_x * sum_x
+    if denominator == 0:
+        raise ValueError("degenerate x values; cannot fit")
+    slope = (n * sum_xy - sum_x * sum_y) / denominator
+    intercept = (sum_y - slope * sum_x) / n
+
+    mean_y = sum_y / n
+    ss_total = sum((y - mean_y) ** 2 for _, y in points)
+    ss_residual = sum((y - (intercept + slope * x)) ** 2 for x, y in points)
+    r_squared = 1.0 if ss_total == 0 else 1.0 - ss_residual / ss_total
+
+    return PowerLawFit(k=math.exp(intercept), alpha=-slope, r_squared=r_squared)

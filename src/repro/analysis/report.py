@@ -1,0 +1,134 @@
+"""Assemble bench results into a single reproduction report.
+
+Each figure/table bench persists its rendered output under
+``benchmarks/results/``; this module stitches them into one document in
+the paper's presentation order, ready to diff against EXPERIMENTS.md or
+to attach to a reproduction note.
+
+Usage::
+
+    python -m repro.analysis.report [results_dir] [-o report.md]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Optional
+
+#: Presentation order: the paper's evaluation sequence, then ablations.
+SECTION_ORDER = [
+    ("fig07_query_types", "Figure 7 — query types"),
+    ("fig09_popularity", "Figure 9 — popularity power laws"),
+    ("fig10_ccdf", "Figure 10 — article-ranking CCDF"),
+    ("secVB_index_storage", "Section V-B — index storage"),
+    ("secVB_full_archive", "Section V-B — index storage at full archive scale"),
+    ("fig11_interactions", "Figure 11 — interactions per query"),
+    ("fig12_traffic", "Figure 12 — traffic per query"),
+    ("fig13_hit_ratio", "Figure 13 — cache hit ratio"),
+    ("fig14_cache_storage", "Figure 14 — cache storage"),
+    ("fig15_hotspots", "Figure 15 — hot-spots"),
+    ("tableI_nonindexed", "Table I — non-indexed queries"),
+    ("ablation_substrates", "Ablation — substrate independence"),
+    ("ablation_shortcuts", "Ablation — popular-content deep links"),
+    ("ablation_cache_sweep", "Ablation — LRU capacity sweep"),
+    ("ablation_churn", "Ablation — membership churn"),
+    ("ablation_scalability", "Ablation — node-population scalability"),
+    ("ablation_replication", "Ablation — replica load-spreading"),
+    ("baseline_twine", "Baseline — INS/Twine replication"),
+]
+
+
+def assemble_report(results_dir: pathlib.Path) -> str:
+    """Concatenate available result files in presentation order.
+
+    Missing sections are listed at the end so partial runs are obvious.
+    """
+    if not results_dir.is_dir():
+        raise FileNotFoundError(f"no results directory at {results_dir}")
+    pieces = [
+        "# Reproduction report — Data Indexing in P2P DHT Networks",
+        "",
+        f"Assembled from {results_dir}/ (run `pytest benchmarks/ "
+        "--benchmark-only` to regenerate).",
+        "",
+    ]
+    missing = []
+    known = set()
+    for stem, heading in SECTION_ORDER:
+        known.add(stem)
+        path = results_dir / f"{stem}.txt"
+        if not path.is_file():
+            missing.append(heading)
+            continue
+        pieces.append(f"## {heading}")
+        pieces.append("")
+        pieces.append("```")
+        pieces.append(path.read_text().rstrip("\n"))
+        pieces.append("```")
+        pieces.append("")
+    extras = sorted(
+        path.stem
+        for path in results_dir.glob("*.txt")
+        if path.stem not in known
+    )
+    for stem in extras:
+        pieces.append(f"## {stem}")
+        pieces.append("")
+        pieces.append("```")
+        pieces.append((results_dir / f"{stem}.txt").read_text().rstrip("\n"))
+        pieces.append("```")
+        pieces.append("")
+    if missing:
+        pieces.append("## Missing sections (bench not run)")
+        pieces.append("")
+        for heading in missing:
+            pieces.append(f"- {heading}")
+        pieces.append("")
+    return "\n".join(pieces)
+
+
+def default_results_dir() -> pathlib.Path:
+    """The benchmarks/results directory relative to the repo root."""
+    here = pathlib.Path(__file__).resolve()
+    for parent in here.parents:
+        candidate = parent / "benchmarks" / "results"
+        if candidate.is_dir():
+            return candidate
+    return pathlib.Path("benchmarks/results")
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.report",
+        description="Assemble bench outputs into one reproduction report.",
+    )
+    parser.add_argument(
+        "results_dir",
+        nargs="?",
+        type=pathlib.Path,
+        default=None,
+        help="directory of bench outputs (default: benchmarks/results)",
+    )
+    parser.add_argument(
+        "-o", "--output", type=pathlib.Path, default=None,
+        help="write the report here instead of stdout",
+    )
+    args = parser.parse_args(argv)
+    results_dir = args.results_dir or default_results_dir()
+    try:
+        report = assemble_report(results_dir)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.output is not None:
+        args.output.write_text(report)
+        print(f"wrote {args.output} ({len(report):,} chars)")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,20 @@
+"""Baseline comparators from the paper's related work.
+
+The paper positions its key-to-key indexes against INS/Twine
+(Balazinska, Balakrishnan & Karger, Pervasive 2002), which resolves
+intentional names by *replicating complete resource descriptions* on
+every resolver responsible for a "strand" of the description:
+
+    "The resource and device information are stored redundantly on all
+    peer resolvers that correspond to the numeric keys.  ...  Unlike
+    Twine, we do not replicate data at multiple locations; we rather
+    provide a key-to-key service."  (Section II)
+
+:class:`repro.baselines.twine.TwineResolver` implements that strategy
+over the same DHT storage substrate, so the storage/traffic/interaction
+trade-off the paper argues qualitatively can be measured.
+"""
+
+from repro.baselines.twine import TwineResolver, TwineWorkloadResult
+
+__all__ = ["TwineResolver", "TwineWorkloadResult"]

@@ -1,0 +1,167 @@
+"""Adaptive distributed cache: per-node shortcut stores (Section IV-C).
+
+After a successful lookup, shortcut entries -- direct mappings from a
+query to the descriptor (MSD) of the target file -- are created in the
+caches of traversed index nodes.  A later user asking the same query can
+jump straight to the file.  Three policies are evaluated (Section V-D):
+
+- **multi-cache** -- shortcuts are created on *every* node along the
+  lookup path; unbounded capacity;
+- **single-cache** -- shortcuts are created only on the *first* node
+  contacted; unbounded capacity;
+- **LRU-k** -- like single-cache but each node stores at most ``k``
+  cached keys, evicting the least-recently-used key when full.
+
+A cached *key* is a query; its entry accumulates the MSDs it has been a
+shortcut for (one broad query can lead different users to different
+files).  Eviction operates on keys, matching the paper's "allowed maximum
+of 10, 20, and 30 cached keys per node".
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from typing import Optional
+
+
+class CachePolicy(enum.Enum):
+    """Shortcut-creation and replacement policies of Section V-D."""
+
+    NONE = "none"
+    MULTI = "multi"
+    SINGLE = "single"
+    LRU = "lru"
+
+    @property
+    def caches_enabled(self) -> bool:
+        return self is not CachePolicy.NONE
+
+    @property
+    def all_path_nodes(self) -> bool:
+        """Whether shortcuts are created on every traversed index node."""
+        return self is CachePolicy.MULTI
+
+    @staticmethod
+    def parse(text: str) -> tuple["CachePolicy", Optional[int]]:
+        """Parse "none", "multi", "single", or "lruK" (e.g. "lru30")."""
+        lowered = text.strip().lower()
+        if lowered.startswith("lru"):
+            suffix = lowered[3:]
+            if not suffix.isdigit() or int(suffix) < 1:
+                raise ValueError(f"bad LRU capacity in {text!r}")
+            return CachePolicy.LRU, int(suffix)
+        try:
+            return CachePolicy(lowered), None
+        except ValueError:
+            raise ValueError(f"unknown cache policy {text!r}") from None
+
+
+#: How many shortcut targets one cached key retains.  A cached key maps a
+#: generic query to the descriptor(s) of recently found target files; one
+#: broad query (an author) can lead different users to different files, so
+#: an entry keeps the few most recent targets, LRU-ordered.  Bounding the
+#: entry keeps responses small (shortcuts ride along in every answer).
+DEFAULT_ENTRY_CAPACITY = 4
+
+
+class CacheEntry:
+    """One cached key's shortcuts: recent target MSDs, LRU-bounded."""
+
+    __slots__ = ("capacity", "_targets")
+
+    def __init__(self, capacity: int = DEFAULT_ENTRY_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("entry capacity must be positive")
+        self.capacity = capacity
+        self._targets: OrderedDict[str, None] = OrderedDict()
+
+    def add(self, msd_key: str) -> bool:
+        """Record a shortcut target; returns True when state changed."""
+        if msd_key in self._targets:
+            self._targets.move_to_end(msd_key)
+            return False
+        if len(self._targets) >= self.capacity:
+            self._targets.popitem(last=False)
+        self._targets[msd_key] = None
+        return True
+
+    def __contains__(self, msd_key: str) -> bool:
+        return msd_key in self._targets
+
+    def __len__(self) -> int:
+        return len(self._targets)
+
+    def __iter__(self):
+        return iter(self._targets)
+
+
+class NodeCache:
+    """One node's shortcut cache with optional LRU key eviction."""
+
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        entry_capacity: int = DEFAULT_ENTRY_CAPACITY,
+    ) -> None:
+        """``capacity`` bounds the number of cached keys (None =
+        unbounded); ``entry_capacity`` bounds targets per key."""
+        if capacity is not None and capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self.entry_capacity = entry_capacity
+        self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, query_key: str) -> bool:
+        return query_key in self._entries
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._entries) >= self.capacity
+
+    def insert(self, query_key: str, msd_key: str) -> bool:
+        """Add a shortcut ``query -> msd``; returns True if state changed.
+
+        Inserting refreshes the key's recency.  When the cache is at
+        capacity and the key is new, the least-recently-used key is
+        evicted first.
+        """
+        entry = self._entries.get(query_key)
+        if entry is not None:
+            self._entries.move_to_end(query_key)
+            return entry.add(msd_key)
+        if self.capacity is not None and len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        entry = CacheEntry(self.entry_capacity)
+        entry.add(msd_key)
+        self._entries[query_key] = entry
+        return True
+
+    def lookup(self, query_key: str) -> Optional[CacheEntry]:
+        """Return the entry for a query key, refreshing its recency."""
+        entry = self._entries.get(query_key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(query_key)
+        self.hits += 1
+        return entry
+
+    def peek(self, query_key: str) -> Optional[CacheEntry]:
+        """Inspect an entry without touching recency or hit counters."""
+        return self._entries.get(query_key)
+
+    def shortcut_count(self) -> int:
+        """Total number of (query, msd) shortcut pairs stored."""
+        return sum(len(entry) for entry in self._entries.values())
+
+    def clear(self) -> None:
+        """Drop every cached key."""
+        self._entries.clear()

@@ -1,0 +1,216 @@
+"""User-side lookup engine: iterative search down the query hierarchy.
+
+Implements the lookup process of Section IV-B, the
+generalization/specialization fallback for non-indexed queries, and the
+shortcut-creation side of the adaptive cache (Section IV-C):
+
+1. The user sends a query ``q`` to the node responsible for ``h(q)``.
+2. The node returns the more specific queries mapped under ``q`` plus any
+   cached shortcuts.  If a shortcut points at the file the user is after,
+   the user jumps straight to it (a cache hit).
+3. Otherwise the user selects the returned query that matches the data it
+   is looking for and iterates, following an index path down the partial
+   order until reaching the MSD, which the storage layer resolves to the
+   file.
+4. If ``q`` resolves to nothing although the file exists (a *recoverable
+   error*, Table I), the engine generalizes ``q`` to an indexed query
+   covering it and restarts from there, at the price of the wasted
+   interaction(s).
+5. After a successful lookup, shortcuts are created according to the
+   cache policy: on every traversed index node (multi-cache) or on the
+   first contacted node only (single-cache and LRU).
+
+The engine models the *automated* search mode of the paper -- the target
+record plays the role of the user's selection criterion at each step --
+which is exactly the behaviour simulated in Section V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.fields import Record
+from repro.core.query import FieldQuery, QueryParseError
+from repro.core.service import IndexService
+
+
+class LookupError_(RuntimeError):
+    """Raised when a search cannot make progress (data truly absent)."""
+
+
+@dataclass
+class SearchTrace:
+    """Everything one search did, for the metric collectors."""
+
+    query: FieldQuery
+    found: bool
+    interactions: int = 0
+    errors: int = 0
+    generalized: bool = False
+    cache_hit: bool = False
+    hit_interaction: Optional[int] = None  # 1-based index of the jump
+    visited: list[tuple[int, str]] = field(default_factory=list)
+    result_msd: Optional[str] = None
+
+    @property
+    def first_contact_hit(self) -> bool:
+        return self.cache_hit and self.hit_interaction == 1
+
+
+class LookupEngine:
+    """Drives searches for one user against an :class:`IndexService`."""
+
+    def __init__(
+        self,
+        service: IndexService,
+        user: str = "user:0",
+        max_interactions: int = 64,
+    ) -> None:
+        self.service = service
+        self.user = user
+        self.max_interactions = max_interactions
+        if not service.transport.is_registered(user):
+            service.transport.register(user, lambda message: None)
+
+    # -- public API -------------------------------------------------------------
+
+    def search(self, query: FieldQuery, target: Record) -> SearchTrace:
+        """Locate the file of ``target`` starting from ``query``.
+
+        ``query`` must cover the target record (the user knows what it is
+        looking for).  Returns the full trace; raises nothing on a failed
+        search (the trace reports ``found=False``).
+        """
+        if not query.covers_record(target):
+            raise LookupError_(
+                f"{query!r} does not cover the target record {target!r}"
+            )
+        trace = SearchTrace(query=query, found=False)
+        target_msd = FieldQuery.msd_of(target)
+        target_msd_key = target_msd.key()
+
+        current = query
+        attempted_generalizations: set[frozenset[str]] = set()
+        while trace.interactions < self.max_interactions:
+            if current.is_msd():
+                node, found = self.service.fetch_file(current, self.user)
+                trace.interactions += 1
+                trace.visited.append((node, current.key()))
+                trace.found = found
+                trace.result_msd = current.key() if found else None
+                break
+
+            answer = self.service.query(current, self.user)
+            trace.interactions += 1
+            trace.visited.append((answer.node, current.key()))
+
+            if target_msd_key in answer.shortcuts:
+                trace.cache_hit = True
+                if trace.hit_interaction is None:
+                    trace.hit_interaction = trace.interactions
+                current = target_msd
+                continue
+
+            chosen = self._select_entry(answer.entries, target)
+            if chosen is not None:
+                current = chosen
+                continue
+
+            # No usable entry: generalize.  It counts as a *recoverable
+            # error* (Table I) only when the node held nothing at all for
+            # the query -- once a first lookup has seeded a cache entry
+            # under this key, "subsequent queries ... do not experience an
+            # error" (Section V-h) even if they must still generalize
+            # because the shortcut points at a different file.
+            if answer.empty:
+                trace.errors += 1
+            trace.generalized = True
+            fallback = self._generalize(current, attempted_generalizations)
+            if fallback is None:
+                break
+            current = fallback
+
+        if trace.found:
+            self._create_shortcuts(trace, target_msd_key)
+        return trace
+
+    def explore(self, query: FieldQuery) -> list[str]:
+        """One interactive step: the raw result set for a query.
+
+        This is the *interactive* mode of Section IV-B -- the user
+        inspects the returned list and refines by hand.  Returns entry
+        keys (index targets first, then cached shortcuts).
+        """
+        answer = self.service.query(query, self.user)
+        self.service.transport.meter.end_query()
+        return answer.entries + answer.shortcuts
+
+    # -- internals -----------------------------------------------------------------
+
+    def _select_entry(
+        self, entries: list[str], target: Record
+    ) -> Optional[FieldQuery]:
+        """Pick the returned entry that matches the target record."""
+        best: Optional[FieldQuery] = None
+        for entry_key in entries:
+            try:
+                entry = FieldQuery.parse(self.service.schema, entry_key)
+            except QueryParseError:
+                continue
+            if not entry.covers_record(target):
+                continue
+            # Prefer the most specific matching entry (an MSD if present).
+            if best is None or len(entry.fields) > len(best.fields):
+                best = entry
+        return best
+
+    def _generalize(
+        self, query: FieldQuery, attempted: set[frozenset[str]]
+    ) -> Optional[FieldQuery]:
+        """Find an indexed query covering ``query`` (Section IV-B).
+
+        Candidates are proper subsets of the query's fields that form an
+        index class; larger subsets first (retain as much information as
+        possible), ties broken by schema field order, which encodes the
+        expected selectivity (author before title before conf before
+        year).
+        """
+        field_order = {
+            name: position
+            for position, name in enumerate(self.service.schema.field_names)
+        }
+        candidates: list[frozenset[str]] = []
+        for keyset in self.service.scheme.index_classes:
+            if keyset < query.fields and keyset not in attempted:
+                candidates.append(keyset)
+        if not candidates:
+            return None
+        candidates.sort(
+            key=lambda keyset: (
+                -len(keyset),
+                sorted(field_order[name] for name in keyset),
+            )
+        )
+        chosen = candidates[0]
+        attempted.add(chosen)
+        return query.restrict(chosen)
+
+    def _create_shortcuts(self, trace: SearchTrace, target_msd_key: str) -> None:
+        """Create cache entries along the successful lookup path."""
+        policy = self.service.cache_policy
+        if not policy.caches_enabled:
+            return
+        # Index nodes traversed with the query asked there; the final
+        # file-fetch node belongs to the storage level, not the indexes.
+        index_steps = [
+            (node, key) for node, key in trace.visited if key != target_msd_key
+        ]
+        if not index_steps:
+            return
+        if policy.all_path_nodes:
+            steps = index_steps
+        else:
+            steps = index_steps[:1]
+        for node, query_key in steps:
+            self.service.insert_shortcut(node, query_key, target_msd_key, self.user)

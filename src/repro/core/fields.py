@@ -1,0 +1,232 @@
+"""Descriptor schemas: fields, records, descriptors, and query text.
+
+The paper's running example is a bibliographic database whose descriptors
+have author, title, conference, year, and size fields (Figure 1).  A
+:class:`Schema` names the *queryable* fields of a descriptor type, maps
+each field to its element path inside the descriptor, and produces the
+canonical XPath text for any combination of field constraints -- the text
+whose hash ``h(q)`` places a query on a node.
+
+A :class:`Record` is one concrete data item: a value for every schema
+field (plus optional administrative fields such as ``size`` that are
+stored in the descriptor but never indexed, because "users are unlikely to
+know the size beforehand", Section IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Mapping, Optional
+
+from repro.xmlq.element import Element
+from repro.xmlq.normalize import normalize_xpath
+
+
+class SchemaError(ValueError):
+    """Raised for unknown fields or malformed records."""
+
+
+@dataclass(frozen=True)
+class Schema:
+    """A descriptor type: root tag, queryable fields, admin fields.
+
+    ``fields`` maps each queryable field name to the ``/``-separated
+    element path holding its value inside the descriptor (e.g. the
+    ``author`` field of an article lives at ``author/name``).  ``admin``
+    fields are stored in descriptors and MSDs but are not valid in broad
+    queries.
+    """
+
+    root: str
+    fields: Mapping[str, str]
+    admin: Mapping[str, str] = dataclass_field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.root:
+            raise SchemaError("schema root tag cannot be empty")
+        overlap = set(self.fields) & set(self.admin)
+        if overlap:
+            raise SchemaError(f"fields cannot be both queryable and admin: {overlap}")
+
+    @property
+    def field_names(self) -> tuple[str, ...]:
+        """Queryable field names, in schema declaration order."""
+        return tuple(self.fields)
+
+    @property
+    def all_field_names(self) -> tuple[str, ...]:
+        return tuple(self.fields) + tuple(self.admin)
+
+    def path_of(self, field_name: str) -> str:
+        """The element path of a field inside descriptors."""
+        path = self.fields.get(field_name) or self.admin.get(field_name)
+        if path is None:
+            raise SchemaError(f"unknown field {field_name!r} in schema {self.root!r}")
+        return path
+
+    # -- query text -----------------------------------------------------------
+
+    def xpath_for(self, constraints: Mapping[str, str]) -> str:
+        """Canonical XPath for a set of field=value constraints.
+
+        The text equals the output of :func:`repro.xmlq.normalize.
+        normalize_xpath` on any equivalent spelling (verified by tests),
+        so every way of writing the query hashes to the same DHT key.
+        The canonical form is built directly -- nested predicates sorted
+        by their serialized text -- because this function sits on the hot
+        path of the simulation.
+        """
+        if not constraints:
+            raise SchemaError("a query needs at least one field constraint")
+        unknown = set(constraints) - set(self.all_field_names)
+        if unknown:
+            raise SchemaError(f"unknown fields in constraints: {sorted(unknown)}")
+        predicates = []
+        for field_name in self.all_field_names:
+            if field_name in constraints:
+                parts = self.path_of(field_name).split("/")
+                parts.append(str(constraints[field_name]))
+                nested = parts[-1]
+                for tag in reversed(parts[:-1]):
+                    nested = f"{tag}[{nested}]"
+                predicates.append(f"[{nested}]")
+        predicates.sort()
+        return f"/{self.root}" + "".join(predicates)
+
+    def xpath_for_normalized(self, constraints: Mapping[str, str]) -> str:
+        """Reference implementation of :meth:`xpath_for` via the general
+        normalizer; kept for equivalence testing."""
+        predicates = []
+        for field_name in self.all_field_names:
+            if field_name in constraints:
+                path = self.path_of(field_name)
+                value = constraints[field_name]
+                predicates.append(f"[{path}/{value}]")
+        return normalize_xpath(f"/{self.root}" + "".join(predicates))
+
+    # -- descriptors ------------------------------------------------------------
+
+    def descriptor_for(self, record: "Record") -> Element:
+        """Build the XML descriptor of a record (Figure 1 style)."""
+        root = _TreeBuilder(self.root)
+        for field_name in self.all_field_names:
+            value = record.get(field_name)
+            if value is not None:
+                root.set_path(self.path_of(field_name), value)
+        return root.build()
+
+    def record_from_descriptor(self, descriptor: Element) -> "Record":
+        """Extract a record from a descriptor produced by this schema."""
+        if descriptor.tag != self.root:
+            raise SchemaError(
+                f"descriptor root <{descriptor.tag}> does not match schema "
+                f"<{self.root}>"
+            )
+        values: dict[str, str] = {}
+        for field_name in self.all_field_names:
+            text = descriptor.findtext(self.path_of(field_name))
+            if text is not None:
+                values[field_name] = text
+        return Record(self, values)
+
+
+class _TreeBuilder:
+    """Assembles an element tree from path/value assignments."""
+
+    def __init__(self, root_tag: str) -> None:
+        self.root_tag = root_tag
+        self._tree: dict = {}
+
+    def set_path(self, path: str, value: str) -> None:
+        parts = path.split("/")
+        node = self._tree
+        for part in parts[:-1]:
+            node = node.setdefault(part, {})
+            if not isinstance(node, dict):
+                raise SchemaError(f"path conflict at {part!r} in {path!r}")
+        if parts[-1] in node:
+            raise SchemaError(f"duplicate path {path!r}")
+        node[parts[-1]] = value
+
+    def build(self) -> Element:
+        return self._build_element(self.root_tag, self._tree)
+
+    def _build_element(self, tag: str, content) -> Element:
+        if isinstance(content, str):
+            return Element(tag, text=content)
+        children = [
+            self._build_element(child_tag, child_content)
+            for child_tag, child_content in content.items()
+        ]
+        return Element(tag, children=children)
+
+
+class Record:
+    """One data item: values for (a subset of) a schema's fields."""
+
+    __slots__ = ("schema", "_values", "_hash")
+
+    def __init__(self, schema: Schema, values: Mapping[str, str]) -> None:
+        for field_name in values:
+            schema.path_of(field_name)  # validates
+        missing = [f for f in schema.field_names if f not in values]
+        if missing:
+            raise SchemaError(f"record is missing queryable fields: {missing}")
+        self.schema = schema
+        self._values = {name: str(value) for name, value in values.items()}
+        self._hash: Optional[int] = None
+
+    def get(self, field_name: str) -> Optional[str]:
+        """The record's value for a field, or None when absent."""
+        return self._values.get(field_name)
+
+    def __getitem__(self, field_name: str) -> str:
+        try:
+            return self._values[field_name]
+        except KeyError:
+            raise SchemaError(f"record has no value for field {field_name!r}")
+
+    def items(self) -> list[tuple[str, str]]:
+        """Present (field, value) pairs in schema declaration order."""
+        return [
+            (name, self._values[name])
+            for name in self.schema.all_field_names
+            if name in self._values
+        ]
+
+    @property
+    def values(self) -> dict[str, str]:
+        return dict(self._values)
+
+    def descriptor(self) -> Element:
+        """The record's XML descriptor (Figure 1 form)."""
+        return self.schema.descriptor_for(self)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Record):
+            return NotImplemented
+        return self.schema is other.schema and self._values == other._values
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((id(self.schema), tuple(sorted(self._values.items()))))
+        return self._hash
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{k}={v!r}" for k, v in self.items())
+        return f"Record({pairs})"
+
+
+#: The bibliographic schema used throughout the paper's evaluation.
+#: ``author``, ``title``, ``conf`` and ``year`` are queryable; ``size`` is
+#: administrative (never indexed -- Section IV-C).
+ARTICLE_SCHEMA = Schema(
+    root="article",
+    fields={
+        "author": "author/name",
+        "title": "title",
+        "conf": "conf",
+        "year": "year",
+    },
+    admin={"size": "size"},
+)

@@ -1,0 +1,222 @@
+"""Field queries: the working form of queries inside the index layer.
+
+A :class:`FieldQuery` is a conjunction of ``field = value`` constraints
+over a :class:`repro.core.fields.Schema`.  It is the structured twin of a
+canonical XPath expression: ``key()`` produces the normalized XPath text
+whose hash places the query in the DHT, and :meth:`parse` recovers the
+structure from that text.
+
+Covering (Section III-B) is simple and exact on field queries: ``q'``
+covers ``q`` if and only if the constraints of ``q'`` are a subset of the
+constraints of ``q``.  The equivalence of this rule with the general
+tree-pattern homomorphism of :mod:`repro.xmlq.pattern` is verified by
+property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+from repro.core.fields import Record, Schema, SchemaError
+from repro.xmlq.astnodes import LocationPath, LocationStep
+from repro.xmlq.pattern import TreePattern, pattern_from_xpath
+from repro.xmlq.xpparser import parse_xpath
+
+
+class QueryParseError(ValueError):
+    """Raised when query text cannot be interpreted against a schema."""
+
+
+class FieldQuery:
+    """An immutable conjunction of field constraints over a schema."""
+
+    __slots__ = ("schema", "_items", "_key", "_hash")
+
+    def __init__(self, schema: Schema, constraints: Mapping[str, str]) -> None:
+        if not constraints:
+            raise SchemaError("a query needs at least one field constraint")
+        for field_name in constraints:
+            schema.path_of(field_name)  # validates field names
+        self.schema = schema
+        self._items = tuple(
+            (name, str(constraints[name]))
+            for name in schema.all_field_names
+            if name in constraints
+        )
+        self._key: Optional[str] = None
+        self._hash: Optional[int] = None
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def msd_of(cls, record: Record) -> "FieldQuery":
+        """The most specific query of a record: every field constrained."""
+        return cls(record.schema, record.values)
+
+    @classmethod
+    def of_record(
+        cls, record: Record, fields: Iterable[str]
+    ) -> "FieldQuery":
+        """The query constraining ``fields`` to the record's values."""
+        constraints = {name: record[name] for name in fields}
+        return cls(record.schema, constraints)
+
+    # Parsing canonical text is on the simulation's hot path (a node's
+    # response entries are parsed by the user at every step) and the same
+    # texts recur constantly, so results are memoized per (schema, text).
+    _parse_cache: dict[tuple[int, str], "FieldQuery"] = {}
+    _PARSE_CACHE_LIMIT = 200_000
+
+    @classmethod
+    def parse(cls, schema: Schema, text: str) -> "FieldQuery":
+        """Recover a field query from its canonical XPath text."""
+        cache_key = (id(schema), text)
+        cached = cls._parse_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        parsed = cls._parse_uncached(schema, text)
+        if len(cls._parse_cache) >= cls._PARSE_CACHE_LIMIT:
+            cls._parse_cache.clear()
+        cls._parse_cache[cache_key] = parsed
+        return parsed
+
+    @classmethod
+    def _parse_uncached(cls, schema: Schema, text: str) -> "FieldQuery":
+        try:
+            path = parse_xpath(text)
+        except ValueError as error:
+            raise QueryParseError(f"unparseable query text: {error}") from error
+        if not path.absolute or path.length != 1:
+            raise QueryParseError(
+                f"canonical query text must be a rooted single step: {text!r}"
+            )
+        root_step = path.steps[0]
+        if root_step.name != schema.root:
+            raise QueryParseError(
+                f"query root {root_step.name!r} does not match schema "
+                f"{schema.root!r}"
+            )
+        reverse = {
+            tuple(schema.path_of(name).split("/")): name
+            for name in schema.all_field_names
+        }
+        constraints: dict[str, str] = {}
+        for predicate in root_step.predicates:
+            if predicate.comparison is not None:
+                raise QueryParseError(
+                    f"comparison predicates are not field constraints: {text!r}"
+                )
+            tags, value = _linearize(predicate.path)
+            field_name = reverse.get(tuple(tags))
+            if field_name is None:
+                raise QueryParseError(
+                    f"no schema field at path {'/'.join(tags)!r} in {text!r}"
+                )
+            if field_name in constraints:
+                raise QueryParseError(f"duplicate constraint on {field_name!r}")
+            constraints[field_name] = value
+        if not constraints:
+            raise QueryParseError(f"query has no field constraints: {text!r}")
+        return cls(schema, constraints)
+
+    # -- accessors ----------------------------------------------------------------
+
+    @property
+    def items(self) -> tuple[tuple[str, str], ...]:
+        """Constraints as (field, value) pairs in schema order."""
+        return self._items
+
+    @property
+    def fields(self) -> frozenset[str]:
+        return frozenset(name for name, _ in self._items)
+
+    def value(self, field_name: str) -> Optional[str]:
+        """The constrained value of a field, or None when unconstrained."""
+        for name, val in self._items:
+            if name == field_name:
+                return val
+        return None
+
+    def key(self) -> str:
+        """Canonical XPath text -- the identifier hashed into the DHT."""
+        if self._key is None:
+            self._key = self.schema.xpath_for(dict(self._items))
+        return self._key
+
+    def is_msd(self) -> bool:
+        """True when every schema field (queryable and admin) is constrained."""
+        return len(self._items) == len(self.schema.all_field_names)
+
+    # -- algebra --------------------------------------------------------------------
+
+    def covers(self, other: "FieldQuery") -> bool:
+        """Covering test: every constraint of self also binds in other."""
+        if self.schema is not other.schema:
+            return False
+        mine = set(self._items)
+        theirs = set(other._items)
+        return mine <= theirs
+
+    def covers_record(self, record: Record) -> bool:
+        """True when the record satisfies every constraint."""
+        return all(record.get(name) == value for name, value in self._items)
+
+    def restrict(self, fields: Iterable[str]) -> "FieldQuery":
+        """The sub-query keeping only the given fields (must be present)."""
+        wanted = set(fields)
+        missing = wanted - {name for name, _ in self._items}
+        if missing:
+            raise SchemaError(f"query does not constrain fields: {sorted(missing)}")
+        constraints = {name: val for name, val in self._items if name in wanted}
+        return FieldQuery(self.schema, constraints)
+
+    def extend(self, constraints: Mapping[str, str]) -> "FieldQuery":
+        """A more specific query with additional constraints."""
+        merged = dict(self._items)
+        for name, value in constraints.items():
+            if name in merged and merged[name] != value:
+                raise SchemaError(f"conflicting constraint on {name!r}")
+            merged[name] = value
+        return FieldQuery(self.schema, merged)
+
+    def to_pattern(self) -> TreePattern:
+        """Tree-pattern form, for interoperation with :mod:`repro.xmlq`."""
+        return pattern_from_xpath(self.key())
+
+    # -- dunder --------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FieldQuery):
+            return NotImplemented
+        return self.schema is other.schema and self._items == other._items
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((id(self.schema), self._items))
+        return self._hash
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{name}={value!r}" for name, value in self._items)
+        return f"FieldQuery({pairs})"
+
+
+def _linearize(path: LocationPath) -> tuple[list[str], str]:
+    """Flatten a canonical predicate tree into (element tags, value).
+
+    Canonical predicates are chains ``a[b[...[value]]]`` after
+    normalization: each step has exactly one nested predicate until the
+    value leaf.
+    """
+    tags: list[str] = []
+    steps = path.steps
+    while True:
+        if len(steps) != 1:
+            raise QueryParseError("predicate is not a canonical chain")
+        step: LocationStep = steps[0]
+        if not step.predicates:
+            # The leaf: this step's name is the constrained value.
+            return tags, step.name
+        if len(step.predicates) != 1 or step.predicates[0].comparison is not None:
+            raise QueryParseError("predicate is not a canonical chain")
+        tags.append(step.name)
+        steps = step.predicates[0].path.steps

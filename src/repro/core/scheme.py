@@ -1,0 +1,263 @@
+"""Indexing schemes: hierarchies of index classes (Figure 8).
+
+An *index class* groups the index entries keyed by one combination of
+fields -- e.g. the ``Author`` index of Figure 4 is the class keyed by
+``{author}``.  An :class:`IndexScheme` is a DAG over index classes: an
+edge from class ``K`` to class ``K'`` (with ``K ⊂ K'``) means that looking
+up a ``K``-query returns the matching ``K'``-queries.  Terminal edges
+point at :data:`MSD_TARGET`, the most specific descriptor, which the
+underlying storage resolves to the file itself.
+
+The three schemes evaluated in the paper:
+
+- **simple** -- author and title queries resolve to author+title pairs;
+  conference and year queries resolve to conference+year pairs; the pairs
+  resolve to MSDs (Figure 8, left).
+- **flat** -- every query class points directly at the MSD, so the index
+  chain length is always 2 (Figure 8, center).
+- **complex** -- some simple-scheme queries are split further: an author
+  query resolves to author+conference pairs, which resolve to
+  author+conference+year triples before reaching the MSD (Figure 8,
+  right).  Deeper hierarchies trade lookup steps for shorter result sets.
+
+Schemes also support explicit *shortcut* edges (Section IV-C: a popular
+file "can be linked to deep in the hierarchy to short-circuit some
+indexes"), used by the shortcut ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+from repro.core.fields import Record, Schema
+from repro.core.query import FieldQuery
+
+#: Sentinel target: the most specific descriptor of a record.
+MSD_TARGET = "MSD"
+
+KeySet = frozenset[str]
+
+
+class SchemeValidationError(ValueError):
+    """Raised when a scheme's edges violate the covering discipline."""
+
+
+class IndexScheme:
+    """A DAG of index classes over a schema's fields."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        edges: Mapping[Iterable[str], Iterable[object]],
+    ) -> None:
+        """Build a scheme from an edge map.
+
+        ``edges`` maps each index-class keyset to the keysets it resolves
+        to; the string :data:`MSD_TARGET` denotes the terminal MSD target.
+        Every target keyset must be a strict superset of its source (this
+        is the paper's covering discipline: an index key must cover every
+        entry stored under it) and every target class must itself be
+        resolvable (appear as a source or be the MSD).
+        """
+        self.name = name
+        self.schema = schema
+        normalized: dict[KeySet, list[object]] = {}
+        for source, targets in edges.items():
+            source_set = self._as_keyset(source)
+            target_list: list[object] = []
+            for target in targets:
+                if target == MSD_TARGET:
+                    target_list.append(MSD_TARGET)
+                else:
+                    target_list.append(self._as_keyset(target))
+            normalized[source_set] = target_list
+        self._edges = normalized
+        self._validate()
+
+    def _as_keyset(self, fields: Iterable[str]) -> KeySet:
+        keyset = frozenset(fields)
+        if not keyset:
+            raise SchemeValidationError("an index class needs at least one field")
+        unknown = keyset - set(self.schema.field_names)
+        if unknown:
+            raise SchemeValidationError(
+                f"index class uses non-queryable fields: {sorted(unknown)}"
+            )
+        return keyset
+
+    def _validate(self) -> None:
+        for source, targets in self._edges.items():
+            if not targets:
+                raise SchemeValidationError(
+                    f"index class {set(source)} resolves to nothing"
+                )
+            for target in targets:
+                if target == MSD_TARGET:
+                    continue
+                assert isinstance(target, frozenset)
+                if not source < target:
+                    raise SchemeValidationError(
+                        f"edge {set(source)} -> {set(target)} breaks covering: "
+                        "the target must be a strict superset"
+                    )
+                if target not in self._edges:
+                    raise SchemeValidationError(
+                        f"target class {set(target)} is not resolvable"
+                    )
+        # Superset discipline already rules out cycles; nothing more to check.
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def index_classes(self) -> list[KeySet]:
+        """All index-class keysets, most general first."""
+        return sorted(self._edges, key=lambda keyset: (len(keyset), sorted(keyset)))
+
+    def targets_of(self, keyset: Iterable[str]) -> list[object]:
+        """Resolution targets of an index class (keysets or MSD_TARGET)."""
+        return list(self._edges[frozenset(keyset)])
+
+    def is_indexed(self, fields: Iterable[str]) -> bool:
+        """True when queries over exactly these fields are an index class."""
+        return frozenset(fields) in self._edges
+
+    def entry_classes(self) -> list[KeySet]:
+        """Classes that are not the target of any other class.
+
+        These are the hierarchy's entry points: the query shapes a user
+        can start from without prior information.
+        """
+        targeted: set[KeySet] = set()
+        for targets in self._edges.values():
+            for target in targets:
+                if target != MSD_TARGET:
+                    assert isinstance(target, frozenset)
+                    targeted.add(target)
+        return [keyset for keyset in self.index_classes if keyset not in targeted]
+
+    def chain_length(self, fields: Iterable[str]) -> int:
+        """Worst-case index-path length from this class to the file.
+
+        Counts user-system interactions: one per index class traversed,
+        plus one for the MSD-to-file resolution.
+        """
+        keyset = frozenset(fields)
+        if keyset not in self._edges:
+            raise KeyError(f"not an index class: {set(keyset)}")
+        longest = 0
+        for target in self._edges[keyset]:
+            if target == MSD_TARGET:
+                longest = max(longest, 1)
+            else:
+                assert isinstance(target, frozenset)
+                longest = max(longest, self.chain_length(target))
+        return 1 + longest
+
+    # -- index entry generation ----------------------------------------------------
+
+    def mappings_for(self, record: Record) -> list[tuple[FieldQuery, FieldQuery]]:
+        """All (index query -> more specific query) mappings for a record.
+
+        For each edge ``K -> K'`` the record contributes the mapping
+        ``(q_K(record); q_K'(record))``; MSD targets map to the record's
+        most specific query.  Identical mappings produced through
+        different edges are deduplicated.
+        """
+        msd = FieldQuery.msd_of(record)
+        mappings: list[tuple[FieldQuery, FieldQuery]] = []
+        seen: set[tuple[FieldQuery, FieldQuery]] = set()
+        for source, targets in self._edges.items():
+            source_query = FieldQuery.of_record(record, source)
+            for target in targets:
+                if target == MSD_TARGET:
+                    target_query = msd
+                else:
+                    assert isinstance(target, frozenset)
+                    target_query = FieldQuery.of_record(record, target)
+                pair = (source_query, target_query)
+                if pair not in seen:
+                    seen.add(pair)
+                    mappings.append(pair)
+        return mappings
+
+    def shortcut_mapping(
+        self, record: Record, fields: Iterable[str]
+    ) -> tuple[FieldQuery, FieldQuery]:
+        """A deep link (Section IV-C): index class -> the record's MSD.
+
+        E.g. ``shortcut_mapping(record, {"author"})`` produces the
+        ``(q6; d1)`` entry of the paper, letting a popular file be reached
+        from a broad query in a single step.
+        """
+        keyset = frozenset(fields)
+        if keyset not in self._edges:
+            raise KeyError(f"not an index class: {set(keyset)}")
+        return (FieldQuery.of_record(record, keyset), FieldQuery.msd_of(record))
+
+    def __repr__(self) -> str:
+        return f"IndexScheme({self.name!r}, {len(self._edges)} classes)"
+
+
+def simple_scheme(schema: Optional[Schema] = None) -> IndexScheme:
+    """The paper's *simple* scheme (Figure 8, left)."""
+    schema = schema or _default_schema()
+    return IndexScheme(
+        "simple",
+        schema,
+        {
+            ("author",): [("author", "title")],
+            ("title",): [("author", "title")],
+            ("author", "title"): [MSD_TARGET],
+            ("conf",): [("conf", "year")],
+            ("year",): [("conf", "year")],
+            ("conf", "year"): [MSD_TARGET],
+        },
+    )
+
+
+def flat_scheme(schema: Optional[Schema] = None) -> IndexScheme:
+    """The paper's *flat* scheme (Figure 8, center): everything -> MSD."""
+    schema = schema or _default_schema()
+    return IndexScheme(
+        "flat",
+        schema,
+        {
+            ("author",): [MSD_TARGET],
+            ("title",): [MSD_TARGET],
+            ("author", "title"): [MSD_TARGET],
+            ("conf",): [MSD_TARGET],
+            ("year",): [MSD_TARGET],
+            ("conf", "year"): [MSD_TARGET],
+        },
+    )
+
+
+def complex_scheme(schema: Optional[Schema] = None) -> IndexScheme:
+    """The paper's *complex* scheme (Figure 8, right).
+
+    Author queries are split through author+conference and
+    author+conference+year levels "in order to avoid long result lists":
+    deeper chains, shorter result sets.
+    """
+    schema = schema or _default_schema()
+    return IndexScheme(
+        "complex",
+        schema,
+        {
+            ("author",): [("author", "conf")],
+            ("title",): [("author", "title")],
+            ("author", "title"): [MSD_TARGET],
+            ("author", "conf"): [("author", "conf", "year")],
+            ("author", "conf", "year"): [MSD_TARGET],
+            ("conf",): [("conf", "year")],
+            ("year",): [("conf", "year")],
+            ("conf", "year"): [MSD_TARGET],
+        },
+    )
+
+
+def _default_schema() -> Schema:
+    from repro.core.fields import ARTICLE_SCHEMA
+
+    return ARTICLE_SCHEMA

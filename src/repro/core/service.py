@@ -1,0 +1,312 @@
+"""The distributed index service: node-side resolution over DHT storage.
+
+The service glues the pieces of Section IV together:
+
+- records are inserted by storing the *file* at the node responsible for
+  ``h(MSD)`` (the Publication level of Figure 4) and one index mapping
+  ``(q; q_i)`` per scheme edge at the node responsible for ``h(q)``;
+- ``lookup(q)`` resolves the node responsible for ``h(q)`` and returns
+  the mappings stored there, together with any cached shortcuts for
+  ``q`` (prefixed entries in the response payload);
+- shortcut creation (``insert_shortcut``) and record deletion with
+  recursive index cleanup (Section IV-C) are supported.
+
+All user-visible operations travel as messages through the simulated
+transport so that byte counts (Figure 12) and per-node load (Figure 15)
+are measured, not estimated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.cache import CachePolicy, NodeCache
+from repro.core.fields import Record, Schema
+from repro.core.query import FieldQuery
+from repro.core.scheme import IndexScheme
+from repro.net.message import Message, MessageKind
+from repro.net.transport import SimulatedTransport
+from repro.storage.store import DHTStorage
+
+#: Prefix marking cached-shortcut entries inside a query response payload;
+#: it costs one byte on the wire, modelling the entry-type flag.
+SHORTCUT_MARK = "~"
+#: Value stored in the file store to represent the article content.
+FILE_MARK = "file"
+
+
+class IndexServiceError(RuntimeError):
+    """Raised on inconsistent service usage (unknown records, etc.)."""
+
+
+@dataclass
+class QueryAnswer:
+    """Structured form of one node's answer to a query."""
+
+    node: int
+    entries: list[str]
+    shortcuts: list[str]
+    file_found: bool
+
+    @property
+    def empty(self) -> bool:
+        return not (self.entries or self.shortcuts or self.file_found)
+
+
+class IndexService:
+    """Insertion, resolution, deletion, and caching for one overlay."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        scheme: IndexScheme,
+        index_store: DHTStorage,
+        file_store: DHTStorage,
+        transport: SimulatedTransport,
+        cache_policy: CachePolicy = CachePolicy.NONE,
+        cache_capacity: Optional[int] = None,
+    ) -> None:
+        if index_store.protocol is not file_store.protocol:
+            raise IndexServiceError(
+                "index and file stores must share one DHT substrate"
+            )
+        self.schema = schema
+        self.scheme = scheme
+        self.index_store = index_store
+        self.file_store = file_store
+        self.transport = transport
+        self.cache_policy = cache_policy
+        self.cache_capacity = cache_capacity if cache_policy is CachePolicy.LRU else None
+        self.caches: dict[int, NodeCache] = {}
+        self._registered: set[str] = set()
+        # With replication > 1, queries rotate across the key's replicas
+        # -- the paper's hot-spot relief: "any optimization of the
+        # underlying P2P DHT substrate for hot-spot avoidance (e.g.,
+        # using replication) will apply to index accesses as well".
+        self._replica_rotation = 0
+        self.register_nodes()
+
+    # -- node endpoints --------------------------------------------------------
+
+    @staticmethod
+    def endpoint_name(node: int) -> str:
+        """Transport endpoint name of an index node."""
+        return f"node:{node:x}"
+
+    def register_nodes(self) -> None:
+        """Create caches and transport endpoints for all substrate nodes."""
+        for node in self.index_store.protocol.node_ids:
+            name = self.endpoint_name(node)
+            if name in self._registered:
+                continue
+            self.caches[node] = NodeCache(self.cache_capacity)
+            self.transport.register(name, self._make_handler(node))
+            self._registered.add(name)
+
+    def unregister_node(self, node: int) -> None:
+        """Drop a departed node's endpoint and cache.
+
+        The node's stored index entries are handled by the storage layer
+        (replication and/or rebalancing); its cache contents are simply
+        lost, as they would be in a real departure.
+        """
+        name = self.endpoint_name(node)
+        if name in self._registered:
+            self.transport.unregister(name)
+            self._registered.discard(name)
+        self.caches.pop(node, None)
+
+    def _make_handler(self, node: int):
+        def handle(message: Message) -> Optional[Message]:
+            if message.kind is MessageKind.QUERY_REQUEST:
+                return self._handle_query(node, message)
+            if message.kind is MessageKind.FILE_REQUEST:
+                return self._handle_file_request(node, message)
+            if message.kind is MessageKind.CACHE_INSERT:
+                return self._handle_cache_insert(node, message)
+            return None
+
+        return handle
+
+    #: Response marker indicating the queried key is a stored file's MSD.
+    FILE_FOUND_MARK = "!file"
+
+    def _handle_query(self, node: int, message: Message) -> Message:
+        (query_key,) = message.payload
+        # Strictly node-local state: what this peer physically stores.
+        entries = list(self.index_store.values_at(node, query_key))
+        # "That node may return f if q is the most specific query for f"
+        # (Section IV-B): a query key that is a stored file's descriptor
+        # is answered with the file marker.
+        if self.file_store.values_at(node, query_key):
+            entries.insert(0, self.FILE_FOUND_MARK)
+        shortcuts: list[str] = []
+        if self.cache_policy.caches_enabled:
+            entry = self.caches[node].lookup(query_key)
+            if entry is not None:
+                shortcuts = list(entry)
+        payload = tuple(entries) + tuple(
+            SHORTCUT_MARK + shortcut for shortcut in shortcuts
+        )
+        return message.reply(MessageKind.QUERY_RESPONSE, payload)
+
+    def _handle_file_request(self, node: int, message: Message) -> Message:
+        (msd_key,) = message.payload
+        stored = self.file_store.values_at(node, msd_key)
+        if stored:
+            # The response stands for the file descriptor/handle; article
+            # content transfer is out of scope of the traffic figures.
+            return message.reply(MessageKind.FILE_RESPONSE, (msd_key,))
+        return message.reply(MessageKind.FILE_RESPONSE, ())
+
+    def _handle_cache_insert(self, node: int, message: Message) -> Optional[Message]:
+        query_key, msd_key = message.payload
+        self.caches[node].insert(query_key, msd_key)
+        return None
+
+    # -- record lifecycle -----------------------------------------------------------
+
+    def insert_record(self, record: Record, file_payload: str = FILE_MARK) -> FieldQuery:
+        """Store a record's file and create all its index mappings.
+
+        Returns the record's most specific query.
+        """
+        msd = FieldQuery.msd_of(record)
+        self.file_store.put(msd.key(), file_payload)
+        for source, target in self.scheme.mappings_for(record):
+            self.index_store.put(source.key(), target.key())
+        return msd
+
+    def insert_shortcut_mapping(self, record: Record, fields) -> None:
+        """Add a permanent deep-link index entry (Section IV-C)."""
+        source, target = self.scheme.shortcut_mapping(record, fields)
+        self.index_store.put(source.key(), target.key())
+
+    def delete_record(self, record: Record) -> None:
+        """Delete a record and recursively clean dangling index entries.
+
+        A mapping ``(q; q_i)`` is removed only when ``q_i`` no longer
+        resolves to anything (no file and no remaining index entries), so
+        entries shared with other records survive (e.g. the
+        conference->conference/year entry of Figure 5 serves many files).
+        """
+        msd = FieldQuery.msd_of(record)
+        if msd.key() not in self.file_store:
+            raise IndexServiceError(f"record not stored: {record!r}")
+        self.file_store.remove_key(msd.key())
+        mappings = self.scheme.mappings_for(record)
+        # Most specific targets first, so emptiness propagates upward.
+        mappings.sort(key=lambda pair: len(pair[1].fields), reverse=True)
+        for source, target in mappings:
+            if self._resolvable(target):
+                continue
+            source_key, target_key = source.key(), target.key()
+            if (
+                source_key in self.index_store
+                and target_key in self.index_store.values(source_key)
+            ):
+                self.index_store.remove_value(source_key, target_key)
+
+    def _resolvable(self, query: FieldQuery) -> bool:
+        key = query.key()
+        if key in self.file_store:
+            return True
+        return key in self.index_store and bool(self.index_store.values(key))
+
+    # -- user-facing operations (message-based) -----------------------------------------
+
+    def query(self, query: FieldQuery, user: str) -> QueryAnswer:
+        """Ask the node responsible for ``h(q)`` to resolve ``q``."""
+        return self.query_key(query.key(), user)
+
+    def query_key(self, key: str, user: str) -> QueryAnswer:
+        """Resolve a raw canonical key (also used by prefix indexes)."""
+        node = self._pick_replica(self.index_store, key)
+        request = Message(
+            kind=MessageKind.QUERY_REQUEST,
+            source=user,
+            destination=self.endpoint_name(node),
+            payload=(key,),
+        )
+        response = self.transport.send(request)
+        assert response is not None
+        self.transport.meter.touch_node(self.endpoint_name(node))
+        entries: list[str] = []
+        shortcuts: list[str] = []
+        file_found = False
+        for item in response.payload:
+            if item == self.FILE_FOUND_MARK:
+                file_found = True
+            elif item.startswith(SHORTCUT_MARK):
+                shortcuts.append(item[len(SHORTCUT_MARK):])
+            else:
+                entries.append(item)
+        return QueryAnswer(
+            node=node, entries=entries, shortcuts=shortcuts, file_found=file_found
+        )
+
+    def _pick_replica(self, store: DHTStorage, key: str) -> int:
+        """Choose which replica of a key serves this request.
+
+        With ``replication == 1`` this is the responsible node.  With
+        more replicas, requests rotate round-robin, spreading the load
+        of hot keys across their replica sets (Section V-g).
+        """
+        nodes = store.responsible_nodes(key)
+        if len(nodes) == 1:
+            return nodes[0]
+        self._replica_rotation += 1
+        return nodes[self._replica_rotation % len(nodes)]
+
+    def fetch_file(self, msd: FieldQuery, user: str) -> tuple[int, bool]:
+        """Retrieve the file stored under an MSD; returns (node, found)."""
+        key = msd.key()
+        node = self._pick_replica(self.file_store, key)
+        request = Message(
+            kind=MessageKind.FILE_REQUEST,
+            source=user,
+            destination=self.endpoint_name(node),
+            payload=(key,),
+        )
+        response = self.transport.send(request)
+        assert response is not None
+        self.transport.meter.touch_node(self.endpoint_name(node))
+        return node, bool(response.payload)
+
+    def insert_shortcut(self, node: int, query_key: str, msd_key: str, user: str) -> None:
+        """Create a cache shortcut on a node (counted as cache traffic)."""
+        if not self.cache_policy.caches_enabled:
+            return
+        request = Message(
+            kind=MessageKind.CACHE_INSERT,
+            source=user,
+            destination=self.endpoint_name(node),
+            payload=(query_key, msd_key),
+        )
+        self.transport.send(request)
+
+    # -- statistics ---------------------------------------------------------------------
+
+    def cache_sizes(self) -> dict[int, int]:
+        """Cached keys per node (Figure 14)."""
+        return {node: len(cache) for node, cache in self.caches.items()}
+
+    def cache_occupancy(self) -> tuple[int, int, int]:
+        """(empty caches, full caches, total caches) across nodes."""
+        empty = sum(1 for cache in self.caches.values() if len(cache) == 0)
+        full = sum(1 for cache in self.caches.values() if cache.is_full)
+        return empty, full, len(self.caches)
+
+    def index_keys_per_node(self) -> dict[int, int]:
+        """Regular (non-cache) entries per node, incl. stored files."""
+        per_node: dict[int, int] = {}
+        for node in self.index_store.protocol.node_ids:
+            per_node[node] = self.index_store.entries_on_node(
+                node
+            ) + self.file_store.entries_on_node(node)
+        return per_node
+
+    def index_storage_bytes(self) -> int:
+        """Bytes dedicated to index mappings (excludes file content)."""
+        return self.index_store.storage_bytes()

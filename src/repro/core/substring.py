@@ -1,0 +1,233 @@
+"""Prefix (substring) index classes -- Section IV-C.
+
+"More generic queries can be obtained from more specific queries by
+removing only portions of element names (i.e., using substring matching).
+For instance, one can create an index with all the files of an author
+that start with the letter 'A', the letter 'B', etc."
+
+A :class:`PrefixQuery` constrains one field to a *value prefix* instead
+of an exact value.  Its canonical key text marks the value with a
+``prefix:`` tag (a bare word under the query lexer), e.g.::
+
+    /article[author[name[prefix:Al]]]
+
+so prefix keys hash and travel exactly like ordinary query keys.  The
+covering discipline extends naturally: ``prefix:P`` covers any query
+binding the same field to a value starting with ``P`` (and any longer
+prefix of it), so prefix classes sit *above* the exact-value entry
+classes in the partial order.
+
+:class:`PrefixIndex` materializes the index entries: for each configured
+(field, prefix length), every record contributes a mapping from the
+prefix key to the record's exact entry-class query for that field.  The
+companion :meth:`LookupEngineMixin-style <PrefixIndex.search>` helper
+drives a full search that starts from partial information: prefix key ->
+exact field query -> ordinary index chain -> file.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.engine import LookupEngine, SearchTrace
+from repro.core.fields import Record, Schema, SchemaError
+from repro.core.query import FieldQuery
+from repro.core.service import IndexService
+
+#: Marker distinguishing prefix constraints inside canonical key text.
+PREFIX_TAG = "prefix:"
+
+
+class PrefixQuery:
+    """A single-field prefix constraint (``author`` starts with "Al")."""
+
+    __slots__ = ("schema", "field", "prefix", "_key")
+
+    def __init__(self, schema: Schema, field: str, prefix: str) -> None:
+        schema.path_of(field)  # validates the field
+        if not prefix:
+            raise SchemaError("a prefix constraint cannot be empty")
+        self.schema = schema
+        self.field = field
+        self.prefix = prefix
+        self._key: Optional[str] = None
+
+    def key(self) -> str:
+        """Canonical text hashed to place this prefix class in the DHT."""
+        if self._key is None:
+            self._key = self.schema.xpath_for(
+                {self.field: f"{PREFIX_TAG}{self.prefix}"}
+            )
+        return self._key
+
+    def covers(self, query: FieldQuery) -> bool:
+        """True when every record matching ``query`` matches this prefix."""
+        value = query.value(self.field)
+        return value is not None and value.startswith(self.prefix)
+
+    def covers_record(self, record: Record) -> bool:
+        """True when the record's field value starts with the prefix."""
+        value = record.get(self.field)
+        return value is not None and value.startswith(self.prefix)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PrefixQuery):
+            return NotImplemented
+        return (
+            self.schema is other.schema
+            and self.field == other.field
+            and self.prefix == other.prefix
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.schema), self.field, self.prefix))
+
+    def __repr__(self) -> str:
+        return f"PrefixQuery({self.field}^={self.prefix!r})"
+
+
+class PrefixIndex:
+    """Prefix index classes layered on an :class:`IndexService`.
+
+    ``levels`` maps a field name to the prefix lengths to index, e.g.
+    ``{"author": [1, 2]}`` creates one-letter and two-letter author
+    indexes.  Prefix entries map each prefix key to the exact
+    single-field queries it covers, re-using the service's index store,
+    so they are ordinary distributed index entries.
+    """
+
+    def __init__(
+        self, service: IndexService, levels: dict[str, Iterable[int]]
+    ) -> None:
+        if not levels:
+            raise SchemaError("prefix index needs at least one field level")
+        self.service = service
+        self.levels: dict[str, tuple[int, ...]] = {}
+        for field, lengths in levels.items():
+            service.schema.path_of(field)
+            ordered = tuple(sorted(set(int(n) for n in lengths)))
+            if not ordered or ordered[0] < 1:
+                raise SchemaError(f"invalid prefix lengths for {field!r}")
+            self.levels[field] = ordered
+
+    # -- construction -------------------------------------------------------------
+
+    def queries_for(self, record: Record) -> list[PrefixQuery]:
+        """All prefix queries under which a record is indexed."""
+        queries = []
+        for field, lengths in self.levels.items():
+            value = record[field]
+            for length in lengths:
+                if length <= len(value):
+                    queries.append(
+                        PrefixQuery(self.service.schema, field, value[:length])
+                    )
+        return queries
+
+    def insert_record(self, record: Record) -> None:
+        """Create this record's prefix index entries.
+
+        Each (prefix -> exact field query) mapping is stored once; the
+        chain continues through the ordinary scheme from the exact query.
+        Longer configured prefixes are also chained below shorter ones
+        (A -> Al -> Alan_Doe), keeping result sets short, exactly like
+        the hierarchical schemes do for field combinations.
+        """
+        for field, lengths in self.levels.items():
+            value = record[field]
+            exact = FieldQuery.of_record(record, [field])
+            previous: Optional[PrefixQuery] = None
+            for length in lengths:
+                if length > len(value):
+                    break
+                current = PrefixQuery(self.service.schema, field, value[:length])
+                if previous is not None:
+                    self.service.index_store.put(previous.key(), current.key())
+                previous = current
+            if previous is not None:
+                self.service.index_store.put(previous.key(), exact.key())
+
+    def insert_all(self, records: Iterable[Record]) -> None:
+        """Create prefix index entries for a batch of records."""
+        for record in records:
+            self.insert_record(record)
+
+    # -- lookup ----------------------------------------------------------------------
+
+    def explore(self, field: str, prefix: str, user: str = "user:prefix") -> list[str]:
+        """One interactive step: the entries under a prefix key."""
+        query = PrefixQuery(self.service.schema, field, prefix)
+        answer = self.service.query_key(query.key(), user)
+        self.service.transport.meter.end_query()
+        return answer.entries + answer.shortcuts
+
+    def search(
+        self,
+        engine: LookupEngine,
+        field: str,
+        prefix: str,
+        target: Record,
+    ) -> SearchTrace:
+        """Full search from partial information: prefix -> ... -> file.
+
+        Walks prefix levels until an exact field query covering the
+        target is found, then hands over to the ordinary lookup engine.
+        Interactions spent on prefix levels are added to the trace.
+        """
+        query = PrefixQuery(self.service.schema, field, prefix)
+        if not query.covers_record(target):
+            raise SchemaError(
+                f"{query!r} does not cover the target record {target!r}"
+            )
+        interactions = 0
+        visited: list[tuple[int, str]] = []
+        current_key = query.key()
+        for _ in range(len(self.levels.get(field, ())) + 1):
+            answer = self.service.query_key(current_key, engine.user)
+            interactions += 1
+            visited.append((answer.node, current_key))
+            chosen = self._select(answer.entries, field, target)
+            if chosen is None:
+                break
+            if isinstance(chosen, FieldQuery):
+                trace = engine.search(chosen, target)
+                trace.interactions += interactions
+                trace.visited = visited + trace.visited
+                return trace
+            current_key = chosen  # a longer prefix level
+        trace = SearchTrace(query=FieldQuery.of_record(target, [field]), found=False)
+        trace.interactions = interactions
+        trace.visited = visited
+        trace.errors = 1
+        return trace
+
+    def _select(self, entries: list[str], field: str, target: Record):
+        """Pick the entry matching the target: exact query or next prefix."""
+        target_value = target[field]
+        best_prefix: Optional[str] = None
+        best_length = -1
+        for entry in entries:
+            if PREFIX_TAG in entry:
+                prefix = _prefix_of_key(entry)
+                if prefix is not None and target_value.startswith(prefix):
+                    if len(prefix) > best_length:
+                        best_prefix, best_length = entry, len(prefix)
+                continue
+            try:
+                query = FieldQuery.parse(self.service.schema, entry)
+            except Exception:
+                continue
+            if query.covers_record(target):
+                return query
+        return best_prefix
+
+
+def _prefix_of_key(key_text: str) -> Optional[str]:
+    """Extract the prefix value from a canonical prefix key."""
+    marker = key_text.find(PREFIX_TAG)
+    if marker < 0:
+        return None
+    end = key_text.find("]", marker)
+    if end < 0:
+        return None
+    return key_text[marker + len(PREFIX_TAG) : end]

@@ -1,0 +1,68 @@
+"""Abstract interface shared by all DHT substrates.
+
+The indexing layer needs exactly one operation from the substrate
+(Section III-A of the paper): given a key, find the live node responsible
+for it.  Every substrate also supports membership changes and reports the
+routing cost (hop count and path) of each lookup, which the storage layer
+aggregates and the substrate ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+NodeId = int
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of resolving a key to its responsible node.
+
+    ``hops`` counts overlay routing steps beyond the first contacted node;
+    ``path`` lists every node id consulted, starting with the node that
+    initiated the resolution.
+    """
+
+    key: int
+    node: NodeId
+    hops: int
+    path: tuple[NodeId, ...] = field(default_factory=tuple)
+
+
+class DHTProtocol(abc.ABC):
+    """A key-to-node resolution service over a dynamic node population."""
+
+    @property
+    @abc.abstractmethod
+    def bits(self) -> int:
+        """Width of the identifier space in bits."""
+
+    @property
+    @abc.abstractmethod
+    def node_ids(self) -> list[NodeId]:
+        """Identifiers of all live nodes."""
+
+    @abc.abstractmethod
+    def lookup(self, key: int) -> LookupResult:
+        """Resolve a numeric key to the responsible live node."""
+
+    @abc.abstractmethod
+    def add_node(self, node: NodeId) -> None:
+        """Add a node with the given identifier to the overlay."""
+
+    @abc.abstractmethod
+    def remove_node(self, node: NodeId) -> None:
+        """Remove a node from the overlay."""
+
+    # -- common helpers ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.node_ids)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in set(self.node_ids)
+
+    def lookup_many(self, keys: list[int]) -> list[LookupResult]:
+        """Resolve a batch of keys (convenience for bulk placement)."""
+        return [self.lookup(key) for key in keys]

@@ -1,0 +1,218 @@
+"""Kademlia: XOR-metric DHT with k-buckets (Maymounkov & Mazières, 2002).
+
+The second real substrate for the layering ablation.  The node responsible
+for a key is the live node whose identifier minimizes the XOR distance to
+the key.  Routing state is per-node: ``bits`` k-buckets, bucket ``i``
+holding up to ``k`` contacts whose distance to the owner has bit length
+``i + 1`` (i.e. shares exactly ``bits - i - 1`` leading bits).
+
+Lookups are iterative: the initiator keeps a shortlist of the ``k``
+closest contacts seen, repeatedly queries the closest unqueried one for
+its ``k`` closest contacts to the target, and stops when the shortlist
+stops improving.  Every queried node counts as a hop.  As in the real
+protocol, nodes opportunistically learn about peers that contact them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dht.base import DHTProtocol, LookupResult, NodeId
+from repro.dht.idspace import DEFAULT_BITS, IdSpace
+
+
+class KademliaNode:
+    """A single Kademlia peer: its id and k-bucket table."""
+
+    def __init__(self, node_id: NodeId, bits: int, k: int) -> None:
+        self.id = node_id
+        self.bits = bits
+        self.k = k
+        # buckets[i] holds contacts at XOR distance with bit length i+1,
+        # most-recently-seen last (we do not model liveness pings, so a
+        # full bucket simply rejects new contacts, per the original paper).
+        self.buckets: list[list[NodeId]] = [[] for _ in range(bits)]
+
+    def bucket_index(self, other: NodeId) -> int:
+        """Bucket holding a contact: bit length of the XOR distance - 1."""
+        distance = self.id ^ other
+        if distance == 0:
+            raise ValueError("a node does not bucket itself")
+        return distance.bit_length() - 1
+
+    def observe(self, other: NodeId) -> None:
+        """Record a live contact (move-to-tail on re-observation)."""
+        if other == self.id:
+            return
+        bucket = self.buckets[self.bucket_index(other)]
+        if other in bucket:
+            bucket.remove(other)
+            bucket.append(other)
+        elif len(bucket) < self.k:
+            bucket.append(other)
+        # else: bucket full; the original protocol pings the oldest contact
+        # and keeps it if alive -- all our contacts are alive, so drop.
+
+    def forget(self, other: NodeId) -> None:
+        """Remove a (departed) contact from its bucket."""
+        bucket = self.buckets[self.bucket_index(other)]
+        if other in bucket:
+            bucket.remove(other)
+
+    def closest_contacts(self, key: int, count: int) -> list[NodeId]:
+        """The node's ``count`` known contacts closest to ``key`` (XOR)."""
+        contacts = [c for bucket in self.buckets for c in bucket]
+        contacts.append(self.id)
+        contacts.sort(key=lambda c: c ^ key)
+        return contacts[:count]
+
+    def __repr__(self) -> str:
+        populated = sum(1 for bucket in self.buckets if bucket)
+        return f"KademliaNode(id={self.id}, buckets={populated})"
+
+
+class KademliaNetwork(DHTProtocol):
+    """A simulated Kademlia overlay with iterative lookups."""
+
+    def __init__(self, bits: int = DEFAULT_BITS, k: int = 8) -> None:
+        self.space = IdSpace(bits)
+        self.k = k
+        self._nodes: dict[NodeId, KademliaNode] = {}
+
+    @classmethod
+    def bulk_build(
+        cls, node_ids: list[NodeId], bits: int = DEFAULT_BITS, k: int = 8
+    ) -> "KademliaNetwork":
+        """Construct a converged overlay directly from global knowledge.
+
+        Each node's buckets are filled with up to ``k`` contacts per
+        populated distance range -- the steady state periodic refresh
+        maintains -- without paying one iterative lookup per bucket per
+        join.  The incremental protocol remains available for churn.
+        """
+        network = cls(bits=bits, k=k)
+        unique = sorted(set(node_ids))
+        if len(unique) != len(node_ids):
+            raise ValueError("duplicate node ids")
+        for node_id in unique:
+            if not network.space.contains(node_id):
+                raise ValueError(f"node id {node_id} outside the identifier space")
+            network._nodes[node_id] = KademliaNode(node_id, bits, k)
+        for node_id, peer in network._nodes.items():
+            ranges: dict[int, list[NodeId]] = {}
+            for other in unique:
+                if other == node_id:
+                    continue
+                index = peer.bucket_index(other)
+                bucket = ranges.setdefault(index, [])
+                if len(bucket) < k:
+                    bucket.append(other)
+            for index, contacts in ranges.items():
+                peer.buckets[index] = contacts
+        return network
+
+    @property
+    def bits(self) -> int:
+        return self.space.bits
+
+    @property
+    def node_ids(self) -> list[NodeId]:
+        return sorted(self._nodes)
+
+    def node(self, node_id: NodeId) -> KademliaNode:
+        """The peer object for a node id."""
+        return self._nodes[node_id]
+
+    def add_node(self, node: NodeId) -> None:
+        """Join: bootstrap contact, self-lookup, bucket refresh."""
+        if not self.space.contains(node):
+            raise ValueError(f"node id {node} outside the identifier space")
+        if node in self._nodes:
+            raise ValueError(f"node id {node} already present")
+        peer = KademliaNode(node, self.bits, self.k)
+        self._nodes[node] = peer
+        others = [n for n in self._nodes if n != node]
+        if not others:
+            return
+        bootstrap = min(others)
+        peer.observe(bootstrap)
+        self._nodes[bootstrap].observe(node)
+        # Join procedure of the original paper: a self-lookup populates
+        # buckets along the path, then every bucket range is refreshed so
+        # the node knows a contact in each populated subtree -- the
+        # invariant that makes greedy XOR routing converge globally.
+        self._iterative_find(peer, node)
+        self.refresh_node(node)
+        for contact in peer.closest_contacts(node, self.k):
+            if contact != node:
+                self._nodes[contact].observe(node)
+
+    def remove_node(self, node: NodeId) -> None:
+        """Depart a node; affected peers re-probe the emptied range."""
+        if node not in self._nodes:
+            raise KeyError(f"node id {node} not present")
+        del self._nodes[node]
+        affected = []
+        for peer in self._nodes.values():
+            bucket = peer.buckets[peer.bucket_index(node)]
+            if node in bucket:
+                bucket.remove(node)
+                affected.append(peer.id)
+        # Repair: peers that lost a contact re-probe that bucket's range so
+        # routing tables keep one contact per populated subtree (the role
+        # of Kademlia's periodic bucket refresh).
+        for peer_id in affected:
+            if peer_id in self._nodes:
+                peer = self._nodes[peer_id]
+                self._iterative_find(peer, node)
+
+    def refresh_node(self, node: NodeId) -> None:
+        """Refresh every bucket range of one node (periodic maintenance)."""
+        peer = self._nodes[node]
+        for index in range(self.bits):
+            probe = peer.id ^ (1 << index)
+            self._iterative_find(peer, probe)
+
+    def lookup(self, key: int, start: Optional[NodeId] = None) -> LookupResult:
+        """Iterative FIND_NODE toward the XOR-closest node."""
+        if not self._nodes:
+            raise RuntimeError("network has no nodes")
+        if not self.space.contains(key):
+            raise ValueError(f"key {key} outside the identifier space")
+        if start is None:
+            start = min(self._nodes)
+        initiator = self._nodes[start]
+        closest, path = self._iterative_find(initiator, key)
+        return LookupResult(key=key, node=closest, hops=len(path), path=tuple(path))
+
+    def responsible_node(self, key: int) -> NodeId:
+        """Ground truth: the globally XOR-closest node (for tests)."""
+        return min(self._nodes, key=lambda n: n ^ key)
+
+    def _iterative_find(
+        self, initiator: KademliaNode, key: int
+    ) -> tuple[NodeId, list[NodeId]]:
+        """Iterative FIND_NODE; returns (closest node, queried path)."""
+        shortlist = set(initiator.closest_contacts(key, self.k))
+        shortlist.add(initiator.id)
+        queried: set[NodeId] = {initiator.id}
+        path: list[NodeId] = []
+        while True:
+            live = [n for n in shortlist if n in self._nodes]
+            closest_k = sorted(live, key=lambda n: n ^ key)[: self.k]
+            unqueried = [n for n in closest_k if n not in queried]
+            if not unqueried:
+                break
+            target = unqueried[0]
+            contact = self._nodes[target]
+            queried.add(target)
+            path.append(target)
+            # The queried node learns about the initiator (opportunistic
+            # routing-table maintenance), and vice versa.
+            contact.observe(initiator.id)
+            for learned in contact.closest_contacts(key, self.k):
+                initiator.observe(learned)
+                shortlist.add(learned)
+        live = [n for n in shortlist if n in self._nodes]
+        closest = min(live, key=lambda n: n ^ key)
+        return closest, path

@@ -1,0 +1,64 @@
+"""Ideal consistent-hashing ring: the paper's substrate abstraction.
+
+Section V-A: "we simply assume that the underlying DHT is able to find a
+node n responsible for a given key k".  The ideal ring implements exactly
+that assumption -- each key is owned by its clockwise successor node, and
+resolution is a single hop -- making it the reference substrate for all
+headline experiments, while Chord and Kademlia substantiate the layering
+claim in the ablation.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.dht.base import DHTProtocol, LookupResult, NodeId
+from repro.dht.idspace import DEFAULT_BITS, IdSpace
+
+
+class IdealRing(DHTProtocol):
+    """Consistent hashing with global knowledge (one-hop resolution)."""
+
+    def __init__(self, bits: int = DEFAULT_BITS) -> None:
+        self.space = IdSpace(bits)
+        self._nodes: list[NodeId] = []  # kept sorted
+
+    @property
+    def bits(self) -> int:
+        return self.space.bits
+
+    @property
+    def node_ids(self) -> list[NodeId]:
+        return list(self._nodes)
+
+    def add_node(self, node: NodeId) -> None:
+        """Insert a node into the sorted ring."""
+        if not self.space.contains(node):
+            raise ValueError(f"node id {node} outside the identifier space")
+        index = bisect.bisect_left(self._nodes, node)
+        if index < len(self._nodes) and self._nodes[index] == node:
+            raise ValueError(f"node id {node} already present")
+        self._nodes.insert(index, node)
+
+    def remove_node(self, node: NodeId) -> None:
+        """Remove a node from the ring."""
+        index = bisect.bisect_left(self._nodes, node)
+        if index >= len(self._nodes) or self._nodes[index] != node:
+            raise KeyError(f"node id {node} not present")
+        self._nodes.pop(index)
+
+    def successor(self, key: int) -> NodeId:
+        """The first node at or clockwise after ``key``."""
+        if not self._nodes:
+            raise RuntimeError("ring has no nodes")
+        index = bisect.bisect_left(self._nodes, key)
+        if index == len(self._nodes):
+            index = 0
+        return self._nodes[index]
+
+    def lookup(self, key: int) -> LookupResult:
+        """Resolve a key to its clockwise successor in one hop."""
+        if not self.space.contains(key):
+            raise ValueError(f"key {key} outside the identifier space")
+        node = self.successor(key)
+        return LookupResult(key=key, node=node, hops=1, path=(node,))

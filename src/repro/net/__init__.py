@@ -1,0 +1,40 @@
+"""Simulated network substrate.
+
+The paper's evaluation abstracts the physical network away and reports
+application-level traffic: bytes of queries and responses exchanged between
+the user and the indexing system, split into *normal* and *cache* traffic
+(Figure 12).  This package provides the pieces that make those measurements
+reproducible:
+
+- :mod:`repro.net.message` -- typed messages with a deterministic byte-size
+  model (query/response/cache-insert payloads),
+- :mod:`repro.net.traffic` -- traffic meters aggregating bytes by category
+  and per-node message counts (Figures 12 and 15),
+- :mod:`repro.net.transport` -- an in-process transport that routes
+  messages between registered endpoints while metering them,
+- :mod:`repro.net.latency` -- pluggable link-latency models so substrate
+  experiments can report lookup delays.
+"""
+
+from repro.net.message import Message, MessageKind, TrafficCategory
+from repro.net.traffic import NodeLoad, TrafficMeter
+from repro.net.transport import Endpoint, SimulatedTransport, TransportError
+from repro.net.latency import (
+    ConstantLatency,
+    LatencyModel,
+    SeededUniformLatency,
+)
+
+__all__ = [
+    "Message",
+    "MessageKind",
+    "TrafficCategory",
+    "NodeLoad",
+    "TrafficMeter",
+    "Endpoint",
+    "SimulatedTransport",
+    "TransportError",
+    "ConstantLatency",
+    "LatencyModel",
+    "SeededUniformLatency",
+]

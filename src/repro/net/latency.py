@@ -1,0 +1,64 @@
+"""Link-latency models for substrate experiments.
+
+The paper deliberately excludes DHT lookup latency from its evaluation
+("any optimization of the underlying P2P network ... will improve the
+response time ... but these are completely independent issues").  The
+latency models here exist for the substrate-independence ablation, where
+we *do* report how lookup delay scales with hop count under Chord and
+Kademlia, to substantiate that the indexing layer is latency-neutral.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol
+
+
+class LatencyModel(Protocol):
+    """Yields a one-way delay (in milliseconds) for a single hop."""
+
+    def sample(self, source: str, destination: str) -> float:
+        """Latency of a message from ``source`` to ``destination``."""
+        ...
+
+
+class ConstantLatency:
+    """Every hop costs the same fixed delay."""
+
+    def __init__(self, milliseconds: float = 50.0) -> None:
+        if milliseconds < 0:
+            raise ValueError("latency cannot be negative")
+        self.milliseconds = milliseconds
+
+    def sample(self, source: str, destination: str) -> float:
+        """Latency of one hop (constant)."""
+        return self.milliseconds
+
+
+class SeededUniformLatency:
+    """Per-pair latency drawn once from a uniform range, then fixed.
+
+    Each (source, destination) pair gets a stable delay, so repeated
+    traversals of the same overlay path cost the same -- a reasonable
+    stand-in for static Internet path latencies.
+    """
+
+    def __init__(
+        self, low: float = 10.0, high: float = 100.0, seed: int = 0
+    ) -> None:
+        if low < 0 or high < low:
+            raise ValueError("need 0 <= low <= high")
+        self.low = low
+        self.high = high
+        self.seed = seed
+        self._cache: dict[tuple[str, str], float] = {}
+
+    def sample(self, source: str, destination: str) -> float:
+        """Latency of one hop (stable per source-destination pair)."""
+        if source == destination:
+            return 0.0
+        pair = (source, destination)
+        if pair not in self._cache:
+            generator = random.Random((hash(pair) ^ self.seed) & 0xFFFFFFFF)
+            self._cache[pair] = generator.uniform(self.low, self.high)
+        return self._cache[pair]

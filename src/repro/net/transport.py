@@ -1,0 +1,71 @@
+"""In-process transport connecting endpoints by name.
+
+The transport plays the role of the network between users and peer nodes:
+endpoints (nodes, user agents) register under a unique name; messages are
+delivered synchronously to the destination's handler, and every delivered
+message is metered by the attached :class:`repro.net.traffic.TrafficMeter`.
+
+The synchronous delivery model matches the paper's simulation, which is a
+sequential feed of 50,000 queries -- there is no concurrency inside a
+single lookup, only iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.message import Message
+from repro.net.traffic import TrafficMeter
+
+
+class TransportError(RuntimeError):
+    """Raised for unknown destinations or duplicate registrations."""
+
+
+Endpoint = Callable[[Message], Optional[Message]]
+
+
+class SimulatedTransport:
+    """Routes messages between named endpoints and meters them.
+
+    An endpoint is any callable taking a :class:`Message` and returning an
+    optional response message (itself metered and returned to the caller).
+    """
+
+    def __init__(self, meter: Optional[TrafficMeter] = None) -> None:
+        self.meter = meter if meter is not None else TrafficMeter()
+        self._endpoints: dict[str, Endpoint] = {}
+
+    def register(self, name: str, endpoint: Endpoint) -> None:
+        """Attach an endpoint under a unique name."""
+        if name in self._endpoints:
+            raise TransportError(f"endpoint already registered: {name!r}")
+        self._endpoints[name] = endpoint
+
+    def unregister(self, name: str) -> None:
+        """Detach an endpoint (e.g. a departed node)."""
+        if name not in self._endpoints:
+            raise TransportError(f"no such endpoint: {name!r}")
+        del self._endpoints[name]
+
+    def is_registered(self, name: str) -> bool:
+        """True when an endpoint with this name exists."""
+        return name in self._endpoints
+
+    @property
+    def endpoint_names(self) -> list[str]:
+        return list(self._endpoints)
+
+    def send(self, message: Message) -> Optional[Message]:
+        """Deliver a message; meter it and any synchronous response.
+
+        Returns the destination's response message, if it produced one.
+        """
+        handler = self._endpoints.get(message.destination)
+        if handler is None:
+            raise TransportError(f"no such endpoint: {message.destination!r}")
+        self.meter.record(message)
+        response = handler(message)
+        if response is not None:
+            self.meter.record(response)
+        return response

@@ -1,0 +1,42 @@
+"""Simulation harness: the paper's experimental setup (Section V-E).
+
+"Our experiments simulate a P2P network of 500 nodes, on top of which a
+distributed bibliographic database storing 10,000 articles is
+implemented.  ...  Each simulation consists of sequentially feeding the
+indexing network with 50,000 queries from our query generator."
+
+- :mod:`repro.sim.experiment` -- configuration and the experiment driver
+  (build substrate -> storage -> index service -> feed queries);
+- :mod:`repro.sim.metrics` -- the result record with every measurement
+  the paper's figures report;
+- :mod:`repro.sim.runner` -- a memoizing runner so the many benches that
+  share a grid cell (scheme x cache policy) compute it once;
+- :mod:`repro.sim.presets` -- the paper's parameter grid and smaller
+  smoke-test presets.
+"""
+
+from repro.sim.experiment import Experiment, ExperimentConfig
+from repro.sim.metrics import ExperimentResult
+from repro.sim.runner import clear_cache, run_cached
+from repro.sim.presets import (
+    CACHE_POLICIES_FIG11,
+    CACHE_POLICIES_FIG12,
+    PAPER_CONFIG,
+    SCHEMES,
+    SMOKE_CONFIG,
+    paper_grid,
+)
+
+__all__ = [
+    "Experiment",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "clear_cache",
+    "run_cached",
+    "CACHE_POLICIES_FIG11",
+    "CACHE_POLICIES_FIG12",
+    "PAPER_CONFIG",
+    "SCHEMES",
+    "SMOKE_CONFIG",
+    "paper_grid",
+]

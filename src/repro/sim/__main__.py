@@ -1,0 +1,126 @@
+"""Command-line experiment runner: ``python -m repro.sim [options]``.
+
+Runs one grid cell of the paper's evaluation and prints the measured
+metrics, e.g.::
+
+    python -m repro.sim --scheme flat --cache lru30 --queries 10000
+    python -m repro.sim --substrate chord --nodes 200 --scale 0.2
+
+``--scale`` proportionally shrinks the paper's full setup (500 nodes,
+10,000 articles, 50,000 queries) for quick explorations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+from repro.analysis.tables import format_table
+from repro.sim.experiment import Experiment, ExperimentConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim",
+        description=(
+            "Run one cell of the ICDCS'04 data-indexing evaluation grid."
+        ),
+    )
+    parser.add_argument(
+        "--scheme", choices=("simple", "flat", "complex"), default="simple"
+    )
+    parser.add_argument(
+        "--cache",
+        default="none",
+        help="none | multi | single | lruK (e.g. lru30)",
+    )
+    parser.add_argument(
+        "--substrate",
+        choices=("ideal", "chord", "kademlia", "pastry", "can"),
+        default="ideal",
+    )
+    parser.add_argument("--nodes", type=int, default=None)
+    parser.add_argument("--articles", type=int, default=None)
+    parser.add_argument("--queries", type=int, default=None)
+    parser.add_argument("--authors", type=int, default=None)
+    parser.add_argument("--bits", type=int, default=None)
+    parser.add_argument("--replication", type=int, default=None)
+    parser.add_argument("--corpus-seed", type=int, default=None)
+    parser.add_argument("--query-seed", type=int, default=None)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="shrink/grow the paper setup proportionally (e.g. 0.1)",
+    )
+    parser.add_argument(
+        "--shortcut-top-n",
+        type=int,
+        default=None,
+        help="add permanent deep links for the N most popular articles",
+    )
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    config = ExperimentConfig(scheme=args.scheme, cache=args.cache,
+                              substrate=args.substrate)
+    if args.scale is not None:
+        if args.scale <= 0:
+            raise SystemExit("--scale must be positive")
+        config = config.scaled(args.scale)
+    overrides = {
+        "num_nodes": args.nodes,
+        "num_articles": args.articles,
+        "num_queries": args.queries,
+        "num_authors": args.authors,
+        "bits": args.bits,
+        "replication": args.replication,
+        "corpus_seed": args.corpus_seed,
+        "query_seed": args.query_seed,
+        "shortcut_top_n": args.shortcut_top_n,
+    }
+    set_overrides = {key: value for key, value in overrides.items()
+                     if value is not None}
+    if set_overrides:
+        config = replace(config, **set_overrides)
+    return config
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        config = config_from_args(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"running {config.scheme}/{config.cache} over {config.substrate}: "
+        f"{config.num_nodes} nodes, {config.num_articles:,} articles, "
+        f"{config.num_queries:,} queries ...",
+        flush=True,
+    )
+    result = Experiment(config).run()
+    rows = [
+        ["interactions / query", round(result.avg_interactions, 3)],
+        ["normal traffic / query", f"{result.normal_bytes_per_query:,.0f} B"],
+        ["cache traffic / query", f"{result.cache_bytes_per_query:,.0f} B"],
+        ["cache hit ratio", f"{100 * result.hit_ratio:.1f}%"],
+        ["first-contact share of hits",
+         f"{100 * result.first_contact_hit_share:.1f}%"],
+        ["queries to non-indexed data", result.nonindexed_queries],
+        ["cached keys / node (avg, max)",
+         f"{result.avg_cached_keys_per_node:.1f}, {result.max_cached_keys}"],
+        ["regular keys / node", round(result.avg_index_keys_per_node, 1)],
+        ["index storage", f"{result.index_storage_bytes / 1e6:.2f} MB"],
+        ["busiest node", f"{100 * result.busiest_node_share:.2f}% of queries"],
+        ["DHT hops / key", round(result.avg_dht_hops, 2)],
+        ["runtime", f"{result.runtime_seconds:.1f} s"],
+    ]
+    print(format_table(["metric", "value"], rows, title=result.label()))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

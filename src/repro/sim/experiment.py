@@ -1,0 +1,299 @@
+"""The experiment driver: build the stack, feed queries, measure.
+
+One :class:`Experiment` reproduces one cell of the paper's evaluation
+grid.  The construction mirrors the paper's layering exactly:
+
+    substrate (ideal ring / Chord / Kademlia)
+      -> DHT storage (index store + publication/file store)
+        -> index service (scheme + cache policy)
+          -> lookup engine (one simulated user population)
+
+and the run sequentially feeds the configured number of generated
+queries, collecting every measurement of Section V.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.core.cache import CachePolicy
+from repro.core.engine import LookupEngine
+from repro.core.fields import ARTICLE_SCHEMA
+from repro.core.scheme import IndexScheme, complex_scheme, flat_scheme, simple_scheme
+from repro.core.service import IndexService
+from repro.dht.base import DHTProtocol
+from repro.dht.can import CANNetwork
+from repro.dht.chord import ChordNetwork
+from repro.dht.idspace import hash_key
+from repro.dht.kademlia import KademliaNetwork
+from repro.dht.pastry import PastryNetwork
+from repro.dht.ring import IdealRing
+from repro.net.transport import SimulatedTransport
+from repro.sim.metrics import ExperimentResult
+from repro.storage.store import DHTStorage
+from repro.workload.corpus import CorpusConfig, SyntheticCorpus
+from repro.workload.querygen import QueryGenerator
+from repro.workload.popularity import PowerLawPopularity
+
+_SCHEME_BUILDERS = {
+    "simple": simple_scheme,
+    "flat": flat_scheme,
+    "complex": complex_scheme,
+}
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One cell of the evaluation grid.
+
+    Defaults are the paper's setup: 500 nodes, 10,000 articles, 50,000
+    queries over the ideal substrate.  ``cache`` is "none", "multi",
+    "single", or "lruK" (e.g. "lru30").  ``shortcut_top_n`` adds
+    permanent deep-link index entries (Section IV-C) for the N most
+    popular articles from every entry index class -- 0 reproduces the
+    paper, >0 drives the shortcut ablation.
+    """
+
+    scheme: str = "simple"
+    cache: str = "none"
+    substrate: str = "ideal"
+    num_nodes: int = 500
+    num_articles: int = 10_000
+    num_queries: int = 50_000
+    num_authors: int = 4_000
+    bits: int = 64
+    replication: int = 1
+    corpus_seed: int = 2003
+    query_seed: int = 42
+    shortcut_top_n: int = 0
+    #: Number of churn events spread uniformly across the query feed.
+    #: Each event removes one random node (losing its cache) and joins a
+    #: fresh one, then rebalances both stores -- the maintenance a
+    #: DHash/PAST-class storage layer performs (Section III-A).
+    churn_events: int = 0
+    churn_seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.scheme not in _SCHEME_BUILDERS:
+            raise ValueError(f"unknown scheme {self.scheme!r}")
+        if self.substrate not in ("ideal", "chord", "kademlia", "pastry", "can"):
+            raise ValueError(f"unknown substrate {self.substrate!r}")
+        CachePolicy.parse(self.cache)  # validates
+        if self.num_nodes < 1 or self.num_articles < 1 or self.num_queries < 0:
+            raise ValueError("sizes must be positive")
+
+    def scaled(self, factor: float) -> "ExperimentConfig":
+        """A proportionally smaller/larger copy (for quick tests)."""
+        return replace(
+            self,
+            num_nodes=max(1, int(self.num_nodes * factor)),
+            num_articles=max(1, int(self.num_articles * factor)),
+            num_queries=max(0, int(self.num_queries * factor)),
+            num_authors=max(1, int(self.num_authors * factor)),
+        )
+
+
+class Experiment:
+    """Builds the full stack for a config and runs the query feed."""
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        corpus: Optional[SyntheticCorpus] = None,
+        scheme: Optional[IndexScheme] = None,
+    ) -> None:
+        """``corpus`` (and ``scheme``) may be shared across experiments
+        with identical corpus parameters to avoid re-generation."""
+        self.config = config
+        self.corpus = corpus or SyntheticCorpus(
+            CorpusConfig(
+                num_articles=config.num_articles,
+                num_authors=config.num_authors,
+                seed=config.corpus_seed,
+            )
+        )
+        if len(self.corpus) != config.num_articles:
+            raise ValueError("shared corpus does not match the configuration")
+        self.scheme = scheme or _SCHEME_BUILDERS[config.scheme](ARTICLE_SCHEMA)
+        self.protocol = self._build_substrate()
+        self.transport = SimulatedTransport()
+        self.index_store = DHTStorage(
+            self.protocol, replication=config.replication
+        )
+        self.file_store = DHTStorage(
+            self.protocol, replication=config.replication
+        )
+        policy, capacity = CachePolicy.parse(config.cache)
+        self.service = IndexService(
+            ARTICLE_SCHEMA,
+            self.scheme,
+            self.index_store,
+            self.file_store,
+            self.transport,
+            cache_policy=policy,
+            cache_capacity=capacity,
+        )
+        self.engine = LookupEngine(self.service, user="user:0")
+        self._populated = False
+        self._dht_hops_total = 0
+        self._dht_lookups = 0
+        self._churn_rng = random.Random(config.churn_seed)
+        self._join_counter = config.num_nodes
+        self.churn_keys_moved = 0
+
+    def _build_substrate(self) -> DHTProtocol:
+        config = self.config
+        node_ids = sorted(
+            {hash_key(f"node-{i}", config.bits) for i in range(config.num_nodes)}
+        )
+        if len(node_ids) != config.num_nodes:
+            raise RuntimeError("node id collision; increase bits")
+        if config.substrate == "ideal":
+            ring = IdealRing(config.bits)
+            for node_id in node_ids:
+                ring.add_node(node_id)
+            return ring
+        if config.substrate == "chord":
+            return ChordNetwork.bulk_build(node_ids, bits=config.bits)
+        if config.substrate == "kademlia":
+            return KademliaNetwork.bulk_build(node_ids, bits=config.bits)
+        if config.substrate == "pastry":
+            return PastryNetwork.bulk_build(node_ids, bits=config.bits)
+        return CANNetwork.bulk_build(node_ids, bits=config.bits)
+
+    # -- population --------------------------------------------------------------
+
+    def populate(self) -> None:
+        """Insert every corpus record (files + index entries)."""
+        if self._populated:
+            return
+        for record in self.corpus.records:
+            self.service.insert_record(record)
+        if self.config.shortcut_top_n:
+            entry_classes = self.scheme.entry_classes()
+            top = self.corpus.records[: self.config.shortcut_top_n]
+            for record in top:
+                for keyset in entry_classes:
+                    self.service.insert_shortcut_mapping(record, keyset)
+        self._populated = True
+
+    # -- run ----------------------------------------------------------------------
+
+    def run(self) -> ExperimentResult:
+        """Populate, feed the query workload, and collect every metric."""
+        started = time.monotonic()
+        self.populate()
+        config = self.config
+        result = ExperimentResult(
+            scheme=config.scheme,
+            cache=config.cache,
+            substrate=config.substrate,
+            num_nodes=config.num_nodes,
+            num_articles=config.num_articles,
+            num_queries=config.num_queries,
+        )
+        result.index_storage_bytes = self.service.index_storage_bytes()
+        result.article_bytes = self.corpus.total_article_bytes()
+
+        generator = QueryGenerator(
+            self.corpus,
+            PowerLawPopularity.for_population(len(self.corpus)),
+            seed=config.query_seed,
+        )
+        churn_positions: set[int] = set()
+        if config.churn_events:
+            stride = max(1, config.num_queries // (config.churn_events + 1))
+            churn_positions = {
+                stride * (event + 1) for event in range(config.churn_events)
+            }
+
+        meter = self.transport.meter
+        for position, workload_query in enumerate(
+            generator.generate(config.num_queries)
+        ):
+            if position in churn_positions:
+                self._churn_event()
+            trace = self.engine.search(workload_query.query, workload_query.target)
+            meter.end_query()
+            result.searches += 1
+            result.found += int(trace.found)
+            result.total_interactions += trace.interactions
+            if trace.errors:
+                result.nonindexed_queries += 1
+                result.total_error_interactions += trace.errors
+            if trace.cache_hit:
+                result.cache_hits += 1
+            if trace.first_contact_hit:
+                result.first_contact_hits += 1
+            self._dht_hops_total += sum(
+                1 for _ in trace.visited
+            )  # interactions resolve one key each
+        self._collect(result)
+        result.runtime_seconds = time.monotonic() - started
+        return result
+
+    def _collect(self, result: ExperimentResult) -> None:
+        queries = max(1, result.searches)
+        result.avg_interactions = result.total_interactions / queries
+        meter = self.transport.meter
+        result.normal_bytes_total = meter.normal_bytes
+        result.cache_bytes_total = meter.cache_bytes
+        result.normal_bytes_per_query = meter.normal_bytes / queries
+        result.cache_bytes_per_query = meter.cache_bytes / queries
+        result.hit_ratio = result.cache_hits / queries
+        if result.cache_hits:
+            result.first_contact_hit_share = (
+                result.first_contact_hits / result.cache_hits
+            )
+
+        cache_sizes = list(self.service.cache_sizes().values())
+        if cache_sizes:
+            result.avg_cached_keys_per_node = sum(cache_sizes) / len(cache_sizes)
+            result.max_cached_keys = max(cache_sizes)
+        empty, full, total = self.service.cache_occupancy()
+        if total:
+            result.caches_empty_fraction = empty / total
+            result.caches_full_fraction = full / total
+
+        index_keys = list(self.service.index_keys_per_node().values())
+        if index_keys:
+            result.avg_index_keys_per_node = sum(index_keys) / len(index_keys)
+
+        counts = meter.query_counts_by_node()
+        percentages = sorted(
+            (100.0 * count / queries for count in counts.values()), reverse=True
+        )
+        result.node_query_percentages = percentages
+
+        result.avg_dht_hops = self._average_dht_hops()
+
+    def _churn_event(self) -> None:
+        """One membership change: a random leave, a fresh join, repair."""
+        victims = self.protocol.node_ids
+        victim = victims[self._churn_rng.randrange(len(victims))]
+        self.protocol.remove_node(victim)
+        self.service.unregister_node(victim)
+        while True:
+            self._join_counter += 1
+            joiner = hash_key(f"node-{self._join_counter}", self.config.bits)
+            if joiner not in self.protocol:
+                break
+        self.protocol.add_node(joiner)
+        self.service.register_nodes()
+        self.churn_keys_moved += self.index_store.rebalance()
+        self.churn_keys_moved += self.file_store.rebalance()
+
+    def _average_dht_hops(self) -> float:
+        """Mean substrate hops to resolve an index key, sampled post-hoc.
+
+        The indexing layer's interaction counts are substrate-independent;
+        this samples the routing cost underneath them for the ablation.
+        """
+        sample_keys = [
+            hash_key(f"probe-{i}", self.config.bits) for i in range(200)
+        ]
+        hops = [self.protocol.lookup(key).hops for key in sample_keys]
+        return sum(hops) / len(hops)

@@ -1,0 +1,123 @@
+"""The experiment result record: every measurement the figures need."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+@dataclass
+class ExperimentResult:
+    """Aggregated outcome of one simulation run.
+
+    One instance corresponds to one (scheme, cache policy) cell of the
+    paper's evaluation grid; the figures each read a subset of fields:
+
+    ====================  =====================================================
+    Figure / Table         Fields
+    ====================  =====================================================
+    Fig 11                 ``avg_interactions``
+    Fig 12                 ``normal_bytes_per_query``, ``cache_bytes_per_query``
+    Fig 13                 ``hit_ratio``, ``first_contact_hit_share``
+    Fig 14                 ``avg_cached_keys_per_node``, ``max_cached_keys``,
+                           ``caches_full_fraction``, ``caches_empty_fraction``,
+                           ``avg_index_keys_per_node``
+    Fig 15                 ``node_query_percentages``
+    Table I                ``nonindexed_queries``
+    Section V-B            ``index_storage_bytes``, ``article_bytes``
+    Substrate ablation     ``avg_dht_hops``
+    ====================  =====================================================
+    """
+
+    scheme: str
+    cache: str
+    substrate: str
+    num_nodes: int
+    num_articles: int
+    num_queries: int
+
+    # Search outcomes
+    searches: int = 0
+    found: int = 0
+    avg_interactions: float = 0.0
+    total_interactions: int = 0
+
+    # Errors (Table I)
+    nonindexed_queries: int = 0        # searches that hit >= 1 recoverable error
+    total_error_interactions: int = 0  # wasted interactions across all searches
+
+    # Traffic (Fig 12)
+    normal_bytes_total: int = 0
+    cache_bytes_total: int = 0
+    normal_bytes_per_query: float = 0.0
+    cache_bytes_per_query: float = 0.0
+
+    # Cache effectiveness (Fig 13)
+    cache_hits: int = 0
+    first_contact_hits: int = 0
+    hit_ratio: float = 0.0
+    first_contact_hit_share: float = 0.0
+
+    # Cache storage (Fig 14)
+    avg_cached_keys_per_node: float = 0.0
+    max_cached_keys: int = 0
+    caches_full_fraction: float = 0.0
+    caches_empty_fraction: float = 0.0
+
+    # Regular index storage (Fig 14 text + Section V-B)
+    avg_index_keys_per_node: float = 0.0
+    index_storage_bytes: int = 0
+    article_bytes: int = 0
+
+    # Hot-spots (Fig 15): % of queries that touched each node, descending.
+    node_query_percentages: list[float] = field(default_factory=list)
+
+    # Substrate ablation
+    avg_dht_hops: float = 0.0
+
+    runtime_seconds: float = 0.0
+
+    @property
+    def busiest_node_share(self) -> float:
+        """Fraction of queries hitting the single busiest node (Fig 15)."""
+        if not self.node_query_percentages:
+            return 0.0
+        return self.node_query_percentages[0] / 100.0
+
+    @property
+    def total_bytes_per_query(self) -> float:
+        return self.normal_bytes_per_query + self.cache_bytes_per_query
+
+    def label(self) -> str:
+        """Compact scheme/cache/substrate identifier of the cell."""
+        return f"{self.scheme}/{self.cache}/{self.substrate}"
+
+    def summary_row(self) -> list[object]:
+        """Compact row for multi-cell comparison tables."""
+        return [
+            self.scheme,
+            self.cache,
+            round(self.avg_interactions, 3),
+            int(self.normal_bytes_per_query),
+            int(self.cache_bytes_per_query),
+            round(self.hit_ratio * 100, 1),
+            round(self.avg_cached_keys_per_node, 1),
+            self.nonindexed_queries,
+        ]
+
+    SUMMARY_HEADERS = [
+        "scheme",
+        "cache",
+        "interactions",
+        "normal B/q",
+        "cache B/q",
+        "hit %",
+        "cached keys/node",
+        "errors",
+    ]
+
+    def validate(self) -> None:
+        """Internal consistency checks (used by tests)."""
+        if self.found > self.searches:
+            raise ValueError("found more searches than issued")
+        if self.cache == "none" and (self.cache_hits or self.cache_bytes_total):
+            raise ValueError("cache activity recorded without a cache policy")
+        if not 0.0 <= self.hit_ratio <= 1.0:
+            raise ValueError("hit ratio outside [0, 1]")

@@ -1,0 +1,64 @@
+"""Parameter presets: the paper's grid and smaller smoke variants."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.sim.experiment import ExperimentConfig
+
+#: The three indexing schemes of Figure 8, in the paper's S/F/C order.
+SCHEMES: tuple[str, ...] = ("simple", "flat", "complex")
+
+#: Cache policies on the x-axis of Figure 11 (multi-cache omitted there
+#: because "it presents the same characteristics as the single-cache").
+CACHE_POLICIES_FIG11: tuple[str, ...] = (
+    "none",
+    "single",
+    "lru10",
+    "lru20",
+    "lru30",
+)
+
+#: Cache policies on the x-axis of Figure 12 (incl. multi-cache).
+CACHE_POLICIES_FIG12: tuple[str, ...] = (
+    "none",
+    "multi",
+    "single",
+    "lru10",
+    "lru20",
+    "lru30",
+)
+
+#: Cache policies on the x-axes of Figures 13 and 14 (cacheful only).
+CACHE_POLICIES_CACHED: tuple[str, ...] = (
+    "multi",
+    "single",
+    "lru10",
+    "lru20",
+    "lru30",
+)
+
+#: The paper's setup (Section V-E): 500 nodes, 10,000 articles, 50,000
+#: sequential queries.
+PAPER_CONFIG = ExperimentConfig()
+
+#: A proportionally reduced configuration for fast tests.
+SMOKE_CONFIG = ExperimentConfig(
+    num_nodes=50,
+    num_articles=500,
+    num_queries=2_000,
+    num_authors=200,
+)
+
+
+def paper_grid(
+    schemes: tuple[str, ...] = SCHEMES,
+    caches: tuple[str, ...] = CACHE_POLICIES_FIG12,
+    base: ExperimentConfig = PAPER_CONFIG,
+) -> list[ExperimentConfig]:
+    """Every (scheme, cache) cell of the evaluation grid."""
+    return [
+        replace(base, scheme=scheme, cache=cache)
+        for scheme in schemes
+        for cache in caches
+    ]

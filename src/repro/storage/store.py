@@ -1,0 +1,244 @@
+"""Replicated multi-entry storage over a DHT substrate.
+
+:class:`DHTStorage` maps textual keys (canonical query strings) to lists of
+textual values.  The node responsible for a key is resolved through the
+substrate's ``lookup``; with ``replication > 1`` each key is also stored on
+the next ``replication - 1`` closest nodes, in the style of DHash/PAST.
+
+The layer supports:
+
+- multiple values per key (``put`` appends; ``get`` returns them all),
+  which the paper's index model requires;
+- deletion of single values or whole keys, with replica cleanup
+  (read/write semantics of Section IV-C);
+- membership changes: after nodes join or leave, :meth:`rebalance`
+  re-places every key on its current responsible nodes (the block
+  transfer CFS performs on join);
+- per-node occupancy statistics (keys per node), which Section V-F
+  reports (e.g. "an average of 155 keys per node for simple").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.dht.base import DHTProtocol, NodeId
+from repro.dht.idspace import hash_key
+
+
+class StorageError(KeyError):
+    """Raised when a key or value is not present where required."""
+
+
+@dataclass(frozen=True)
+class PutResult:
+    """Where a value was stored and what it cost to place it."""
+
+    key: str
+    numeric_key: int
+    nodes: tuple[NodeId, ...]
+    hops: int
+
+
+@dataclass(frozen=True)
+class GetResult:
+    """Values found for a key and the node that served them."""
+
+    key: str
+    numeric_key: int
+    node: Optional[NodeId]
+    values: tuple[str, ...]
+    hops: int
+
+    @property
+    def found(self) -> bool:
+        return bool(self.values)
+
+
+class DHTStorage:
+    """Key -> list-of-values storage with replication over a substrate."""
+
+    def __init__(
+        self,
+        protocol: DHTProtocol,
+        replication: int = 1,
+        hash_function: Optional[Callable[[str], int]] = None,
+    ) -> None:
+        if replication < 1:
+            raise ValueError("replication factor must be >= 1")
+        self.protocol = protocol
+        self.replication = replication
+        self._hash = hash_function or (lambda text: hash_key(text, protocol.bits))
+        # Node-local stores: what each peer physically holds.
+        self._node_stores: dict[NodeId, dict[str, list[str]]] = {}
+        # Authoritative catalog used for rebalancing after churn.
+        self._catalog: dict[str, list[str]] = {}
+
+    # -- placement -----------------------------------------------------------
+
+    def numeric_key(self, key: str) -> int:
+        """The m-bit numeric key ``h(key)`` used by the substrate."""
+        return self._hash(key)
+
+    def responsible_nodes(self, key: str) -> list[NodeId]:
+        """The ``replication`` nodes that should hold ``key`` right now."""
+        numeric = self.numeric_key(key)
+        primary = self.protocol.lookup(numeric).node
+        if self.replication == 1:
+            return [primary]
+        # Take the next closest nodes in identifier order after the
+        # primary (successor-list placement, as in DHash/PAST).
+        ordered = sorted(self.protocol.node_ids)
+        if not ordered:
+            return [primary]
+        start = ordered.index(primary)
+        count = min(self.replication, len(ordered))
+        return [ordered[(start + offset) % len(ordered)] for offset in range(count)]
+
+    # -- operations ------------------------------------------------------------
+
+    def put(self, key: str, value: str, allow_duplicate: bool = False) -> PutResult:
+        """Store ``value`` under ``key`` on the responsible nodes.
+
+        Multiple distinct values accumulate under one key.  Storing a value
+        already present is a no-op unless ``allow_duplicate`` is set.
+        """
+        numeric = self.numeric_key(key)
+        result = self.protocol.lookup(numeric)
+        nodes = self.responsible_nodes(key)
+        for node in nodes:
+            bucket = self._node_stores.setdefault(node, {}).setdefault(key, [])
+            if allow_duplicate or value not in bucket:
+                bucket.append(value)
+        catalog_bucket = self._catalog.setdefault(key, [])
+        if allow_duplicate or value not in catalog_bucket:
+            catalog_bucket.append(value)
+        return PutResult(
+            key=key, numeric_key=numeric, nodes=tuple(nodes), hops=result.hops
+        )
+
+    def get(self, key: str) -> GetResult:
+        """Fetch every value stored under ``key``.
+
+        Tries the primary responsible node first, then the replicas, so
+        reads survive the loss of up to ``replication - 1`` nodes (until
+        the next :meth:`rebalance`).
+        """
+        numeric = self.numeric_key(key)
+        result = self.protocol.lookup(numeric)
+        hops = result.hops
+        for node in self.responsible_nodes(key):
+            values = self._node_stores.get(node, {}).get(key)
+            if values:
+                return GetResult(
+                    key=key,
+                    numeric_key=numeric,
+                    node=node,
+                    values=tuple(values),
+                    hops=hops,
+                )
+            hops += 1
+        return GetResult(
+            key=key, numeric_key=numeric, node=None, values=(), hops=hops
+        )
+
+    def remove_value(self, key: str, value: str) -> None:
+        """Delete one value from a key everywhere; drop empty keys."""
+        if key not in self._catalog or value not in self._catalog[key]:
+            raise StorageError(f"value not stored under key {key!r}")
+        self._catalog[key].remove(value)
+        if not self._catalog[key]:
+            del self._catalog[key]
+        for store in self._node_stores.values():
+            bucket = store.get(key)
+            if bucket and value in bucket:
+                bucket.remove(value)
+                if not bucket:
+                    del store[key]
+
+    def remove_key(self, key: str) -> None:
+        """Delete a key and all its values everywhere."""
+        if key not in self._catalog:
+            raise StorageError(f"key not stored: {key!r}")
+        del self._catalog[key]
+        for store in self._node_stores.values():
+            store.pop(key, None)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._catalog
+
+    def values(self, key: str) -> tuple[str, ...]:
+        """Authoritative values for a key (catalog view)."""
+        return tuple(self._catalog.get(key, ()))
+
+    def values_at(self, node: NodeId, key: str) -> tuple[str, ...]:
+        """Values physically held by one node for a key.
+
+        This is what the node itself can answer from local state -- the
+        view a message handler must use (a departed or not-yet-rebalanced
+        node does not see the global catalog).
+        """
+        return tuple(self._node_stores.get(node, {}).get(key, ()))
+
+    # -- churn ----------------------------------------------------------------
+
+    def rebalance(self) -> int:
+        """Re-place every key on its current responsible nodes.
+
+        Run after membership changes.  Returns the number of keys moved to
+        at least one new node.
+        """
+        new_stores: dict[NodeId, dict[str, list[str]]] = {}
+        moved = 0
+        for key, stored_values in self._catalog.items():
+            nodes = self.responsible_nodes(key)
+            previously = {
+                node
+                for node, store in self._node_stores.items()
+                if key in store
+            }
+            if set(nodes) != previously:
+                moved += 1
+            for node in nodes:
+                new_stores.setdefault(node, {})[key] = list(stored_values)
+        self._node_stores = new_stores
+        return moved
+
+    # -- statistics -------------------------------------------------------------
+
+    def keys_on_node(self, node: NodeId) -> int:
+        """Number of distinct keys physically held by ``node``."""
+        return len(self._node_stores.get(node, {}))
+
+    def entries_on_node(self, node: NodeId) -> int:
+        """Number of (key, value) entries physically held by ``node``."""
+        return sum(len(values) for values in self._node_stores.get(node, {}).values())
+
+    def keys_per_node(self) -> dict[NodeId, int]:
+        """Occupancy map over all nodes that hold at least one key."""
+        return {
+            node: len(store) for node, store in self._node_stores.items() if store
+        }
+
+    def total_keys(self) -> int:
+        """Number of distinct keys in the catalog."""
+        return len(self._catalog)
+
+    def total_entries(self) -> int:
+        """Number of (key, value) entries in the catalog."""
+        return sum(len(values) for values in self._catalog.values())
+
+    def storage_bytes(self) -> int:
+        """Total bytes of key and value text held across all nodes.
+
+        Replicas count once per copy, matching the paper's "extra storage
+        in the system" measure for indexes (Section V-B).
+        """
+        total = 0
+        for store in self._node_stores.values():
+            for key, stored_values in store.items():
+                key_bytes = len(key.encode("utf-8"))
+                for value in stored_values:
+                    total += key_bytes + len(value.encode("utf-8"))
+        return total

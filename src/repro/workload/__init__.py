@@ -1,0 +1,73 @@
+"""Workload generation: corpus, popularity, and query models (Section V).
+
+The paper's workload has three ingredients, each with a module here:
+
+- a bibliographic **corpus** (DBLP's 115,879 article entries, reduced to
+  the 10,000 most popular articles for simulation) --
+  :mod:`repro.workload.corpus` generates a synthetic corpus with
+  realistic field cardinalities and sharing;
+- an article **popularity** model fitted to BibFinder/NetBib/CiteSeer
+  logs: a power law with CCDF ``1 - 0.063 * i**0.3`` over ranks --
+  :mod:`repro.workload.popularity`;
+- a **query structure** model taken from BibFinder's query log
+  (Figure 7): author 60%, title 20%, year 10%, author+title 5%,
+  author+year 5% -- :mod:`repro.workload.querygen`.
+
+:mod:`repro.workload.trace` holds the query-trace record type and helpers
+to summarize traces the way the paper's figures do.
+"""
+
+from repro.workload.corpus import CorpusConfig, SyntheticCorpus
+from repro.workload.popularity import (
+    PAPER_CCDF_COEFFICIENT,
+    PAPER_CCDF_EXPONENT,
+    PowerLawPopularity,
+    ZipfPopularity,
+)
+from repro.workload.querygen import (
+    BIBFINDER_STRUCTURE,
+    QueryGenerator,
+    QueryStructureModel,
+    WorkloadQuery,
+)
+from repro.workload.trace import (
+    QueryTrace,
+    format_structure_label,
+    read_trace,
+    structure_distribution,
+    write_trace,
+)
+from repro.workload.logs import (
+    DerivedModels,
+    LogEntry,
+    LogSummary,
+    derive_models,
+    generate_query_log,
+    parse_query_log,
+    summarize_log,
+)
+
+__all__ = [
+    "CorpusConfig",
+    "SyntheticCorpus",
+    "PAPER_CCDF_COEFFICIENT",
+    "PAPER_CCDF_EXPONENT",
+    "PowerLawPopularity",
+    "ZipfPopularity",
+    "BIBFINDER_STRUCTURE",
+    "QueryGenerator",
+    "QueryStructureModel",
+    "WorkloadQuery",
+    "QueryTrace",
+    "format_structure_label",
+    "read_trace",
+    "structure_distribution",
+    "write_trace",
+    "DerivedModels",
+    "LogEntry",
+    "LogSummary",
+    "derive_models",
+    "generate_query_log",
+    "parse_query_log",
+    "summarize_log",
+]

@@ -1,0 +1,179 @@
+"""Synthetic bibliographic corpus with realistic field sharing.
+
+Stands in for the DBLP article collection (115,879 entries in the paper's
+snapshot; 10,000 kept for simulation).  What matters to the indexing
+behaviour is not the actual strings but the *sharing structure* of field
+values, which drives result-set sizes and index-entry dedup:
+
+- authors write several articles (productivity is Zipf-distributed, per
+  Lotka's law), so author queries return multi-entry result sets;
+- venues recur across years and publish many articles per year, so
+  conference/year queries return long lists and the
+  conference->conference/year index entries are shared by many articles;
+- titles are unique per article (as in DBLP).
+
+All generation is deterministic in the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.fields import ARTICLE_SCHEMA, Record, Schema
+from repro.workload import names
+from repro.workload.popularity import ZipfPopularity
+
+
+@dataclass(frozen=True)
+class CorpusConfig:
+    """Shape of the synthetic archive."""
+
+    num_articles: int = 10_000
+    #: Approximate number of distinct authors; the Zipf productivity
+    #: exponent decides how many articles each one signs.
+    num_authors: int = 4_000
+    #: Zipf exponent for author productivity (Lotka's law is ~2 over
+    #: per-author paper counts; s=1.0 on the assignment distribution
+    #: yields a comparable skew at this scale).
+    author_zipf_s: float = 1.0
+    #: Zipf exponent for venue sizes (a few venues publish most papers).
+    venue_zipf_s: float = 0.8
+    #: Average article size in bytes (the paper estimates 250 KB).
+    mean_article_size: int = 250_000
+    seed: int = 2003
+
+    def __post_init__(self) -> None:
+        if self.num_articles < 1:
+            raise ValueError("num_articles must be positive")
+        if self.num_authors < 1:
+            raise ValueError("num_authors must be positive")
+
+
+class SyntheticCorpus:
+    """A deterministic synthetic article archive."""
+
+    def __init__(
+        self, config: CorpusConfig = CorpusConfig(), schema: Schema = ARTICLE_SCHEMA
+    ) -> None:
+        self.config = config
+        self.schema = schema
+        self._records: list[Record] = []
+        self._generate()
+
+    # -- generation ---------------------------------------------------------------
+
+    def _generate(self) -> None:
+        rng = random.Random(self.config.seed)
+        authors = self._author_pool(rng)
+        author_popularity = ZipfPopularity(
+            len(authors), self.config.author_zipf_s
+        )
+        venue_popularity = ZipfPopularity(
+            len(names.CONFERENCES), self.config.venue_zipf_s
+        )
+        seen_titles: set[str] = set()
+        for _ in range(self.config.num_articles):
+            author = authors[author_popularity.sample(rng) - 1]
+            title = self._fresh_title(rng, seen_titles)
+            conf = names.CONFERENCES[venue_popularity.sample(rng) - 1]
+            year = rng.choice(names.YEARS)
+            size = max(
+                10_000,
+                int(rng.gauss(self.config.mean_article_size, 80_000)),
+            )
+            self._records.append(
+                Record(
+                    self.schema,
+                    {
+                        "author": author,
+                        "title": title,
+                        "conf": conf,
+                        "year": year,
+                        "size": str(size),
+                    },
+                )
+            )
+
+    def _author_pool(self, rng: random.Random) -> list[str]:
+        pool: set[str] = set()
+        combos = [
+            f"{first}_{last}"
+            for first in names.FIRST_NAMES
+            for last in names.LAST_NAMES
+        ]
+        rng.shuffle(combos)
+        for combo in combos:
+            pool.add(combo)
+            if len(pool) >= self.config.num_authors:
+                break
+        # If more authors than name combinations were requested, extend
+        # with middle initials.
+        initials = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+        while len(pool) < self.config.num_authors:
+            base = rng.choice(combos)
+            first, last = base.split("_", 1)
+            pool.add(f"{first}_{rng.choice(initials)}._{last}")
+        ordered = sorted(pool)
+        rng.shuffle(ordered)
+        return ordered
+
+    def _fresh_title(self, rng: random.Random, seen: set[str]) -> str:
+        for attempt in range(100):
+            pieces = [
+                rng.choice(names.TITLE_ADJECTIVES),
+                rng.choice(names.TITLE_NOUNS),
+                "in" if attempt % 2 == 0 else "for",
+                rng.choice(names.TITLE_DOMAINS),
+            ]
+            title = "_".join(pieces)
+            if title not in seen:
+                seen.add(title)
+                return title
+            # Collisions get a distinguishing roman-free suffix.
+            suffixed = f"{title}_{len(seen)}"
+            if suffixed not in seen:
+                seen.add(suffixed)
+                return suffixed
+        raise RuntimeError("could not generate a fresh title")
+
+    # -- access ---------------------------------------------------------------------
+
+    @property
+    def records(self) -> list[Record]:
+        """All articles; index position = popularity rank - 1.
+
+        The simulation ranks articles by popularity; the generator emits
+        them directly in rank order, so ``records[0]`` is the most
+        popular article.
+        """
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __getitem__(self, index: int) -> Record:
+        return self._records[index]
+
+    def record_at_rank(self, rank: int) -> Record:
+        """The article at a 1-based popularity rank."""
+        if not 1 <= rank <= len(self._records):
+            raise IndexError(f"rank {rank} outside [1, {len(self._records)}]")
+        return self._records[rank - 1]
+
+    # -- statistics ------------------------------------------------------------------
+
+    def distinct_values(self, field_name: str) -> set[str]:
+        """The set of values a field takes across the corpus."""
+        return {record[field_name] for record in self._records}
+
+    def field_cardinalities(self) -> dict[str, int]:
+        """Distinct value counts per queryable field (sanity reporting)."""
+        return {
+            field_name: len(self.distinct_values(field_name))
+            for field_name in self.schema.field_names
+        }
+
+    def total_article_bytes(self) -> int:
+        """Sum of article sizes: the 29.1 GB figure of Section V-B."""
+        return sum(int(record["size"]) for record in self._records)

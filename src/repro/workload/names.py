@@ -1,0 +1,71 @@
+"""Deterministic name, title, and venue corpora for the synthetic corpus.
+
+The DBLP archive is not redistributable inside this reproduction, so the
+corpus generator composes field values from these pools.  Values are
+bare-word safe (no spaces -- multi-word values are joined with
+underscores) so that every value can appear verbatim inside canonical
+query text (see :mod:`repro.xmlq.lexer`).
+"""
+
+from __future__ import annotations
+
+FIRST_NAMES: tuple[str, ...] = (
+    "John", "Alan", "Maria", "Wei", "Anna", "David", "Elena", "Marc",
+    "Laura", "James", "Sofia", "Pedro", "Yuki", "Nina", "Omar", "Lucia",
+    "Hans", "Ivan", "Mei", "Paul", "Rosa", "Erik", "Dana", "Igor",
+    "Clara", "Tomas", "Ada", "Raj", "Lena", "Carl", "Vera", "Samir",
+    "Ines", "Jorge", "Eva", "Petr", "Aiko", "Luis", "Marta", "Kofi",
+    "Olga", "Timo", "Rita", "Sven", "Noor", "Emil", "Zoe", "Viktor",
+    "Amara", "Henri", "Greta", "Mateo", "Lin", "Frida", "Oscar", "Yara",
+    "Bruno", "Alice", "Dmitri", "Chloe", "Arjun", "Maya", "Felix", "Iris",
+)
+
+LAST_NAMES: tuple[str, ...] = (
+    "Smith", "Doe", "Garcia", "Chen", "Muller", "Rossi", "Kim", "Dubois",
+    "Silva", "Novak", "Tanaka", "Kumar", "Ivanov", "Schmidt", "Moreau",
+    "Costa", "Haddad", "Olsen", "Peeters", "Kowalski", "Nagy", "Fischer",
+    "Santos", "Berg", "Leroy", "Ricci", "Park", "Vogel", "Mendez",
+    "Popov", "Sato", "Patel", "Keller", "Fontaine", "Almeida", "Dvorak",
+    "Yamamoto", "Rao", "Sokolov", "Weber", "Girard", "Pereira", "Farah",
+    "Lund", "Janssen", "Wojcik", "Szabo", "Braun", "Carvalho", "Holm",
+    "Lambert", "Conti", "Cho", "Hoffmann", "Ortiz", "Orlov", "Suzuki",
+    "Mehta", "Volkov", "Koch", "Renard", "Ramos", "Nasser", "Dahl",
+)
+
+TITLE_ADJECTIVES: tuple[str, ...] = (
+    "Scalable", "Adaptive", "Distributed", "Efficient", "Robust",
+    "Decentralized", "Incremental", "Optimal", "Practical", "Secure",
+    "Reliable", "Dynamic", "Hierarchical", "Parallel", "Lightweight",
+    "Fault-Tolerant", "Self-Organizing", "Cooperative", "Approximate",
+    "Probabilistic", "Low-Latency", "Bandwidth-Aware", "Locality-Aware",
+    "Load-Balanced", "Consistent", "Resilient", "Anonymous", "Replicated",
+)
+
+TITLE_NOUNS: tuple[str, ...] = (
+    "Routing", "Indexing", "Caching", "Lookup", "Storage", "Replication",
+    "Multicast", "Search", "Naming", "Hashing", "Scheduling", "Streaming",
+    "Aggregation", "Discovery", "Placement", "Clustering", "Gossip",
+    "Broadcast", "Membership", "Consensus", "Recovery", "Partitioning",
+    "Synchronization", "Filtering", "Ranking", "Compression", "Sampling",
+)
+
+TITLE_DOMAINS: tuple[str, ...] = (
+    "Overlay-Networks", "DHT-Systems", "P2P-Networks", "Sensor-Networks",
+    "Content-Networks", "Ad-Hoc-Networks", "Grid-Systems", "Web-Caches",
+    "File-Systems", "Wireless-Networks", "Publish-Subscribe",
+    "Mobile-Systems", "Storage-Clusters", "Internet-Services",
+    "Data-Centers", "Media-Streaming", "Distributed-Databases",
+    "Edge-Networks", "Anonymity-Systems", "Name-Services",
+)
+
+CONFERENCES: tuple[str, ...] = (
+    "SIGCOMM", "INFOCOM", "ICDCS", "SOSP", "OSDI", "NSDI", "SIGMETRICS",
+    "PODC", "SPAA", "ICNP", "IPTPS", "MIDDLEWARE", "EUROSYS", "USENIX-ATC",
+    "VLDB", "SIGMOD", "ICDE", "WWW", "MOBICOM", "SIGIR", "HOTNETS",
+    "IMC", "CONEXT", "DSN", "SRDS", "ICPP", "EUROPAR", "HPDC", "CCGRID",
+    "GLOBECOM",
+)
+
+#: Publication years covered by the synthetic archive (the DBLP snapshot
+#: in the paper is from January 2003).
+YEARS: tuple[str, ...] = tuple(str(year) for year in range(1985, 2003))

@@ -1,0 +1,129 @@
+"""Query generation: structure model x popularity model.
+
+Section V-C: "When constructing the query workload for the simulation, we
+first choose an article according to the popularity distribution.  Then,
+we select the structure of the query and assign the corresponding fields,
+according to the following probabilities: author only (0.6); title only
+(0.2); year only (0.1); both author and title (0.05); both author and
+year (0.05)."
+
+:data:`BIBFINDER_STRUCTURE` is that distribution;
+:class:`QueryGenerator` implements the two-step draw and yields
+:class:`WorkloadQuery` items pairing the broad query with the target
+article the (simulated) user is actually after.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Optional, Sequence
+
+from repro.core.query import FieldQuery
+from repro.core.fields import Record
+from repro.workload.corpus import SyntheticCorpus
+from repro.workload.popularity import PowerLawPopularity
+
+#: Query-structure probabilities extracted from the BibFinder log
+#: (Figure 7 / Section V-C).
+BIBFINDER_STRUCTURE: dict[tuple[str, ...], float] = {
+    ("author",): 0.60,
+    ("title",): 0.20,
+    ("year",): 0.10,
+    ("author", "title"): 0.05,
+    ("author", "year"): 0.05,
+}
+
+
+class QueryStructureModel:
+    """A categorical distribution over query field combinations."""
+
+    def __init__(
+        self, probabilities: Mapping[Sequence[str], float] = BIBFINDER_STRUCTURE
+    ) -> None:
+        if not probabilities:
+            raise ValueError("structure model needs at least one shape")
+        total = sum(probabilities.values())
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"structure probabilities sum to {total}, not 1")
+        self._shapes: list[tuple[str, ...]] = []
+        self._cumulative: list[float] = []
+        acc = 0.0
+        for shape, probability in probabilities.items():
+            if probability < 0:
+                raise ValueError("probabilities cannot be negative")
+            if probability == 0:
+                continue
+            acc += probability
+            self._shapes.append(tuple(shape))
+            self._cumulative.append(acc)
+        self._cumulative[-1] = 1.0
+
+    @property
+    def shapes(self) -> list[tuple[str, ...]]:
+        return list(self._shapes)
+
+    def probability(self, shape: Sequence[str]) -> float:
+        """The model's probability of one query shape (0 if absent)."""
+        target = tuple(shape)
+        for index, candidate in enumerate(self._shapes):
+            if candidate == target:
+                previous = self._cumulative[index - 1] if index else 0.0
+                return self._cumulative[index] - previous
+        return 0.0
+
+    def sample(self, rng: random.Random) -> tuple[str, ...]:
+        """Draw a query shape according to the model."""
+        import bisect
+
+        u = rng.random()
+        index = bisect.bisect_right(self._cumulative, u)
+        index = min(index, len(self._shapes) - 1)
+        return self._shapes[index]
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One generated lookup: the broad query and its intended target."""
+
+    query: FieldQuery
+    target: Record
+    target_rank: int
+    structure: tuple[str, ...]
+
+
+class QueryGenerator:
+    """Two-step workload draw: popular article, then query structure."""
+
+    def __init__(
+        self,
+        corpus: SyntheticCorpus,
+        popularity: Optional[PowerLawPopularity] = None,
+        structure: Optional[QueryStructureModel] = None,
+        seed: int = 42,
+    ) -> None:
+        self.corpus = corpus
+        self.popularity = popularity or PowerLawPopularity.for_population(len(corpus))
+        if self.popularity.population != len(corpus):
+            raise ValueError(
+                "popularity population must match the corpus size "
+                f"({self.popularity.population} != {len(corpus)})"
+            )
+        self.structure = structure or QueryStructureModel()
+        self.seed = seed
+
+    def generate(self, count: int) -> Iterator[WorkloadQuery]:
+        """Yield ``count`` workload queries, deterministically in the seed."""
+        rng = random.Random(self.seed)
+        for _ in range(count):
+            yield self._one(rng)
+
+    def _one(self, rng: random.Random) -> WorkloadQuery:
+        rank = self.popularity.sample(rng)
+        target = self.corpus.record_at_rank(rank)
+        shape = self.structure.sample(rng)
+        constraints = {field_name: target[field_name] for field_name in shape}
+        query = FieldQuery(self.corpus.schema, constraints)
+        return WorkloadQuery(
+            query=query, target=target, target_rank=rank, structure=shape
+        )

@@ -1,0 +1,89 @@
+"""Query traces: logged workloads and their summaries.
+
+The paper derives its workload model from the query logs of BibFinder
+(9,108 queries) and NetBib (5,924 queries).  This module provides the
+trace record type for logged queries, a text serialization (one query per
+line) so examples can write and re-read logs, and the summary the paper
+plots in Figure 7: the distribution of query *types* (which fields each
+query uses).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.workload.querygen import WorkloadQuery
+
+
+@dataclass(frozen=True)
+class QueryTrace:
+    """One logged query: its field structure and the values used."""
+
+    structure: tuple[str, ...]
+    values: tuple[str, ...]
+    target_rank: int = 0
+
+    @classmethod
+    def from_workload(cls, item: WorkloadQuery) -> "QueryTrace":
+        values = tuple(item.query.value(name) or "" for name in item.structure)
+        return cls(
+            structure=item.structure, values=values, target_rank=item.target_rank
+        )
+
+    def to_line(self) -> str:
+        """Serialize as ``rank|field=value|field=value``."""
+        fields = "|".join(
+            f"{name}={value}" for name, value in zip(self.structure, self.values)
+        )
+        return f"{self.target_rank}|{fields}"
+
+    @classmethod
+    def from_line(cls, line: str) -> "QueryTrace":
+        parts = line.strip().split("|")
+        if len(parts) < 2:
+            raise ValueError(f"malformed trace line: {line!r}")
+        rank = int(parts[0])
+        structure: list[str] = []
+        values: list[str] = []
+        for part in parts[1:]:
+            name, _, value = part.partition("=")
+            if not name or not value:
+                raise ValueError(f"malformed trace field: {part!r}")
+            structure.append(name)
+            values.append(value)
+        return cls(
+            structure=tuple(structure), values=tuple(values), target_rank=rank
+        )
+
+
+def write_trace(traces: Iterable[QueryTrace]) -> str:
+    """Serialize traces to log text (one per line)."""
+    return "\n".join(trace.to_line() for trace in traces) + "\n"
+
+
+def read_trace(text: str) -> Iterator[QueryTrace]:
+    """Parse log text produced by :func:`write_trace`."""
+    for line in text.splitlines():
+        if line.strip():
+            yield QueryTrace.from_line(line)
+
+
+def structure_distribution(
+    traces: Iterable[QueryTrace],
+) -> dict[tuple[str, ...], float]:
+    """The Figure 7 summary: fraction of queries per query type."""
+    counts: Counter[tuple[str, ...]] = Counter()
+    total = 0
+    for trace in traces:
+        counts[trace.structure] += 1
+        total += 1
+    if total == 0:
+        raise ValueError("no traces")
+    return {structure: count / total for structure, count in counts.items()}
+
+
+def format_structure_label(structure: Sequence[str]) -> str:
+    """Human label matching the paper's Figure 7 axis (``/author/title``)."""
+    return "".join(f"/{name}" for name in structure)

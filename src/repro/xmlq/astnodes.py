@@ -1,0 +1,137 @@
+"""AST node types for the XPath query subset.
+
+A parsed query is a :class:`LocationPath`: a sequence of
+:class:`LocationStep` objects, each reached along an :class:`Axis` (child
+for ``/``, descendant for ``//``) and carrying zero or more
+:class:`Predicate` filters.  A predicate is a relative location path that
+must select at least one node, optionally followed by a
+:class:`Comparison` against a literal value.
+
+All nodes are immutable and hashable so that queries can serve as
+dictionary keys in indexes and caches.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class Axis(enum.Enum):
+    """How a location step relates to its context node."""
+
+    CHILD = "child"
+    DESCENDANT = "descendant"
+
+    @property
+    def separator(self) -> str:
+        """The path separator that denotes this axis (``/`` or ``//``)."""
+        return "/" if self is Axis.CHILD else "//"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A value comparison at the end of a predicate path.
+
+    ``op`` is one of ``=``, ``!=``, ``<``, ``<=``, ``>``, ``>=``.  The
+    ``value`` is kept as source text; the evaluator compares numerically
+    when both sides parse as numbers and lexically otherwise, matching the
+    loose typing of XPath 1.0.
+    """
+
+    op: str
+    value: str
+
+    def __post_init__(self) -> None:
+        if self.op not in ("=", "!=", "<", "<=", ">", ">="):
+            raise ValueError(f"unsupported comparison operator {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"{self.op}{_quote_literal(self.value)}"
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A bracketed filter on a location step.
+
+    The filter is satisfied when ``path`` (relative to the step's node)
+    selects a non-empty node set and, if a ``comparison`` is present, at
+    least one selected node's value satisfies it.
+    """
+
+    path: "LocationPath"
+    comparison: Optional[Comparison] = None
+
+    def __str__(self) -> str:
+        body = str(self.path)
+        if self.comparison is not None:
+            body += str(self.comparison)
+        return f"[{body}]"
+
+
+@dataclass(frozen=True)
+class LocationStep:
+    """One step of a location path: an axis, a name test, and predicates.
+
+    ``name`` is an element name, a bare value word (resolved against text
+    content by the evaluator), or ``*`` which matches any element.
+    """
+
+    axis: Axis
+    name: str
+    predicates: tuple[Predicate, ...] = field(default_factory=tuple)
+
+    @property
+    def is_wildcard(self) -> bool:
+        return self.name == "*"
+
+    def with_predicates(self, predicates: tuple[Predicate, ...]) -> "LocationStep":
+        """Return a copy of this step with the given predicate tuple."""
+        return LocationStep(self.axis, self.name, predicates)
+
+    def __str__(self) -> str:
+        return self.name + "".join(str(predicate) for predicate in self.predicates)
+
+
+@dataclass(frozen=True)
+class LocationPath:
+    """A complete location path.
+
+    ``absolute`` paths start from the (virtual) document root; relative
+    paths -- which appear inside predicates -- start from the context node.
+    """
+
+    steps: tuple[LocationStep, ...]
+    absolute: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("a location path needs at least one step")
+
+    @property
+    def length(self) -> int:
+        """Number of location steps in the path."""
+        return len(self.steps)
+
+    def __str__(self) -> str:
+        pieces: list[str] = []
+        for index, step in enumerate(self.steps):
+            if index == 0:
+                if self.absolute:
+                    pieces.append(step.axis.separator)
+            else:
+                pieces.append(step.axis.separator)
+            pieces.append(str(step))
+        return "".join(pieces)
+
+
+def _quote_literal(value: str) -> str:
+    """Quote a literal for serialization when it is not a bare word."""
+    import re
+
+    if re.fullmatch(r"[\w.\-:+]+", value):
+        return value
+    if '"' in value:
+        return f"'{value}'"
+    return f'"{value}"'

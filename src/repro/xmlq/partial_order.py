@@ -1,0 +1,149 @@
+"""Partial-order graph of queries under the covering relation.
+
+Figure 3 of the paper shows the partial ordering of queries: an edge
+``q_i -> q_j`` means ``q_i ⊒ q_j`` (``q_i`` is more specific than or equal
+to ``q_j`` -- the paper draws more specific queries above less specific
+ones).  This module materializes that graph for a finite set of queries,
+computes its transitive reduction (the Hasse diagram, which is what the
+paper's figure draws by omitting self and transitive edges), and exposes
+the navigation primitives the indexing layer builds on.
+
+Queries are kept in their canonical normalized text form, so equivalent
+expressions collapse to a single graph node.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.xmlq.normalize import normalize_xpath
+from repro.xmlq.pattern import TreePattern, covers, pattern_from_xpath
+
+
+class PartialOrderGraph:
+    """The covering partial order over a finite set of queries."""
+
+    def __init__(self, queries: Optional[Iterable[str]] = None) -> None:
+        self._patterns: dict[str, TreePattern] = {}
+        # _more_specific[q] = set of queries strictly covered by q
+        # (q ⊒ other, q != other).
+        self._more_general: dict[str, set[str]] = {}
+        self._more_specific: dict[str, set[str]] = {}
+        if queries is not None:
+            for query in queries:
+                self.add(query)
+
+    def add(self, query: str) -> str:
+        """Add a query; returns its canonical form (the graph node id)."""
+        canonical = normalize_xpath(query)
+        if canonical in self._patterns:
+            return canonical
+        pattern = pattern_from_xpath(canonical)
+        self._more_general[canonical] = set()
+        self._more_specific[canonical] = set()
+        for other, other_pattern in self._patterns.items():
+            other_covers_new = covers(other_pattern, pattern)
+            new_covers_other = covers(pattern, other_pattern)
+            if other_covers_new and new_covers_other:
+                # Equivalent queries that normalization did not collapse
+                # (possible for //-queries); treat as mutually related.
+                self._more_general[canonical].add(other)
+                self._more_specific[other].add(canonical)
+                self._more_general[other].add(canonical)
+                self._more_specific[canonical].add(other)
+                continue
+            if other_covers_new:
+                self._more_general[canonical].add(other)
+                self._more_specific[other].add(canonical)
+            elif new_covers_other:
+                self._more_specific[canonical].add(other)
+                self._more_general[other].add(canonical)
+        self._patterns[canonical] = pattern
+        return canonical
+
+    def __contains__(self, query: str) -> bool:
+        return normalize_xpath(query) in self._patterns
+
+    def __len__(self) -> int:
+        return len(self._patterns)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._patterns)
+
+    @property
+    def queries(self) -> list[str]:
+        """All canonical queries in the graph."""
+        return list(self._patterns)
+
+    def more_general(self, query: str) -> set[str]:
+        """Queries that strictly cover ``query`` (are less specific)."""
+        return set(self._more_general[normalize_xpath(query)])
+
+    def more_specific(self, query: str) -> set[str]:
+        """Queries strictly covered by ``query`` (are more specific)."""
+        return set(self._more_specific[normalize_xpath(query)])
+
+    def roots(self) -> list[str]:
+        """Most general queries: those covered by no other query."""
+        return [q for q in self._patterns if not self._more_general[q]]
+
+    def leaves(self) -> list[str]:
+        """Most specific queries: those covering no other query."""
+        return [q for q in self._patterns if not self._more_specific[q]]
+
+    def hasse_edges(self) -> list[tuple[str, str]]:
+        """Edges ``(specific, general)`` of the transitive reduction.
+
+        These are the arrows of Figure 3: ``q_i -> q_j`` with
+        ``q_j ⊒ q_i`` and no intermediate query between them.
+        """
+        edges: list[tuple[str, str]] = []
+        for query, generals in self._more_general.items():
+            for general in generals:
+                if general == query:
+                    continue
+                intermediate = any(
+                    middle != query
+                    and middle != general
+                    and middle in self._more_general[query]
+                    and general in self._more_general[middle]
+                    for middle in generals
+                )
+                if not intermediate:
+                    edges.append((query, general))
+        return sorted(edges)
+
+    def chains_to(self, target: str) -> list[list[str]]:
+        """All maximal covering chains ending at ``target``.
+
+        A chain is a path from a root of the Hasse diagram down to
+        ``target`` -- the "query chains" of Section V-B, whose last member
+        is the MSD.
+        """
+        canonical = normalize_xpath(target)
+        if canonical not in self._patterns:
+            raise KeyError(f"query not in graph: {target!r}")
+        hasse: dict[str, set[str]] = {q: set() for q in self._patterns}
+        for specific, general in self.hasse_edges():
+            hasse[specific].add(general)
+
+        chains: list[list[str]] = []
+
+        def extend(path: list[str]) -> None:
+            generals = hasse[path[0]]
+            if not generals:
+                chains.append(list(path))
+                return
+            for general in sorted(generals):
+                if general in path:
+                    continue  # equivalence cycles
+                extend([general] + path)
+
+        extend([canonical])
+        return chains
+
+    def covers_query(self, general: str, specific: str) -> bool:
+        """Covering test between two member queries (cached patterns)."""
+        general_pattern = self._patterns[normalize_xpath(general)]
+        specific_pattern = self._patterns[normalize_xpath(specific)]
+        return covers(general_pattern, specific_pattern)

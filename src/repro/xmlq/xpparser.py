@@ -1,0 +1,127 @@
+"""Recursive-descent parser for the XPath query subset.
+
+Grammar (tokens from :mod:`repro.xmlq.lexer`)::
+
+    path       := ('/' | '//')? step (('/' | '//') step)*
+    step       := nametest predicate*
+    nametest   := NAME | STAR
+    predicate  := '[' rel_path comparison? ']'
+    rel_path   := step (('/' | '//') step)*
+    comparison := OP (NAME | LITERAL)
+
+Paths starting with ``/`` or ``//`` are absolute; inside predicates paths
+are relative.  The paper's sample queries (Figure 2) all parse under this
+grammar, e.g.::
+
+    /article[author[first/John][last/Smith]][conf/INFOCOM]
+    /article/title/TCP
+    /article//last/Smith
+"""
+
+from __future__ import annotations
+
+from repro.xmlq.astnodes import Axis, Comparison, LocationPath, LocationStep, Predicate
+from repro.xmlq.lexer import Token, TokenType, tokenize
+
+
+class XPathParseError(ValueError):
+    """Raised when an expression does not conform to the query grammar."""
+
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"{message} (near {token.value!r} at offset {token.position})")
+        self.token = token
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.type is not TokenType.EOF:
+            self.index += 1
+        return token
+
+    def expect(self, token_type: TokenType) -> Token:
+        if self.current.type is not token_type:
+            raise XPathParseError(f"expected {token_type.name}", self.current)
+        return self.advance()
+
+    def parse(self) -> LocationPath:
+        path = self.parse_path(allow_absolute=True)
+        if self.current.type is not TokenType.EOF:
+            raise XPathParseError("unexpected trailing tokens", self.current)
+        return path
+
+    def parse_path(self, allow_absolute: bool) -> LocationPath:
+        absolute = False
+        first_axis = Axis.CHILD
+        if self.current.type in (TokenType.SLASH, TokenType.DSLASH):
+            if not allow_absolute:
+                # A relative path inside a predicate cannot start with '/'.
+                raise XPathParseError(
+                    "absolute path not allowed inside a predicate", self.current
+                )
+            absolute = True
+            first_axis = (
+                Axis.DESCENDANT
+                if self.current.type is TokenType.DSLASH
+                else Axis.CHILD
+            )
+            self.advance()
+
+        steps = [self.parse_step(first_axis)]
+        while self.current.type in (TokenType.SLASH, TokenType.DSLASH):
+            axis = (
+                Axis.DESCENDANT
+                if self.current.type is TokenType.DSLASH
+                else Axis.CHILD
+            )
+            self.advance()
+            steps.append(self.parse_step(axis))
+        return LocationPath(tuple(steps), absolute=absolute)
+
+    def parse_step(self, axis: Axis) -> LocationStep:
+        token = self.current
+        if token.type is TokenType.STAR:
+            name = "*"
+            self.advance()
+        elif token.type is TokenType.NAME:
+            name = token.value
+            self.advance()
+        else:
+            raise XPathParseError("expected an element name or '*'", token)
+
+        predicates: list[Predicate] = []
+        while self.current.type is TokenType.LBRACKET:
+            predicates.append(self.parse_predicate())
+        return LocationStep(axis, name, tuple(predicates))
+
+    def parse_predicate(self) -> Predicate:
+        self.expect(TokenType.LBRACKET)
+        path = self.parse_path(allow_absolute=False)
+        comparison = None
+        if self.current.type is TokenType.OP:
+            op = self.advance().value
+            value_token = self.current
+            if value_token.type in (TokenType.NAME, TokenType.LITERAL):
+                self.advance()
+            else:
+                raise XPathParseError("expected a comparison value", value_token)
+            comparison = Comparison(op, value_token.value)
+        self.expect(TokenType.RBRACKET)
+        return Predicate(path, comparison)
+
+
+def parse_xpath(expression: str) -> LocationPath:
+    """Parse an XPath expression of the query subset into an AST.
+
+    Raises :class:`XPathParseError` (or
+    :class:`repro.xmlq.lexer.XPathLexError`) on malformed input.
+    """
+    return _Parser(tokenize(expression)).parse()

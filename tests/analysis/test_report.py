@@ -1,0 +1,62 @@
+"""Unit tests for the reproduction-report assembler."""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.report import assemble_report, default_results_dir, main
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    directory = tmp_path / "results"
+    directory.mkdir()
+    (directory / "fig11_interactions.txt").write_text("FIG11 TABLE\n")
+    (directory / "tableI_nonindexed.txt").write_text("TABLE I\n")
+    (directory / "custom_extra.txt").write_text("EXTRA\n")
+    return directory
+
+
+class TestAssemble:
+    def test_sections_in_paper_order(self, results_dir):
+        report = assemble_report(results_dir)
+        fig11 = report.index("Figure 11")
+        table1 = report.index("Table I")
+        assert fig11 < table1
+        assert "FIG11 TABLE" in report
+        assert "TABLE I" in report
+
+    def test_unknown_files_appended(self, results_dir):
+        report = assemble_report(results_dir)
+        assert "custom_extra" in report
+        assert "EXTRA" in report
+
+    def test_missing_sections_listed(self, results_dir):
+        report = assemble_report(results_dir)
+        assert "Missing sections" in report
+        assert "Figure 12" in report
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            assemble_report(tmp_path / "nope")
+
+    def test_default_results_dir_found(self):
+        # The repository ships the directory once benches have run; at
+        # minimum the helper returns a benchmarks/results path.
+        assert default_results_dir().parts[-2:] == ("benchmarks", "results")
+
+
+class TestMain:
+    def test_stdout(self, results_dir, capsys):
+        assert main([str(results_dir)]) == 0
+        assert "FIG11 TABLE" in capsys.readouterr().out
+
+    def test_output_file(self, results_dir, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main([str(results_dir), "-o", str(target)]) == 0
+        assert "FIG11 TABLE" in target.read_text()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_bad_directory_exit_code(self, tmp_path, capsys):
+        assert main([str(tmp_path / "missing")]) == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,62 @@
+"""Unit tests for distribution helpers."""
+
+import pytest
+
+from repro.analysis.stats import ccdf_points, lorenz_skew, rank_ordered, summarize
+
+
+class TestSummarize:
+    def test_basic(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats["mean"] == 2.5
+        assert stats["min"] == 1.0 and stats["max"] == 4.0
+        assert stats["median"] == 2.5
+        assert stats["count"] == 4
+
+    def test_odd_median(self):
+        assert summarize([3.0, 1.0, 2.0])["median"] == 2.0
+
+    def test_std(self):
+        stats = summarize([2.0, 2.0, 2.0])
+        assert stats["std"] == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestCCDF:
+    def test_points(self):
+        points = ccdf_points([1, 2, 2, 3])
+        assert points == [(1, 0.75), (2, 0.25), (3, 0.0)]
+
+    def test_monotone_decreasing(self):
+        points = ccdf_points([5, 1, 3, 3, 9, 2])
+        values = [p for _, p in points]
+        assert values == sorted(values, reverse=True)
+
+    def test_single_value(self):
+        assert ccdf_points([7]) == [(7, 0.0)]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ccdf_points([])
+
+
+class TestRankOrderedAndSkew:
+    def test_rank_ordered(self):
+        assert rank_ordered([1, 3, 2]) == [3, 2, 1]
+
+    def test_lorenz_skew_uniform(self):
+        assert lorenz_skew([1.0] * 100) == pytest.approx(0.1)
+
+    def test_lorenz_skew_concentrated(self):
+        values = [100.0] + [0.0] * 99
+        assert lorenz_skew(values) == pytest.approx(1.0)
+
+    def test_lorenz_skew_zero_mass(self):
+        assert lorenz_skew([0.0, 0.0]) == 0.0
+
+    def test_lorenz_empty_rejected(self):
+        with pytest.raises(ValueError):
+            lorenz_skew([])

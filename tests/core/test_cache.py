@@ -1,0 +1,150 @@
+"""Unit tests for the adaptive cache policies (Section IV-C / V-D)."""
+
+import pytest
+
+from repro.core.cache import CacheEntry, CachePolicy, NodeCache
+
+
+class TestPolicyParsing:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("none", (CachePolicy.NONE, None)),
+            ("multi", (CachePolicy.MULTI, None)),
+            ("single", (CachePolicy.SINGLE, None)),
+            ("lru10", (CachePolicy.LRU, 10)),
+            ("LRU30", (CachePolicy.LRU, 30)),
+            ("  single  ", (CachePolicy.SINGLE, None)),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert CachePolicy.parse(text) == expected
+
+    @pytest.mark.parametrize("text", ["lru", "lru0", "lru-5", "bogus", ""])
+    def test_parse_rejects(self, text):
+        with pytest.raises(ValueError):
+            CachePolicy.parse(text)
+
+    def test_flags(self):
+        assert not CachePolicy.NONE.caches_enabled
+        assert CachePolicy.MULTI.all_path_nodes
+        assert not CachePolicy.SINGLE.all_path_nodes
+
+
+class TestCacheEntry:
+    def test_bounded_targets(self):
+        entry = CacheEntry(capacity=2)
+        entry.add("a")
+        entry.add("b")
+        entry.add("c")
+        assert len(entry) == 2
+        assert "a" not in entry and "c" in entry
+
+    def test_readd_refreshes_recency(self):
+        entry = CacheEntry(capacity=2)
+        entry.add("a")
+        entry.add("b")
+        entry.add("a")  # refresh
+        entry.add("c")  # evicts b, not a
+        assert "a" in entry and "b" not in entry
+
+    def test_add_reports_change(self):
+        entry = CacheEntry()
+        assert entry.add("a")
+        assert not entry.add("a")
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            CacheEntry(capacity=0)
+
+
+class TestNodeCacheUnbounded:
+    def test_insert_and_lookup(self):
+        cache = NodeCache()
+        cache.insert("q", "d")
+        entry = cache.lookup("q")
+        assert entry is not None and "d" in entry
+
+    def test_miss_counted(self):
+        cache = NodeCache()
+        assert cache.lookup("nope") is None
+        assert cache.misses == 1
+
+    def test_hit_counted(self):
+        cache = NodeCache()
+        cache.insert("q", "d")
+        cache.lookup("q")
+        assert cache.hits == 1
+
+    def test_peek_does_not_touch_counters(self):
+        cache = NodeCache()
+        cache.insert("q", "d")
+        cache.peek("q")
+        cache.peek("other")
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_never_full(self):
+        cache = NodeCache()
+        for index in range(1000):
+            cache.insert(f"q{index}", "d")
+        assert not cache.is_full
+        assert len(cache) == 1000
+
+    def test_shortcut_count(self):
+        cache = NodeCache()
+        cache.insert("q", "d1")
+        cache.insert("q", "d2")
+        cache.insert("p", "d1")
+        assert cache.shortcut_count() == 3
+
+    def test_clear(self):
+        cache = NodeCache()
+        cache.insert("q", "d")
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestNodeCacheLRU:
+    def test_capacity_enforced(self):
+        cache = NodeCache(capacity=3)
+        for index in range(5):
+            cache.insert(f"q{index}", "d")
+        assert len(cache) == 3
+        assert cache.evictions == 2
+        assert cache.is_full
+
+    def test_least_recently_used_evicted(self):
+        cache = NodeCache(capacity=2)
+        cache.insert("a", "d")
+        cache.insert("b", "d")
+        cache.lookup("a")          # refresh a
+        cache.insert("c", "d")     # evicts b
+        assert "a" in cache and "b" not in cache and "c" in cache
+
+    def test_insert_refreshes_recency(self):
+        cache = NodeCache(capacity=2)
+        cache.insert("a", "d")
+        cache.insert("b", "d")
+        cache.insert("a", "d2")    # refresh a
+        cache.insert("c", "d")     # evicts b
+        assert "a" in cache and "b" not in cache
+
+    def test_reinsert_same_key_not_evicting(self):
+        cache = NodeCache(capacity=1)
+        cache.insert("a", "d1")
+        cache.insert("a", "d2")
+        assert cache.evictions == 0
+        entry = cache.peek("a")
+        assert "d1" in entry and "d2" in entry
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            NodeCache(capacity=0)
+
+    def test_paper_capacities(self):
+        """The LRU variants evaluated: 10, 20, 30 keys per node."""
+        for capacity in (10, 20, 30):
+            cache = NodeCache(capacity=capacity)
+            for index in range(capacity + 5):
+                cache.insert(f"q{index}", "d")
+            assert len(cache) == capacity

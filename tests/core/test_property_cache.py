@@ -1,0 +1,124 @@
+"""Model-based property tests for the node cache.
+
+A :class:`repro.core.cache.NodeCache` with LRU key eviction is checked
+against a trivially correct reference model (a plain ordered dict with
+explicit recency bookkeeping) under arbitrary interleavings of inserts
+and lookups.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.cache import NodeCache
+
+KEYS = [f"q{i}" for i in range(8)]
+TARGETS = [f"d{i}" for i in range(5)]
+CAPACITY = 3
+ENTRY_CAPACITY = 2
+
+
+class _ReferenceCache:
+    """Straight-line reference implementation of the cache semantics."""
+
+    def __init__(self) -> None:
+        self.entries: OrderedDict[str, OrderedDict[str, None]] = OrderedDict()
+
+    def insert(self, key: str, target: str) -> None:
+        if key in self.entries:
+            self.entries.move_to_end(key)
+            targets = self.entries[key]
+            if target in targets:
+                targets.move_to_end(target)
+            else:
+                if len(targets) >= ENTRY_CAPACITY:
+                    targets.popitem(last=False)
+                targets[target] = None
+            return
+        if len(self.entries) >= CAPACITY:
+            self.entries.popitem(last=False)
+        self.entries[key] = OrderedDict([(target, None)])
+
+    def lookup(self, key: str):
+        if key not in self.entries:
+            return None
+        self.entries.move_to_end(key)
+        return list(self.entries[key])
+
+
+class CacheMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.cache = NodeCache(capacity=CAPACITY, entry_capacity=ENTRY_CAPACITY)
+        self.model = _ReferenceCache()
+
+    @rule(key=st.sampled_from(KEYS), msd=st.sampled_from(TARGETS))
+    def insert(self, key: str, msd: str) -> None:
+        self.cache.insert(key, msd)
+        self.model.insert(key, msd)
+
+    @rule(key=st.sampled_from(KEYS))
+    def lookup(self, key: str) -> None:
+        entry = self.cache.lookup(key)
+        expected = self.model.lookup(key)
+        if expected is None:
+            assert entry is None
+        else:
+            assert entry is not None
+            assert sorted(entry) == sorted(expected)
+
+    @invariant()
+    def capacity_respected(self) -> None:
+        assert len(self.cache) <= CAPACITY
+        assert self.cache.shortcut_count() <= CAPACITY * ENTRY_CAPACITY
+
+    @invariant()
+    def same_keys_as_model(self) -> None:
+        model_keys = set(self.model.entries)
+        cache_keys = {key for key in KEYS if self.cache.peek(key) is not None}
+        assert cache_keys == model_keys
+
+
+CacheMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)
+TestCacheAgainstModel = CacheMachine.TestCase
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(KEYS), st.sampled_from(TARGETS)),
+        min_size=1,
+        max_size=60,
+    )
+)
+@settings(max_examples=120, deadline=None)
+def test_unbounded_cache_never_evicts(operations):
+    cache = NodeCache()  # unbounded keys
+    for key, target in operations:
+        cache.insert(key, target)
+    assert len(cache) == len({key for key, _ in operations})
+    assert cache.evictions == 0
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(KEYS), st.sampled_from(TARGETS)),
+        min_size=1,
+        max_size=60,
+    ),
+    st.integers(1, 5),
+)
+@settings(max_examples=120, deadline=None)
+def test_most_recent_key_always_survives(operations, capacity):
+    cache = NodeCache(capacity=capacity)
+    for key, target in operations:
+        cache.insert(key, target)
+    last_key, last_target = operations[-1]
+    entry = cache.peek(last_key)
+    assert entry is not None
+    assert last_target in entry

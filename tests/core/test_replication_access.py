@@ -1,0 +1,83 @@
+"""Unit tests for replica load-spreading in the index service."""
+
+import pytest
+
+from repro.core.engine import LookupEngine
+from repro.core.fields import ARTICLE_SCHEMA
+from repro.core.query import FieldQuery
+from repro.core.scheme import simple_scheme
+from repro.core.service import IndexService
+from repro.dht.idspace import hash_key
+from repro.dht.ring import IdealRing
+from repro.net.transport import SimulatedTransport
+from repro.storage.store import DHTStorage
+
+
+def build(replication=3, num_nodes=12):
+    ring = IdealRing(64)
+    for index in range(num_nodes):
+        ring.add_node(hash_key(f"peer-{index}", 64))
+    transport = SimulatedTransport()
+    service = IndexService(
+        ARTICLE_SCHEMA,
+        simple_scheme(),
+        DHTStorage(ring, replication=replication),
+        DHTStorage(ring, replication=replication),
+        transport,
+    )
+    return service, LookupEngine(service, user="user:rep")
+
+
+class TestReplicaRotation:
+    def test_queries_rotate_across_replicas(self, paper_records):
+        service, _ = build(replication=3)
+        for record in paper_records:
+            service.insert_record(record)
+        author = FieldQuery(ARTICLE_SCHEMA, {"author": "John_Smith"})
+        nodes = {
+            service.query(author, user="user:rep").node for _ in range(12)
+        }
+        expected = set(service.index_store.responsible_nodes(author.key()))
+        assert nodes == expected
+
+    def test_every_replica_answers_identically(self, paper_records):
+        service, _ = build(replication=3)
+        for record in paper_records:
+            service.insert_record(record)
+        author = FieldQuery(ARTICLE_SCHEMA, {"author": "John_Smith"})
+        answers = {
+            tuple(sorted(service.query(author, user="user:rep").entries))
+            for _ in range(9)
+        }
+        assert len(answers) == 1
+
+    def test_no_rotation_without_replication(self, paper_records):
+        service, _ = build(replication=1)
+        for record in paper_records:
+            service.insert_record(record)
+        author = FieldQuery(ARTICLE_SCHEMA, {"author": "John_Smith"})
+        nodes = {service.query(author, user="user:rep").node for _ in range(6)}
+        assert len(nodes) == 1
+
+    def test_searches_succeed_through_replicas(self, paper_records):
+        service, engine = build(replication=3)
+        for record in paper_records:
+            service.insert_record(record)
+        for record in paper_records:
+            for _ in range(3):  # exercise different rotations
+                trace = engine.search(
+                    FieldQuery.of_record(record, ["author"]), record
+                )
+                assert trace.found
+
+    def test_file_fetch_rotates(self, paper_records):
+        service, _ = build(replication=3)
+        for record in paper_records:
+            service.insert_record(record)
+        msd = FieldQuery.msd_of(paper_records[0])
+        nodes = set()
+        for _ in range(9):
+            node, found = service.fetch_file(msd, user="user:rep")
+            assert found
+            nodes.add(node)
+        assert len(nodes) == 3

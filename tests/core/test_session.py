@@ -1,0 +1,135 @@
+"""Unit tests for interactive search sessions -- Section IV-B."""
+
+import pytest
+
+from repro.core.fields import ARTICLE_SCHEMA
+from repro.core.query import FieldQuery
+from repro.core.session import InteractiveSession, SessionError
+
+
+@pytest.fixture
+def service(paper_records, service_factory):
+    service = service_factory()
+    for record in paper_records:
+        service.insert_record(record)
+    return service
+
+
+def start(service, constraints):
+    return InteractiveSession(
+        service, FieldQuery(ARTICLE_SCHEMA, constraints), user="user:sess"
+    )
+
+
+class TestNavigation:
+    def test_initial_level(self, service):
+        session = start(service, {"author": "John_Smith"})
+        assert session.depth == 1
+        assert len(session.choices()) == 2
+        assert not session.at_file_level
+
+    def test_refine_by_index_descends(self, service, paper_records):
+        session = start(service, {"author": "John_Smith"})
+        session.refine(0)
+        assert session.depth == 2
+        # The next level maps author+title pairs to MSDs.
+        session.refine(0)
+        assert session.at_file_level
+
+    def test_refine_by_text(self, service):
+        session = start(service, {"author": "John_Smith"})
+        entry = session.choices()[1]
+        session.refine(entry)
+        assert session.current.query.key() == entry
+
+    def test_back(self, service):
+        session = start(service, {"author": "John_Smith"})
+        session.refine(0)
+        session.back()
+        assert session.depth == 1
+
+    def test_back_at_root_fails(self, service):
+        with pytest.raises(SessionError):
+            start(service, {"author": "John_Smith"}).back()
+
+    def test_bad_choice_index(self, service):
+        with pytest.raises(SessionError):
+            start(service, {"author": "John_Smith"}).refine(99)
+
+    def test_bad_choice_text(self, service):
+        with pytest.raises(SessionError):
+            start(service, {"author": "John_Smith"}).refine("/article[title[X]]")
+
+    def test_history(self, service):
+        session = start(service, {"author": "John_Smith"})
+        session.refine(0)
+        assert [query.fields for query in session.history] == [
+            {"author"},
+            {"author", "title"},
+        ]
+
+    def test_exhausted_on_unknown_query(self, service):
+        session = start(service, {"author": "Nobody_Known"})
+        assert session.exhausted
+
+    def test_string_start_query(self, service):
+        session = InteractiveSession(
+            service, "/article[author[name[John_Smith]]]", user="user:s2"
+        )
+        assert len(session.choices()) == 2
+
+
+class TestFileLevel:
+    def test_walk_to_file(self, service, paper_records):
+        session = start(service, {"author": "John_Smith"})
+        session.refine_towards(paper_records[0]).refine_towards(paper_records[0])
+        assert session.at_file_level
+        assert session.fetch()
+        assert session.fetched_msd == FieldQuery.msd_of(paper_records[0]).key()
+
+    def test_fetch_requires_msd_level(self, service):
+        with pytest.raises(SessionError):
+            start(service, {"author": "John_Smith"}).fetch()
+
+    def test_fetch_missing_file(self, service, paper_records):
+        service.delete_record(paper_records[0])
+        session = InteractiveSession(
+            service, FieldQuery.msd_of(paper_records[0]), user="user:s3"
+        )
+        assert session.at_file_level
+        assert not session.fetch()
+        assert session.fetched_msd is None
+
+    def test_refine_towards_unmatched(self, service, paper_records):
+        session = start(service, {"author": "John_Smith"})
+        with pytest.raises(SessionError):
+            session.refine_towards(paper_records[2])  # Alan Doe
+
+    def test_branch_exploration(self, service, paper_records):
+        """Descend one branch, back out, take the sibling (Figure 6)."""
+        session = start(service, {"author": "John_Smith"})
+        session.refine_towards(paper_records[0]).back()
+        session.refine_towards(paper_records[1])
+        session.refine_towards(paper_records[1])
+        assert session.fetch()
+        assert session.fetched_msd == FieldQuery.msd_of(paper_records[1]).key()
+
+
+class TestAccounting:
+    def test_session_traffic_is_metered(self, service):
+        before = service.transport.meter.normal_bytes
+        session = start(service, {"author": "John_Smith"})
+        session.refine(0)
+        assert service.transport.meter.normal_bytes > before
+
+    def test_covering_enforced_between_levels(self, service, paper_records):
+        session = start(service, {"author": "John_Smith"})
+        # Inject a non-covered entry into the node's store to simulate a
+        # corrupted response; refine must reject it.
+        rogue = FieldQuery(ARTICLE_SCHEMA, {"title": "Unrelated"})
+        session.current.entries.append(rogue.key())
+        with pytest.raises(SessionError):
+            session.refine(rogue.key())
+
+    def test_repr(self, service):
+        assert "InteractiveSession" in repr(start(service, {"author": "John_Smith"}))

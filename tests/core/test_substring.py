@@ -1,0 +1,140 @@
+"""Unit tests for prefix (substring) index classes -- Section IV-C."""
+
+import pytest
+
+from repro.core.cache import CachePolicy
+from repro.core.engine import LookupEngine
+from repro.core.fields import ARTICLE_SCHEMA, SchemaError
+from repro.core.query import FieldQuery
+from repro.core.substring import PrefixIndex, PrefixQuery
+
+
+@pytest.fixture
+def stack(paper_records, service_factory):
+    service = service_factory()
+    for record in paper_records:
+        service.insert_record(record)
+    prefix_index = PrefixIndex(service, {"author": [1, 4]})
+    prefix_index.insert_all(paper_records)
+    engine = LookupEngine(service, user="user:px")
+    return service, prefix_index, engine
+
+
+class TestPrefixQuery:
+    def test_key_is_canonical_and_stable(self):
+        query = PrefixQuery(ARTICLE_SCHEMA, "author", "Jo")
+        assert query.key() == "/article[author[name[prefix:Jo]]]"
+        assert query.key() == query.key()
+
+    def test_covers_field_query(self, paper_records):
+        query = PrefixQuery(ARTICLE_SCHEMA, "author", "John")
+        smith = FieldQuery.of_record(paper_records[0], ["author"])
+        doe = FieldQuery.of_record(paper_records[2], ["author"])
+        assert query.covers(smith)
+        assert not query.covers(doe)
+
+    def test_covers_record(self, paper_records):
+        assert PrefixQuery(ARTICLE_SCHEMA, "author", "J").covers_record(
+            paper_records[0]
+        )
+        assert not PrefixQuery(ARTICLE_SCHEMA, "author", "J").covers_record(
+            paper_records[2]
+        )
+
+    def test_does_not_cover_other_fields(self, paper_records):
+        query = PrefixQuery(ARTICLE_SCHEMA, "author", "J")
+        title_only = FieldQuery(ARTICLE_SCHEMA, {"title": "Jaws"})
+        assert not query.covers(title_only)
+
+    def test_equality(self):
+        a = PrefixQuery(ARTICLE_SCHEMA, "author", "J")
+        b = PrefixQuery(ARTICLE_SCHEMA, "author", "J")
+        c = PrefixQuery(ARTICLE_SCHEMA, "author", "Jo")
+        assert a == b and hash(a) == hash(b) and a != c
+
+    def test_validation(self):
+        with pytest.raises(SchemaError):
+            PrefixQuery(ARTICLE_SCHEMA, "author", "")
+        with pytest.raises(SchemaError):
+            PrefixQuery(ARTICLE_SCHEMA, "publisher", "X")
+
+
+class TestPrefixIndexConstruction:
+    def test_levels_validated(self, small_service):
+        with pytest.raises(SchemaError):
+            PrefixIndex(small_service, {})
+        with pytest.raises(SchemaError):
+            PrefixIndex(small_service, {"author": [0]})
+        with pytest.raises(SchemaError):
+            PrefixIndex(small_service, {"publisher": [1]})
+
+    def test_queries_for_record(self, stack, paper_records):
+        _, prefix_index, _ = stack
+        queries = prefix_index.queries_for(paper_records[0])
+        prefixes = {query.prefix for query in queries}
+        assert prefixes == {"J", "John"}
+
+    def test_chain_short_to_long_prefix(self, stack, paper_records):
+        service, _, _ = stack
+        one = PrefixQuery(ARTICLE_SCHEMA, "author", "J")
+        four = PrefixQuery(ARTICLE_SCHEMA, "author", "John")
+        assert four.key() in service.index_store.values(one.key())
+        exact = FieldQuery.of_record(paper_records[0], ["author"])
+        assert exact.key() in service.index_store.values(four.key())
+
+    def test_shared_prefix_entry(self, stack):
+        """John_Smith and Alan_Doe differ at letter one; Smith's two
+        records share every prefix entry."""
+        service, _, _ = stack
+        one = PrefixQuery(ARTICLE_SCHEMA, "author", "J")
+        values = service.index_store.values(one.key())
+        assert len(values) == len(set(values)) == 1
+
+
+class TestPrefixSearch:
+    def test_explore_prefix_level(self, stack):
+        _, prefix_index, _ = stack
+        entries = prefix_index.explore("author", "A")
+        assert entries == ["/article[author[name[prefix:Alan]]]"]
+
+    def test_search_from_one_letter(self, stack, paper_records):
+        _, prefix_index, engine = stack
+        trace = prefix_index.search(engine, "author", "J", paper_records[0])
+        assert trace.found
+        # prefix:J -> prefix:John -> author -> author+title -> file.
+        assert trace.interactions == 5
+
+    def test_search_from_longer_prefix(self, stack, paper_records):
+        _, prefix_index, engine = stack
+        trace = prefix_index.search(engine, "author", "John", paper_records[1])
+        assert trace.found
+        assert trace.interactions == 4
+
+    def test_search_requires_covering(self, stack, paper_records):
+        _, prefix_index, engine = stack
+        with pytest.raises(SchemaError):
+            prefix_index.search(engine, "author", "J", paper_records[2])
+
+    def test_unindexed_prefix_not_found(self, stack, paper_records):
+        service, prefix_index, engine = stack
+        from repro.core.fields import Record
+
+        ghost = Record(
+            ARTICLE_SCHEMA,
+            {"author": "Zoe_Zed", "title": "Zzz", "conf": "X", "year": "2000"},
+        )
+        trace = prefix_index.search(engine, "author", "Z", ghost)
+        assert not trace.found
+        assert trace.errors == 1
+
+    def test_search_with_cache_enabled(self, paper_records, service_factory):
+        service = service_factory(cache_policy=CachePolicy.SINGLE)
+        for record in paper_records:
+            service.insert_record(record)
+        prefix_index = PrefixIndex(service, {"author": [1]})
+        prefix_index.insert_all(paper_records)
+        engine = LookupEngine(service, user="user:pxc")
+        first = prefix_index.search(engine, "author", "J", paper_records[0])
+        second = prefix_index.search(engine, "author", "J", paper_records[0])
+        assert first.found and second.found
+        assert second.interactions <= first.interactions

@@ -1,0 +1,150 @@
+"""Protocol-compliance suite: one contract, five substrates.
+
+The index layer depends only on the :class:`repro.dht.base.DHTProtocol`
+contract; this suite pins that contract uniformly across the ideal ring,
+Chord, Kademlia, Pastry, and CAN, so any future substrate can be dropped
+in and validated by parametrization alone.
+"""
+
+import random
+
+import pytest
+
+from repro.dht.base import DHTProtocol, LookupResult
+from repro.dht.can import CANNetwork
+from repro.dht.chord import ChordNetwork
+from repro.dht.kademlia import KademliaNetwork
+from repro.dht.pastry import PastryNetwork
+from repro.dht.ring import IdealRing
+
+BITS = 16
+SPACE = 1 << BITS
+
+
+def build(name: str, node_ids: list[int]) -> DHTProtocol:
+    if name == "ideal":
+        ring = IdealRing(BITS)
+        for node in node_ids:
+            ring.add_node(node)
+        return ring
+    if name == "chord":
+        return ChordNetwork.bulk_build(node_ids, bits=BITS)
+    if name == "kademlia":
+        return KademliaNetwork.bulk_build(node_ids, bits=BITS, k=6)
+    if name == "pastry":
+        return PastryNetwork.bulk_build(node_ids, bits=BITS, leaf_size=6)
+    return CANNetwork.bulk_build(node_ids, bits=BITS, dimensions=2, seed=1)
+
+
+SUBSTRATES = ("ideal", "chord", "kademlia", "pastry", "can")
+
+
+@pytest.fixture(params=SUBSTRATES)
+def substrate(request):
+    rng = random.Random(17)
+    node_ids = sorted(rng.sample(range(SPACE), 32))
+    return build(request.param, node_ids), node_ids
+
+
+class TestContract:
+    def test_node_ids_sorted_and_complete(self, substrate):
+        network, node_ids = substrate
+        assert network.node_ids == node_ids
+        assert len(network) == len(node_ids)
+
+    def test_membership_operator(self, substrate):
+        network, node_ids = substrate
+        assert node_ids[0] in network
+        missing = next(i for i in range(SPACE) if i not in set(node_ids))
+        assert missing not in network
+
+    def test_lookup_returns_live_node(self, substrate):
+        network, node_ids = substrate
+        rng = random.Random(18)
+        live = set(node_ids)
+        for _ in range(100):
+            result = network.lookup(rng.randrange(SPACE))
+            assert isinstance(result, LookupResult)
+            assert result.node in live
+
+    def test_lookup_deterministic(self, substrate):
+        network, _ = substrate
+        rng = random.Random(19)
+        for _ in range(30):
+            key = rng.randrange(SPACE)
+            assert network.lookup(key).node == network.lookup(key).node
+
+    def test_every_key_has_exactly_one_owner(self, substrate):
+        """Key ownership is a function: repeated resolution from any
+        entry point of the protocol structure yields the same node."""
+        network, _ = substrate
+        rng = random.Random(20)
+        for _ in range(25):
+            key = rng.randrange(SPACE)
+            owners = {network.lookup(key).node for _ in range(3)}
+            assert len(owners) == 1
+
+    def test_hops_and_path_reported(self, substrate):
+        network, _ = substrate
+        result = network.lookup(12345)
+        assert result.hops >= 1
+        assert len(result.path) >= 1
+        assert result.path[-1] == result.node or result.node in result.path
+
+    def test_out_of_space_key_rejected(self, substrate):
+        network, _ = substrate
+        with pytest.raises(ValueError):
+            network.lookup(SPACE)
+
+    def test_duplicate_add_rejected(self, substrate):
+        network, node_ids = substrate
+        with pytest.raises(ValueError):
+            network.add_node(node_ids[0])
+
+    def test_remove_missing_rejected(self, substrate):
+        network, node_ids = substrate
+        missing = next(i for i in range(SPACE) if i not in set(node_ids))
+        with pytest.raises(KeyError):
+            network.remove_node(missing)
+
+    def test_join_then_leave_is_consistent(self, substrate):
+        network, node_ids = substrate
+        rng = random.Random(21)
+        fresh = next(
+            candidate
+            for candidate in iter(lambda: rng.randrange(SPACE), None)
+            if candidate not in set(node_ids)
+        )
+        network.add_node(fresh)
+        assert fresh in network
+        # All lookups resolve to live nodes with the newcomer present.
+        for _ in range(30):
+            assert network.lookup(rng.randrange(SPACE)).node in set(
+                network.node_ids
+            )
+        network.remove_node(fresh)
+        assert fresh not in network
+        for _ in range(30):
+            result = network.lookup(rng.randrange(SPACE))
+            assert result.node in set(network.node_ids)
+            assert result.node != fresh
+
+    def test_lookup_many_matches_single_lookups(self, substrate):
+        network, _ = substrate
+        keys = [7, 99, 12345, SPACE - 1]
+        batched = network.lookup_many(keys)
+        assert [r.node for r in batched] == [
+            network.lookup(key).node for key in keys
+        ]
+
+    def test_single_node_network_owns_everything(self, substrate):
+        network, _ = substrate
+        # Build a one-node instance of the same class.
+        one = build(
+            type(network).__name__.replace("Network", "").lower()
+            if not isinstance(network, IdealRing)
+            else "ideal",
+            [42],
+        )
+        for key in (0, 1, SPACE // 2, SPACE - 1):
+            assert one.lookup(key).node == 42

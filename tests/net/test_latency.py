@@ -1,0 +1,46 @@
+"""Unit tests for latency models."""
+
+import pytest
+
+from repro.net.latency import ConstantLatency, SeededUniformLatency
+
+
+class TestConstantLatency:
+    def test_fixed_value(self):
+        model = ConstantLatency(25.0)
+        assert model.sample("a", "b") == 25.0
+        assert model.sample("x", "y") == 25.0
+
+    def test_default(self):
+        assert ConstantLatency().sample("a", "b") == 50.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-1)
+
+
+class TestSeededUniformLatency:
+    def test_within_range(self):
+        model = SeededUniformLatency(low=10, high=100, seed=1)
+        for pair in (("a", "b"), ("c", "d"), ("node:1", "node:2")):
+            value = model.sample(*pair)
+            assert 10 <= value <= 100
+
+    def test_stable_per_pair(self):
+        model = SeededUniformLatency(seed=2)
+        first = model.sample("a", "b")
+        assert model.sample("a", "b") == first
+
+    def test_self_latency_zero(self):
+        assert SeededUniformLatency().sample("a", "a") == 0.0
+
+    def test_pairs_differ(self):
+        model = SeededUniformLatency(low=0, high=1000, seed=3)
+        samples = {model.sample("a", f"n{i}") for i in range(20)}
+        assert len(samples) > 10
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            SeededUniformLatency(low=5, high=1)
+        with pytest.raises(ValueError):
+            SeededUniformLatency(low=-1, high=1)

@@ -1,0 +1,82 @@
+"""Unit tests for traffic metering and per-node load accounting."""
+
+from repro.net.message import Message, MessageKind, TrafficCategory
+from repro.net.traffic import TrafficMeter
+
+
+def query(source="user:0", destination="node:1", payload=("q",)):
+    return Message(MessageKind.QUERY_REQUEST, source, destination, payload)
+
+
+def cache_insert(destination="node:1"):
+    return Message(MessageKind.CACHE_INSERT, "user:0", destination, ("q", "d"))
+
+
+class TestByteAccounting:
+    def test_bytes_accumulate_by_category(self):
+        meter = TrafficMeter()
+        first = query()
+        meter.record(first)
+        meter.record(cache_insert())
+        assert meter.normal_bytes == first.size_bytes
+        assert meter.cache_bytes == cache_insert().size_bytes
+        assert meter.total_bytes == meter.normal_bytes + meter.cache_bytes
+
+    def test_message_counts(self):
+        meter = TrafficMeter()
+        meter.record(query())
+        meter.record(query())
+        meter.record(cache_insert())
+        assert meter.messages_for(TrafficCategory.NORMAL) == 2
+        assert meter.messages_for(TrafficCategory.CACHE) == 1
+
+    def test_node_bytes_in_out(self):
+        meter = TrafficMeter()
+        message = query("user:0", "node:1")
+        meter.record(message)
+        assert meter.node_load("node:1").bytes_in == message.size_bytes
+        assert meter.node_load("user:0").bytes_out == message.size_bytes
+
+    def test_reset(self):
+        meter = TrafficMeter()
+        meter.record(query())
+        meter.touch_node("node:1")
+        meter.reset()
+        assert meter.total_bytes == 0
+        assert meter.query_counts_by_node() == {}
+
+
+class TestQueryLoad:
+    def test_touch_counts_once_per_query(self):
+        meter = TrafficMeter()
+        meter.touch_node("node:1")
+        meter.touch_node("node:1")  # same query touches the node twice
+        meter.touch_node("node:2")
+        meter.end_query()
+        counts = meter.query_counts_by_node()
+        assert counts == {"node:1": 1, "node:2": 1}
+
+    def test_counts_accumulate_across_queries(self):
+        meter = TrafficMeter()
+        for _ in range(3):
+            meter.touch_node("node:1")
+            meter.end_query()
+        assert meter.query_counts_by_node() == {"node:1": 3}
+
+    def test_sum_exceeds_query_count_with_fanout(self):
+        """One query touching several nodes: totals sum above 100%."""
+        meter = TrafficMeter()
+        for node in ("node:1", "node:2", "node:3"):
+            meter.touch_node(node)
+        meter.end_query()
+        assert sum(meter.query_counts_by_node().values()) == 3
+
+    def test_end_query_without_touches(self):
+        meter = TrafficMeter()
+        meter.end_query()
+        assert meter.query_counts_by_node() == {}
+
+    def test_untouched_nodes_not_reported(self):
+        meter = TrafficMeter()
+        meter.record(query())  # records message but no touch
+        assert meter.query_counts_by_node() == {}

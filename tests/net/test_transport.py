@@ -1,0 +1,79 @@
+"""Unit tests for the simulated transport."""
+
+import pytest
+
+from repro.net.message import Message, MessageKind
+from repro.net.transport import SimulatedTransport, TransportError
+
+
+@pytest.fixture
+def transport():
+    return SimulatedTransport()
+
+
+class TestRegistration:
+    def test_register_and_send(self, transport):
+        received = []
+        transport.register("node:1", lambda m: received.append(m))
+        transport.send(Message(MessageKind.QUERY_REQUEST, "u", "node:1", ("q",)))
+        assert len(received) == 1
+
+    def test_duplicate_registration_rejected(self, transport):
+        transport.register("node:1", lambda m: None)
+        with pytest.raises(TransportError):
+            transport.register("node:1", lambda m: None)
+
+    def test_unregister(self, transport):
+        transport.register("node:1", lambda m: None)
+        transport.unregister("node:1")
+        assert not transport.is_registered("node:1")
+        with pytest.raises(TransportError):
+            transport.unregister("node:1")
+
+    def test_endpoint_names(self, transport):
+        transport.register("a", lambda m: None)
+        transport.register("b", lambda m: None)
+        assert sorted(transport.endpoint_names) == ["a", "b"]
+
+
+class TestDelivery:
+    def test_unknown_destination(self, transport):
+        with pytest.raises(TransportError):
+            transport.send(Message(MessageKind.QUERY_REQUEST, "u", "nowhere"))
+
+    def test_response_returned(self, transport):
+        transport.register(
+            "node:1",
+            lambda m: m.reply(MessageKind.QUERY_RESPONSE, ("result",)),
+        )
+        response = transport.send(
+            Message(MessageKind.QUERY_REQUEST, "u", "node:1", ("q",))
+        )
+        assert response is not None
+        assert response.payload == ("result",)
+        assert response.destination == "u"
+
+    def test_request_and_response_both_metered(self, transport):
+        transport.register(
+            "node:1",
+            lambda m: m.reply(MessageKind.QUERY_RESPONSE, ("abc",)),
+        )
+        request = Message(MessageKind.QUERY_REQUEST, "u", "node:1", ("q",))
+        response = transport.send(request)
+        assert (
+            transport.meter.normal_bytes
+            == request.size_bytes + response.size_bytes
+        )
+
+    def test_no_response_endpoint(self, transport):
+        transport.register("sink", lambda m: None)
+        request = Message(MessageKind.QUERY_REQUEST, "u", "sink", ("q",))
+        assert transport.send(request) is None
+        assert transport.meter.normal_bytes == request.size_bytes
+
+    def test_shared_meter_injection(self):
+        from repro.net.traffic import TrafficMeter
+
+        meter = TrafficMeter()
+        transport = SimulatedTransport(meter)
+        assert transport.meter is meter

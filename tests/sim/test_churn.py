@@ -1,0 +1,74 @@
+"""Unit tests for churn injection in the simulation."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.sim.experiment import Experiment, ExperimentConfig
+
+TINY = ExperimentConfig(
+    num_nodes=24,
+    num_articles=120,
+    num_queries=800,
+    num_authors=60,
+    cache="single",
+)
+
+
+class TestChurnEvents:
+    def test_all_searches_survive_churn(self):
+        experiment = Experiment(replace(TINY, churn_events=8))
+        result = experiment.run()
+        assert result.found == result.searches
+        assert experiment.churn_keys_moved > 0
+
+    def test_population_size_preserved(self):
+        experiment = Experiment(replace(TINY, churn_events=5))
+        experiment.run()
+        assert len(experiment.protocol.node_ids) == TINY.num_nodes
+
+    def test_departed_nodes_replaced_by_fresh_ids(self):
+        experiment = Experiment(replace(TINY, churn_events=5))
+        before = set(experiment.protocol.node_ids)
+        experiment.run()
+        after = set(experiment.protocol.node_ids)
+        assert before != after
+        assert len(after - before) == len(before - after)
+
+    def test_new_nodes_get_endpoints_and_caches(self):
+        experiment = Experiment(replace(TINY, churn_events=5))
+        experiment.run()
+        for node in experiment.protocol.node_ids:
+            name = experiment.service.endpoint_name(node)
+            assert experiment.transport.is_registered(name)
+            assert node in experiment.service.caches
+
+    def test_departed_nodes_fully_unregistered(self):
+        experiment = Experiment(replace(TINY, churn_events=5))
+        before = set(experiment.protocol.node_ids)
+        experiment.run()
+        departed = before - set(experiment.protocol.node_ids)
+        assert departed
+        for node in departed:
+            assert not experiment.transport.is_registered(
+                experiment.service.endpoint_name(node)
+            )
+            assert node not in experiment.service.caches
+
+    def test_zero_churn_moves_nothing(self):
+        experiment = Experiment(TINY)
+        experiment.run()
+        assert experiment.churn_keys_moved == 0
+
+    def test_churn_deterministic_in_seed(self):
+        first = Experiment(replace(TINY, churn_events=6)).run()
+        second = Experiment(replace(TINY, churn_events=6)).run()
+        assert first.avg_interactions == second.avg_interactions
+        assert first.hit_ratio == second.hit_ratio
+
+    def test_churn_over_chord(self):
+        config = replace(
+            TINY, churn_events=4, substrate="chord", bits=32, num_queries=400
+        )
+        result = Experiment(config).run()
+        assert result.found == result.searches

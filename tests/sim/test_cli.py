@@ -1,0 +1,71 @@
+"""Unit tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.sim.__main__ import build_parser, config_from_args, main
+
+
+def parse(argv):
+    return config_from_args(build_parser().parse_args(argv))
+
+
+class TestArgumentParsing:
+    def test_defaults_are_paper_setup(self):
+        config = parse([])
+        assert config.scheme == "simple"
+        assert config.cache == "none"
+        assert config.num_nodes == 500
+
+    def test_scheme_and_cache(self):
+        config = parse(["--scheme", "flat", "--cache", "lru20"])
+        assert config.scheme == "flat"
+        assert config.cache == "lru20"
+
+    def test_scale(self):
+        config = parse(["--scale", "0.1"])
+        assert config.num_nodes == 50
+        assert config.num_articles == 1_000
+        assert config.num_queries == 5_000
+
+    def test_overrides_after_scale(self):
+        config = parse(["--scale", "0.1", "--queries", "123"])
+        assert config.num_queries == 123
+        assert config.num_nodes == 50
+
+    def test_substrate(self):
+        assert parse(["--substrate", "pastry"]).substrate == "pastry"
+
+    def test_invalid_cache_rejected(self):
+        with pytest.raises(ValueError):
+            parse(["--cache", "bogus"])
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            parse(["--scale", "-1"])
+
+    def test_invalid_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--scheme", "bogus"])
+
+    def test_shortcut_top_n(self):
+        assert parse(["--shortcut-top-n", "25"]).shortcut_top_n == 25
+
+
+class TestMain:
+    def test_runs_tiny_experiment(self, capsys):
+        code = main(
+            [
+                "--scale", "0.01",
+                "--cache", "single",
+                "--queries", "300",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "interactions / query" in output
+        assert "cache hit ratio" in output
+
+    def test_bad_cache_exits_nonzero(self, capsys):
+        code = main(["--cache", "bogus", "--scale", "0.01"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,57 @@
+"""Unit tests for the experiment presets and grids."""
+
+from repro.sim.presets import (
+    CACHE_POLICIES_CACHED,
+    CACHE_POLICIES_FIG11,
+    CACHE_POLICIES_FIG12,
+    PAPER_CONFIG,
+    SCHEMES,
+    SMOKE_CONFIG,
+    paper_grid,
+)
+
+
+class TestPresets:
+    def test_paper_setup(self):
+        assert PAPER_CONFIG.num_nodes == 500
+        assert PAPER_CONFIG.num_articles == 10_000
+        assert PAPER_CONFIG.num_queries == 50_000
+        assert PAPER_CONFIG.substrate == "ideal"
+
+    def test_schemes_order_matches_paper(self):
+        assert SCHEMES == ("simple", "flat", "complex")
+
+    def test_fig11_omits_multi_cache(self):
+        """The paper omits multi-cache from Figure 11."""
+        assert "multi" not in CACHE_POLICIES_FIG11
+        assert "multi" in CACHE_POLICIES_FIG12
+
+    def test_cached_policies_exclude_none(self):
+        assert "none" not in CACHE_POLICIES_CACHED
+
+    def test_lru_capacities_are_the_papers(self):
+        for policies in (CACHE_POLICIES_FIG11, CACHE_POLICIES_FIG12):
+            assert {"lru10", "lru20", "lru30"} <= set(policies)
+
+    def test_smoke_config_is_small(self):
+        assert SMOKE_CONFIG.num_queries < PAPER_CONFIG.num_queries
+        assert SMOKE_CONFIG.num_nodes < PAPER_CONFIG.num_nodes
+
+
+class TestGrid:
+    def test_full_grid_size(self):
+        grid = paper_grid()
+        assert len(grid) == len(SCHEMES) * len(CACHE_POLICIES_FIG12)
+
+    def test_grid_cells_unique(self):
+        grid = paper_grid()
+        assert len(set(grid)) == len(grid)
+
+    def test_grid_respects_base(self):
+        grid = paper_grid(base=SMOKE_CONFIG)
+        assert all(cell.num_queries == SMOKE_CONFIG.num_queries for cell in grid)
+
+    def test_grid_subsets(self):
+        grid = paper_grid(schemes=("flat",), caches=("none", "single"))
+        assert len(grid) == 2
+        assert all(cell.scheme == "flat" for cell in grid)

@@ -1,0 +1,102 @@
+"""Unit tests for the synthetic bibliographic corpus."""
+
+import pytest
+
+from repro.workload.corpus import CorpusConfig, SyntheticCorpus
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return SyntheticCorpus(
+        CorpusConfig(num_articles=1_000, num_authors=400, seed=11)
+    )
+
+
+class TestGeneration:
+    def test_size(self, corpus):
+        assert len(corpus) == 1_000
+
+    def test_deterministic_in_seed(self):
+        config = CorpusConfig(num_articles=50, num_authors=20, seed=5)
+        a = SyntheticCorpus(config)
+        b = SyntheticCorpus(config)
+        assert a.records == b.records
+
+    def test_different_seeds_differ(self):
+        a = SyntheticCorpus(CorpusConfig(num_articles=50, num_authors=20, seed=1))
+        b = SyntheticCorpus(CorpusConfig(num_articles=50, num_authors=20, seed=2))
+        assert a.records != b.records
+
+    def test_titles_unique(self, corpus):
+        titles = [record["title"] for record in corpus.records]
+        assert len(titles) == len(set(titles))
+
+    def test_authors_shared_across_articles(self, corpus):
+        """Authors must sign several articles (drives result-set sizes)."""
+        cardinalities = corpus.field_cardinalities()
+        assert cardinalities["author"] < len(corpus)
+
+    def test_author_productivity_skewed(self, corpus):
+        from collections import Counter
+
+        counts = Counter(record["author"] for record in corpus.records)
+        most = counts.most_common(1)[0][1]
+        assert most >= 5  # a prolific head exists
+        assert most < len(corpus) // 2  # but no single author dominates
+
+    def test_venues_recur(self, corpus):
+        assert corpus.field_cardinalities()["conf"] <= 30
+
+    def test_values_are_bare_words(self, corpus):
+        """Every field value must be usable verbatim in query text."""
+        import re
+
+        bare = re.compile(r"[\w.\-:+]+")
+        for record in corpus.records[:200]:
+            for _, value in record.items():
+                assert bare.fullmatch(value), value
+
+    def test_sizes_plausible(self, corpus):
+        sizes = [int(record["size"]) for record in corpus.records]
+        assert all(size >= 10_000 for size in sizes)
+        mean = sum(sizes) / len(sizes)
+        assert 150_000 < mean < 350_000  # around the paper's 250 KB
+
+    def test_total_article_bytes(self, corpus):
+        assert corpus.total_article_bytes() == sum(
+            int(record["size"]) for record in corpus.records
+        )
+
+
+class TestAccess:
+    def test_rank_access(self, corpus):
+        assert corpus.record_at_rank(1) == corpus.records[0]
+        assert corpus.record_at_rank(len(corpus)) == corpus.records[-1]
+
+    def test_rank_bounds(self, corpus):
+        with pytest.raises(IndexError):
+            corpus.record_at_rank(0)
+        with pytest.raises(IndexError):
+            corpus.record_at_rank(len(corpus) + 1)
+
+    def test_getitem(self, corpus):
+        assert corpus[0] == corpus.records[0]
+
+    def test_records_are_copies(self, corpus):
+        listing = corpus.records
+        listing.clear()
+        assert len(corpus) == 1_000
+
+
+class TestConfig:
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            CorpusConfig(num_articles=0)
+        with pytest.raises(ValueError):
+            CorpusConfig(num_authors=0)
+
+    def test_more_authors_than_name_combos(self):
+        corpus = SyntheticCorpus(
+            CorpusConfig(num_articles=100, num_authors=5_000, seed=3)
+        )
+        assert len(corpus) == 100

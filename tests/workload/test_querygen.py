@@ -1,0 +1,98 @@
+"""Unit tests for the query generator (Section V-C)."""
+
+import pytest
+
+from repro.workload.corpus import CorpusConfig, SyntheticCorpus
+from repro.workload.popularity import PowerLawPopularity
+from repro.workload.querygen import (
+    BIBFINDER_STRUCTURE,
+    QueryGenerator,
+    QueryStructureModel,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return SyntheticCorpus(CorpusConfig(num_articles=500, num_authors=200, seed=9))
+
+
+class TestStructureModel:
+    def test_bibfinder_probabilities(self):
+        model = QueryStructureModel()
+        assert model.probability(("author",)) == pytest.approx(0.60)
+        assert model.probability(("title",)) == pytest.approx(0.20)
+        assert model.probability(("year",)) == pytest.approx(0.10)
+        assert model.probability(("author", "title")) == pytest.approx(0.05)
+        assert model.probability(("author", "year")) == pytest.approx(0.05)
+
+    def test_unknown_shape_probability_zero(self):
+        assert QueryStructureModel().probability(("conf",)) == 0.0
+
+    def test_sampling_frequencies(self):
+        import random
+        from collections import Counter
+
+        model = QueryStructureModel()
+        rng = random.Random(1)
+        counts = Counter(model.sample(rng) for _ in range(20_000))
+        assert counts[("author",)] / 20_000 == pytest.approx(0.60, abs=0.02)
+        assert counts[("title",)] / 20_000 == pytest.approx(0.20, abs=0.02)
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            QueryStructureModel({("author",): 0.5})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            QueryStructureModel({("author",): 1.5, ("title",): -0.5})
+
+    def test_zero_probability_shapes_dropped(self):
+        model = QueryStructureModel({("author",): 1.0, ("title",): 0.0})
+        assert model.shapes == [("author",)]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            QueryStructureModel({})
+
+
+class TestGenerator:
+    def test_deterministic(self, corpus):
+        first = list(QueryGenerator(corpus, seed=4).generate(50))
+        second = list(QueryGenerator(corpus, seed=4).generate(50))
+        assert first == second
+
+    def test_different_seeds(self, corpus):
+        a = list(QueryGenerator(corpus, seed=1).generate(50))
+        b = list(QueryGenerator(corpus, seed=2).generate(50))
+        assert a != b
+
+    def test_query_covers_target(self, corpus):
+        for item in QueryGenerator(corpus, seed=5).generate(200):
+            assert item.query.covers_record(item.target)
+
+    def test_structure_fields_match_query(self, corpus):
+        for item in QueryGenerator(corpus, seed=6).generate(100):
+            assert item.query.fields == set(item.structure)
+
+    def test_target_rank_consistent(self, corpus):
+        for item in QueryGenerator(corpus, seed=7).generate(100):
+            assert corpus.record_at_rank(item.target_rank) == item.target
+
+    def test_popular_articles_dominate(self, corpus):
+        from collections import Counter
+
+        ranks = Counter(
+            item.target_rank
+            for item in QueryGenerator(corpus, seed=8).generate(5_000)
+        )
+        top_mass = sum(count for rank, count in ranks.items() if rank <= 50) / 5_000
+        tail_mass = sum(count for rank, count in ranks.items() if rank > 250) / 5_000
+        assert top_mass > tail_mass
+
+    def test_population_mismatch_rejected(self, corpus):
+        wrong = PowerLawPopularity.for_population(10)
+        with pytest.raises(ValueError):
+            QueryGenerator(corpus, popularity=wrong)
+
+    def test_generate_zero(self, corpus):
+        assert list(QueryGenerator(corpus).generate(0)) == []

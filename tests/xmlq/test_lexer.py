@@ -1,0 +1,94 @@
+"""Unit tests for the XPath-subset lexer."""
+
+import pytest
+
+from repro.xmlq.lexer import Token, TokenType, XPathLexError, tokenize
+
+
+def kinds(expression):
+    return [token.type for token in tokenize(expression)]
+
+
+class TestTokenKinds:
+    def test_simple_path(self):
+        assert kinds("/article/title") == [
+            TokenType.SLASH,
+            TokenType.NAME,
+            TokenType.SLASH,
+            TokenType.NAME,
+            TokenType.EOF,
+        ]
+
+    def test_double_slash(self):
+        assert kinds("//last")[:2] == [TokenType.DSLASH, TokenType.NAME]
+
+    def test_slash_pair_vs_double_slash(self):
+        # '//' must lex as one DSLASH token, not two SLASH tokens.
+        tokens = tokenize("/a//b")
+        assert [t.type for t in tokens[:4]] == [
+            TokenType.SLASH,
+            TokenType.NAME,
+            TokenType.DSLASH,
+            TokenType.NAME,
+        ]
+
+    def test_predicates_and_star(self):
+        assert kinds("/a[*]") == [
+            TokenType.SLASH,
+            TokenType.NAME,
+            TokenType.LBRACKET,
+            TokenType.STAR,
+            TokenType.RBRACKET,
+            TokenType.EOF,
+        ]
+
+    @pytest.mark.parametrize("op", ["=", "!=", "<", "<=", ">", ">="])
+    def test_operators(self, op):
+        tokens = tokenize(f"/a[b{op}1]")
+        ops = [t for t in tokens if t.type is TokenType.OP]
+        assert len(ops) == 1 and ops[0].value == op
+
+    def test_two_char_ops_not_split(self):
+        tokens = [t for t in tokenize("/a[b<=1]") if t.type is TokenType.OP]
+        assert tokens[0].value == "<="
+
+    def test_quoted_literals(self):
+        tokens = tokenize('/a[b="hello world"]')
+        literals = [t for t in tokens if t.type is TokenType.LITERAL]
+        assert literals[0].value == "hello world"
+
+    def test_single_quoted_literal(self):
+        tokens = tokenize("/a[b='x y']")
+        literals = [t for t in tokens if t.type is TokenType.LITERAL]
+        assert literals[0].value == "x y"
+
+    def test_names_with_punctuation(self):
+        tokens = tokenize("/a/Fault-Tolerant_Routing.v2:x+y")
+        names = [t.value for t in tokens if t.type is TokenType.NAME]
+        assert names == ["a", "Fault-Tolerant_Routing.v2:x+y"]
+
+    def test_whitespace_ignored(self):
+        assert kinds("/ a [ b ]") == kinds("/a[b]")
+
+    def test_eof_always_present(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+
+
+class TestPositionsAndErrors:
+    def test_positions_recorded(self):
+        tokens = tokenize("/abc/def")
+        assert tokens[1].position == 1
+        assert tokens[3].position == 5
+
+    def test_unterminated_string(self):
+        with pytest.raises(XPathLexError):
+            tokenize('/a[b="unterminated]')
+
+    def test_unexpected_character(self):
+        with pytest.raises(XPathLexError) as excinfo:
+            tokenize("/a{b}")
+        assert excinfo.value.position == 2
+
+    def test_token_repr(self):
+        token = Token(TokenType.NAME, "abc", 3)
+        assert "abc" in repr(token)

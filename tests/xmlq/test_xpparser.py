@@ -1,0 +1,119 @@
+"""Unit tests for the XPath-subset parser."""
+
+import pytest
+
+from repro.xmlq.astnodes import Axis
+from repro.xmlq.xpparser import XPathParseError, parse_xpath
+
+
+class TestPaths:
+    def test_absolute_single_step(self):
+        path = parse_xpath("/article")
+        assert path.absolute
+        assert path.length == 1
+        assert path.steps[0].name == "article"
+        assert path.steps[0].axis is Axis.CHILD
+
+    def test_multi_step(self):
+        path = parse_xpath("/article/author/last")
+        assert [step.name for step in path.steps] == ["article", "author", "last"]
+
+    def test_descendant_axis(self):
+        path = parse_xpath("/article//last")
+        assert path.steps[1].axis is Axis.DESCENDANT
+
+    def test_leading_descendant(self):
+        path = parse_xpath("//last")
+        assert path.absolute
+        assert path.steps[0].axis is Axis.DESCENDANT
+
+    def test_wildcard_step(self):
+        path = parse_xpath("/article/*")
+        assert path.steps[1].is_wildcard
+
+    def test_all_paper_queries_parse(self, paper_queries):
+        for query in paper_queries:
+            path = parse_xpath(query)
+            assert path.absolute
+
+
+class TestPredicates:
+    def test_structural_predicate(self):
+        path = parse_xpath("/article[author]")
+        predicates = path.steps[0].predicates
+        assert len(predicates) == 1
+        assert predicates[0].comparison is None
+        assert predicates[0].path.steps[0].name == "author"
+        assert not predicates[0].path.absolute
+
+    def test_nested_predicates(self):
+        path = parse_xpath("/article[author[first/John][last/Smith]]")
+        author_predicate = path.steps[0].predicates[0]
+        inner = author_predicate.path.steps[0].predicates
+        assert len(inner) == 2
+
+    def test_multiple_predicates_on_step(self):
+        path = parse_xpath("/article[title/TCP][year/1989]")
+        assert len(path.steps[0].predicates) == 2
+
+    def test_comparison_predicate(self):
+        path = parse_xpath("/article[year>=1990]")
+        comparison = path.steps[0].predicates[0].comparison
+        assert comparison is not None
+        assert comparison.op == ">=" and comparison.value == "1990"
+
+    def test_comparison_with_literal(self):
+        path = parse_xpath('/article[title="a b c"]')
+        assert path.steps[0].predicates[0].comparison.value == "a b c"
+
+    def test_descendant_inside_predicate(self):
+        path = parse_xpath("/article[author//last]")
+        inner_steps = path.steps[0].predicates[0].path.steps
+        assert inner_steps[1].axis is Axis.DESCENDANT
+
+
+class TestSerialization:
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            "/article",
+            "/article/title/TCP",
+            "/article//last/Smith",
+            "/article[author[first/John][last/Smith]][conf/INFOCOM]",
+            "/article[year>=1990]",
+            "/article/*",
+            "//last",
+        ],
+    )
+    def test_parse_str_roundtrip(self, expression):
+        path = parse_xpath(expression)
+        assert parse_xpath(str(path)) == path
+
+    def test_str_form_matches_input(self):
+        source = "/article[title/TCP][year/1989]"
+        assert str(parse_xpath(source)) == source
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            "",             # empty
+            "/",            # missing step
+            "/a[",          # unterminated predicate
+            "/a[]",         # empty predicate
+            "/a[/b]",       # absolute path inside predicate
+            "/a]b",         # trailing garbage
+            "/a[b=]",       # missing comparison value
+            "/a b",         # two expressions
+            "[a]",          # predicate without a step
+        ],
+    )
+    def test_rejected(self, expression):
+        with pytest.raises((XPathParseError, ValueError)):
+            parse_xpath(expression)
+
+    def test_error_message_has_context(self):
+        with pytest.raises(XPathParseError) as excinfo:
+            parse_xpath("/a[b=]")
+        assert "offset" in str(excinfo.value)
