@@ -3,12 +3,23 @@
 Unlike the figure benches (one-shot reproductions), these time the core
 primitives over many rounds: record insertion (index construction),
 query resolution at a node, the end-to-end search, the covering check,
-and substrate lookups.  They guard the simulator's performance envelope
--- the full evaluation feeds 50,000 queries through these paths.
+partial-order-graph construction and navigation, and substrate lookups.
+They guard the simulator's performance envelope -- the full evaluation
+feeds 50,000 queries through these paths.
+
+Each run also dumps ``benchmarks/results/micro_operations.json``: the
+per-operation timings plus the :mod:`repro.perf` counter totals and
+cache hit rates accumulated while benchmarking, so the perf trajectory
+of the hot path is machine-readable from PR to PR.
 """
 
 import itertools
+import json
+import pathlib
 
+import pytest
+
+from repro import perf
 from repro.core.cache import CachePolicy
 from repro.core.engine import LookupEngine
 from repro.core.fields import ARTICLE_SCHEMA
@@ -22,7 +33,73 @@ from repro.net.transport import SimulatedTransport
 from repro.storage.store import DHTStorage
 from repro.workload.corpus import CorpusConfig, SyntheticCorpus
 from repro.workload.querygen import QueryGenerator
+from repro.xmlq.partial_order import PartialOrderGraph
 from repro.xmlq.pattern import covers
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Per-test timing summaries collected for the JSON dump.
+_TIMINGS: dict[str, dict[str, float]] = {}
+
+
+@pytest.fixture(autouse=True)
+def _collect_timing(request, benchmark):
+    """Record every bench's timing stats for the module's JSON dump."""
+    yield
+    stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+    if stats is not None and stats.data:
+        _TIMINGS[request.node.name] = {
+            "mean_us": stats.mean * 1e6,
+            "min_us": stats.min * 1e6,
+            "median_us": stats.median * 1e6,
+            "rounds": len(stats.data),
+        }
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _dump_micro_json():
+    """Emit timings + perf counters as JSON after the module runs."""
+    perf_before = perf.snapshot()
+    yield
+    counters = perf.delta(perf_before, perf.snapshot())
+    hits = {
+        name: round(rate, 4)
+        for name, rate in perf.counters.cache_hit_rates().items()
+    }
+    payload = {
+        "benchmarks": _TIMINGS,
+        "perf_counters": counters,
+        "cache_hit_rates": hits,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "micro_operations.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def _pog_query_set(num_records=6):
+    """Overlapping field-combination queries, as the index layer makes."""
+    queries = []
+    for i in range(num_records):
+        record = {
+            "author": f"Author_{i}",
+            "title": f"Title_{i}",
+            "conf": ("SIGCOMM", "INFOCOM", "ICDCS")[i % 3],
+            "year": ("1989", "1996", "2001")[i % 3],
+        }
+        for keys in (
+            ("author",),
+            ("title",),
+            ("conf",),
+            ("year",),
+            ("author", "title"),
+            ("conf", "year"),
+            ("author", "title", "conf", "year"),
+        ):
+            queries.append(
+                ARTICLE_SCHEMA.xpath_for({k: record[k] for k in keys})
+            )
+    return list(dict.fromkeys(queries))
 
 
 def build_stack(num_nodes=64, populate=0):
@@ -94,6 +171,41 @@ def test_micro_covering_check(benchmark):
         "[size[315635]][title[TCP]][year[1989]]"
     )
     benchmark(lambda: covers(general, specific))
+
+
+def test_micro_partial_order_build(benchmark):
+    """Construct the covering partial order of an overlapping query set
+    (33 queries, ~1000 potential pairwise covering checks)."""
+    queries = _pog_query_set()
+    benchmark(lambda: PartialOrderGraph(queries))
+
+
+def test_micro_partial_order_navigation(benchmark):
+    """Hasse-diagram reads on a standing graph: the navigation mix an
+    index node performs per query chain (edges + chains to one MSD)."""
+    graph = PartialOrderGraph(_pog_query_set())
+    leaf = graph.leaves()[0]
+
+    def navigate():
+        edges = graph.hasse_edges()
+        chains = graph.chains_to(leaf)
+        assert edges and chains
+
+    benchmark(navigate)
+
+
+def test_micro_partial_order_incremental_add(benchmark):
+    """Grow a graph one query at a time (the index-build pattern):
+    exercises fingerprint prefiltering and incremental Hasse splicing."""
+    queries = _pog_query_set()
+
+    def grow():
+        graph = PartialOrderGraph()
+        for query in queries:
+            graph.add(query)
+        return graph
+
+    benchmark(grow)
 
 
 def test_micro_canonical_key(benchmark):

@@ -1,0 +1,182 @@
+"""Counter-based perf regression guard for the query-algebra hot path.
+
+Wall-clock timings are noisy in CI, so this guard asserts on the
+:mod:`repro.perf` counters instead: cache hit-rates must stay above a
+floor and covering-check counts below a ceiling.  If a refactor silently
+drops the pattern interning, the covering memo, or the partial-order
+fingerprint prefilter, these tests fail deterministically on any
+machine.
+
+Run with the other benches::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_regression.py -q
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro import perf
+from repro.core.cache import CachePolicy
+from repro.core.engine import LookupEngine
+from repro.core.fields import ARTICLE_SCHEMA
+from repro.core.scheme import simple_scheme
+from repro.core.service import IndexService
+from repro.dht.idspace import hash_key
+from repro.dht.ring import IdealRing
+from repro.net.transport import SimulatedTransport
+from repro.storage.store import DHTStorage
+from repro.workload.corpus import CorpusConfig, SyntheticCorpus
+from repro.workload.querygen import QueryGenerator
+from repro.xmlq.partial_order import PartialOrderGraph
+from repro.xmlq.pattern import clear_pattern_caches, covers
+
+
+def _delta(action) -> dict[str, int]:
+    """Run ``action`` and return the perf-counter increments it caused."""
+    before = perf.snapshot()
+    action()
+    return perf.delta(before, perf.snapshot())
+
+
+def _query_matrix(num_records: int = 8) -> list[str]:
+    queries = []
+    for i in range(num_records):
+        record = {
+            "author": f"Author_{i}",
+            "title": f"Title_{i}",
+            "conf": ("SIGCOMM", "INFOCOM", "ICDCS")[i % 3],
+            "year": ("1989", "1996", "2001")[i % 3],
+        }
+        for keys in (
+            ("author",),
+            ("conf",),
+            ("author", "title"),
+            ("conf", "year"),
+            ("author", "title", "conf", "year"),
+        ):
+            queries.append(
+                ARTICLE_SCHEMA.xpath_for({k: record[k] for k in keys})
+            )
+    return list(dict.fromkeys(queries))
+
+
+class TestCoveringMemo:
+    def test_repeated_covering_checks_hit_the_memo(self):
+        """Re-checking the same text pairs must be nearly free: at most
+        one homomorphism run per distinct pair, >=95% memo hits."""
+        queries = _query_matrix()
+        pairs = list(itertools.product(queries[:10], queries[10:20]))
+
+        def workload():
+            for _ in range(50):
+                for general, specific in pairs:
+                    covers(general, specific)
+
+        increments = _delta(workload)
+        calls = increments["covers_calls"]
+        assert calls == 50 * len(pairs)
+        hit_rate = increments["covers_cache_hits"] / calls
+        assert hit_rate >= 0.95, f"covers memo hit rate degraded: {hit_rate:.3f}"
+        assert increments["homomorphism_runs"] <= len(pairs), (
+            "each distinct pair should run the homomorphism search at most "
+            f"once, saw {increments['homomorphism_runs']} runs for "
+            f"{len(pairs)} pairs"
+        )
+
+    def test_pattern_interning_hit_rate(self):
+        queries = _query_matrix()
+
+        def workload():
+            for _ in range(20):
+                for query in queries:
+                    covers(query, queries[0])
+
+        increments = _delta(workload)
+        calls = increments["pattern_calls"]
+        assert calls > 0
+        hit_rate = increments["pattern_cache_hits"] / calls
+        assert hit_rate >= 0.95, f"pattern intern hit rate degraded: {hit_rate:.3f}"
+
+
+class TestPartialOrderPrefilter:
+    def test_prefilter_skips_most_covering_checks(self):
+        """Building the partial order over a realistic query mix must
+        skip the majority of the O(n^2) covers calls via fingerprints."""
+        queries = _query_matrix()
+        clear_pattern_caches()
+
+        graphs: list[PartialOrderGraph] = []
+        increments = _delta(lambda: graphs.append(PartialOrderGraph(queries)))
+        graph = graphs[0]
+
+        n = len(graph)
+        potential = n * (n - 1)  # two directed checks per unordered pair
+        performed = increments["pog_covers_checks"]
+        skipped = increments["pog_prefilter_skips"]
+        assert performed + skipped == potential, "prefilter accounting broken"
+        assert performed <= 0.4 * potential, (
+            f"fingerprint prefilter degraded: {performed}/{potential} "
+            "covering checks performed"
+        )
+
+    def test_incremental_hasse_matches_recompute(self):
+        graph = PartialOrderGraph(_query_matrix())
+        assert graph.hasse_edges() == graph._recompute_hasse_edges()
+
+    def test_navigation_runs_no_covering_checks(self):
+        """hasse_edges/chains_to read the maintained reduction: zero
+        covers calls, zero normalizations on canonical inputs."""
+        graph = PartialOrderGraph(_query_matrix())
+        leaf = graph.leaves()[0]
+
+        def workload():
+            for _ in range(100):
+                graph.hasse_edges()
+                graph.chains_to(leaf)
+
+        increments = _delta(workload)
+        assert increments["covers_calls"] == 0
+        assert increments["normalize_cache_misses"] == 0
+
+
+class TestEndToEndCounters:
+    def test_search_workload_cache_floors(self):
+        """A realistic search workload must keep the text-parse caches
+        hot: repeated response entries parse once, not per interaction."""
+        ring = IdealRing(64)
+        for index in range(32):
+            ring.add_node(hash_key(f"peer-{index}", 64))
+        service = IndexService(
+            ARTICLE_SCHEMA,
+            simple_scheme(),
+            DHTStorage(ring),
+            DHTStorage(ring),
+            SimulatedTransport(),
+            cache_policy=CachePolicy.SINGLE,
+        )
+        corpus = SyntheticCorpus(
+            CorpusConfig(num_articles=128, num_authors=48, seed=11)
+        )
+        for record in corpus.records:
+            service.insert_record(record)
+        engine = LookupEngine(service, user="user:guard")
+        items = list(QueryGenerator(corpus, seed=13).generate(600))
+
+        def workload():
+            for item in items:
+                trace = engine.search(item.query, item.target)
+                service.transport.meter.end_query()
+                assert trace.found
+
+        increments = _delta(workload)
+        calls = increments["field_parse_calls"]
+        assert calls > 0
+        hit_rate = increments["field_parse_cache_hits"] / calls
+        assert hit_rate >= 0.80, (
+            f"field-query parse cache hit rate degraded: {hit_rate:.3f}"
+        )
+        # The covering hot path must stay off the homomorphism search:
+        # field queries decide covering by constraint subset, and any
+        # text-level covers calls hit the memo.
+        assert increments["homomorphism_node_visits"] <= 10_000

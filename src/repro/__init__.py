@@ -19,9 +19,14 @@ Subpackages, bottom-up:
 - :mod:`repro.analysis` -- fitting and reporting helpers;
 - :mod:`repro.baselines` -- the INS/Twine replication comparator.
 
+Cross-cutting: :mod:`repro.perf` holds the cheap always-on performance
+counters the hot-path layers increment (parses, normalizations, covering
+checks, cache hit rates).
+
 The most common entry points are re-exported here.
 """
 
+from repro import perf
 from repro.core import (
     ARTICLE_SCHEMA,
     FieldQuery,
@@ -73,5 +78,6 @@ __all__ = [
     "CorpusConfig",
     "QueryGenerator",
     "SyntheticCorpus",
+    "perf",
     "__version__",
 ]

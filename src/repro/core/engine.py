@@ -33,6 +33,7 @@ from typing import Optional
 from repro.core.fields import Record
 from repro.core.query import FieldQuery, QueryParseError
 from repro.core.service import IndexService
+from repro.perf import counters
 
 
 class LookupError_(RuntimeError):
@@ -70,6 +71,23 @@ class LookupEngine:
         self.service = service
         self.user = user
         self.max_interactions = max_interactions
+        # Generalization candidates depend only on the scheme and schema,
+        # so the priority order is computed once here instead of on every
+        # _generalize call: larger keysets first (retain as much
+        # information as possible), ties broken by schema field order,
+        # which encodes the expected selectivity (author before title
+        # before conf before year).
+        field_order = {
+            name: position
+            for position, name in enumerate(service.schema.field_names)
+        }
+        self._generalization_order = sorted(
+            service.scheme.index_classes,
+            key=lambda keyset: (
+                -len(keyset),
+                sorted(field_order[name] for name in keyset),
+            ),
+        )
         if not service.transport.is_registered(user):
             service.transport.register(user, lambda message: None)
 
@@ -86,6 +104,7 @@ class LookupEngine:
             raise LookupError_(
                 f"{query!r} does not cover the target record {target!r}"
             )
+        counters.engine_searches += 1
         trace = SearchTrace(query=query, found=False)
         target_msd = FieldQuery.msd_of(target)
         target_msd_key = target_msd.key()
@@ -171,30 +190,16 @@ class LookupEngine:
         """Find an indexed query covering ``query`` (Section IV-B).
 
         Candidates are proper subsets of the query's fields that form an
-        index class; larger subsets first (retain as much information as
-        possible), ties broken by schema field order, which encodes the
-        expected selectivity (author before title before conf before
-        year).
+        index class, tried in the precomputed priority order (see
+        ``__init__``); the first untried one wins.
         """
-        field_order = {
-            name: position
-            for position, name in enumerate(self.service.schema.field_names)
-        }
-        candidates: list[frozenset[str]] = []
-        for keyset in self.service.scheme.index_classes:
-            if keyset < query.fields and keyset not in attempted:
-                candidates.append(keyset)
-        if not candidates:
-            return None
-        candidates.sort(
-            key=lambda keyset: (
-                -len(keyset),
-                sorted(field_order[name] for name in keyset),
-            )
-        )
-        chosen = candidates[0]
-        attempted.add(chosen)
-        return query.restrict(chosen)
+        fields = query.fields
+        for keyset in self._generalization_order:
+            if keyset < fields and keyset not in attempted:
+                attempted.add(keyset)
+                counters.engine_generalizations += 1
+                return query.restrict(keyset)
+        return None
 
     def _create_shortcuts(self, trace: SearchTrace, target_msd_key: str) -> None:
         """Create cache entries along the successful lookup path."""

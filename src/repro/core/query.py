@@ -15,9 +15,11 @@ property-based tests.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Iterable, Mapping, Optional
 
 from repro.core.fields import Record, Schema, SchemaError
+from repro.perf import counters
 from repro.xmlq.astnodes import LocationPath, LocationStep
 from repro.xmlq.pattern import TreePattern, pattern_from_xpath
 from repro.xmlq.xpparser import parse_xpath
@@ -63,21 +65,36 @@ class FieldQuery:
 
     # Parsing canonical text is on the simulation's hot path (a node's
     # response entries are parsed by the user at every step) and the same
-    # texts recur constantly, so results are memoized per (schema, text).
-    _parse_cache: dict[tuple[int, str], "FieldQuery"] = {}
+    # texts recur constantly, so results are memoized per schema.  The
+    # cache dict hangs off the schema instance itself -- not off
+    # ``id(schema)``, whose value can be recycled after a schema is
+    # garbage-collected and would then serve queries bound to a dead
+    # schema -- and evicts least-recently-used entries instead of
+    # discarding everything at the limit.
+    _PARSE_CACHE_ATTR = "_fieldquery_parse_cache"
     _PARSE_CACHE_LIMIT = 200_000
 
     @classmethod
     def parse(cls, schema: Schema, text: str) -> "FieldQuery":
         """Recover a field query from its canonical XPath text."""
-        cache_key = (id(schema), text)
-        cached = cls._parse_cache.get(cache_key)
+        counters.field_parse_calls += 1
+        cache: Optional[OrderedDict[str, "FieldQuery"]]
+        cache = schema.__dict__.get(cls._PARSE_CACHE_ATTR)
+        if cache is None:
+            cache = OrderedDict()
+            # Schema is a frozen dataclass; attach the cache via
+            # object.__setattr__ so it lives and dies with the instance.
+            object.__setattr__(schema, cls._PARSE_CACHE_ATTR, cache)
+        cached = cache.get(text)
         if cached is not None:
+            counters.field_parse_cache_hits += 1
+            cache.move_to_end(text)
             return cached
+        counters.field_parse_cache_misses += 1
         parsed = cls._parse_uncached(schema, text)
-        if len(cls._parse_cache) >= cls._PARSE_CACHE_LIMIT:
-            cls._parse_cache.clear()
-        cls._parse_cache[cache_key] = parsed
+        cache[text] = parsed
+        while len(cache) > cls._PARSE_CACHE_LIMIT:
+            cache.popitem(last=False)
         return parsed
 
     @classmethod

@@ -27,6 +27,7 @@ from repro.core.query import FieldQuery
 from repro.core.scheme import IndexScheme
 from repro.net.message import Message, MessageKind
 from repro.net.transport import SimulatedTransport
+from repro.perf import counters
 from repro.storage.store import DHTStorage
 
 #: Prefix marking cached-shortcut entries inside a query response payload;
@@ -222,6 +223,7 @@ class IndexService:
 
     def query_key(self, key: str, user: str) -> QueryAnswer:
         """Resolve a raw canonical key (also used by prefix indexes)."""
+        counters.service_queries += 1
         node = self._pick_replica(self.index_store, key)
         request = Message(
             kind=MessageKind.QUERY_REQUEST,
@@ -261,6 +263,7 @@ class IndexService:
 
     def fetch_file(self, msd: FieldQuery, user: str) -> tuple[int, bool]:
         """Retrieve the file stored under an MSD; returns (node, found)."""
+        counters.service_file_fetches += 1
         key = msd.key()
         node = self._pick_replica(self.file_store, key)
         request = Message(

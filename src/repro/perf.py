@@ -1,0 +1,116 @@
+"""Cheap, always-on performance counters for the query-algebra hot path.
+
+The paper's evaluation pushes 50,000 queries through the index hierarchy
+(Section V); every one of them parses query text, normalizes it, and runs
+covering checks.  This module counts those operations -- and the cache
+hits that avoid them -- so that performance work on the hot path can be
+*proved* rather than eyeballed.
+
+Counters are plain integer attributes on a module-level singleton,
+incremented inline by the instrumented layers (:mod:`repro.xmlq`,
+:mod:`repro.core`).  Incrementing an int attribute costs tens of
+nanoseconds, so the counters stay on in production and in every
+simulation run; :meth:`PerfCounters.snapshot` and :func:`delta` turn them
+into dictionaries for reports, benchmark JSON dumps, and regression
+guards.
+
+Invariants (enforced by tests):
+
+- every counter is monotonically non-decreasing between resets;
+- for each cached operation, ``hits + misses == calls``.
+"""
+
+from __future__ import annotations
+
+#: (calls, hits, misses) attribute triples of every cached operation.
+CACHE_TRIPLES: tuple[tuple[str, str, str], ...] = (
+    ("normalize_calls", "normalize_cache_hits", "normalize_cache_misses"),
+    ("pattern_calls", "pattern_cache_hits", "pattern_cache_misses"),
+    ("covers_calls", "covers_cache_hits", "covers_cache_misses"),
+    (
+        "field_parse_calls",
+        "field_parse_cache_hits",
+        "field_parse_cache_misses",
+    ),
+)
+
+
+class PerfCounters:
+    """Hot-path operation counters; one process-wide instance lives below."""
+
+    __slots__ = (
+        # parsing / normalization
+        "xpath_parses",
+        "normalize_calls",
+        "normalize_cache_hits",
+        "normalize_cache_misses",
+        # pattern interning
+        "pattern_calls",
+        "pattern_cache_hits",
+        "pattern_cache_misses",
+        # covering
+        "covers_calls",
+        "covers_cache_hits",
+        "covers_cache_misses",
+        "covers_fingerprint_rejections",
+        "homomorphism_runs",
+        "homomorphism_node_visits",
+        # field-query parsing (core layer)
+        "field_parse_calls",
+        "field_parse_cache_hits",
+        "field_parse_cache_misses",
+        # partial-order graph maintenance
+        "pog_adds",
+        "pog_covers_checks",
+        "pog_prefilter_skips",
+        "pog_hasse_edge_updates",
+        # service / engine traffic
+        "service_queries",
+        "service_file_fetches",
+        "engine_searches",
+        "engine_generalizations",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter (used by benchmarks and tests)."""
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        """Current counter values as a plain dict (JSON-serializable)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def cache_hit_rates(self) -> dict[str, float]:
+        """Hit rate per cached operation, keyed by the calls counter name."""
+        rates: dict[str, float] = {}
+        for calls_name, hits_name, _ in CACHE_TRIPLES:
+            calls = getattr(self, calls_name)
+            if calls:
+                rates[calls_name] = getattr(self, hits_name) / calls
+        return rates
+
+    def __repr__(self) -> str:
+        busy = {k: v for k, v in self.snapshot().items() if v}
+        return f"PerfCounters({busy})"
+
+
+#: The process-wide counter instance every instrumented layer increments.
+counters = PerfCounters()
+
+
+def snapshot() -> dict[str, int]:
+    """Shorthand for ``counters.snapshot()``."""
+    return counters.snapshot()
+
+
+def reset() -> None:
+    """Shorthand for ``counters.reset()``."""
+    counters.reset()
+
+
+def delta(before: dict[str, int], after: dict[str, int]) -> dict[str, int]:
+    """Counter increments between two snapshots (missing keys count as 0)."""
+    return {name: after.get(name, 0) - before.get(name, 0) for name in after}

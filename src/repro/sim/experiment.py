@@ -25,6 +25,7 @@ from repro.core.fields import ARTICLE_SCHEMA
 from repro.core.scheme import IndexScheme, complex_scheme, flat_scheme, simple_scheme
 from repro.core.service import IndexService
 from repro.dht.base import DHTProtocol
+from repro import perf
 from repro.dht.can import CANNetwork
 from repro.dht.chord import ChordNetwork
 from repro.dht.idspace import hash_key
@@ -185,6 +186,7 @@ class Experiment:
     def run(self) -> ExperimentResult:
         """Populate, feed the query workload, and collect every metric."""
         started = time.monotonic()
+        perf_before = perf.snapshot()
         self.populate()
         config = self.config
         result = ExperimentResult(
@@ -232,6 +234,7 @@ class Experiment:
                 1 for _ in trace.visited
             )  # interactions resolve one key each
         self._collect(result)
+        result.perf_counters = perf.delta(perf_before, perf.snapshot())
         result.runtime_seconds = time.monotonic() - started
         return result
 

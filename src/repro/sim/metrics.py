@@ -74,6 +74,22 @@ class ExperimentResult:
 
     runtime_seconds: float = 0.0
 
+    # Hot-path perf counters accumulated during this run (the increments
+    # of repro.perf.counters between run start and end): parses,
+    # normalizations, covering checks, cache hits/misses, ...
+    perf_counters: dict[str, int] = field(default_factory=dict)
+
+    def perf_hit_rate(self, operation: str) -> float:
+        """Cache hit rate of one counted operation during this run.
+
+        ``operation`` is the counter prefix, e.g. ``"normalize"`` or
+        ``"field_parse"``; returns 0.0 when the operation never ran.
+        """
+        hits = self.perf_counters.get(f"{operation}_cache_hits", 0)
+        misses = self.perf_counters.get(f"{operation}_cache_misses", 0)
+        total = hits + misses
+        return hits / total if total else 0.0
+
     @property
     def busiest_node_share(self) -> float:
         """Fraction of queries hitting the single busiest node (Fig 15)."""

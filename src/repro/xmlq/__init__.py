@@ -30,12 +30,14 @@ from repro.xmlq.pattern import (
     PatternEdge,
     PatternNode,
     TreePattern,
+    clear_pattern_caches,
     covers,
+    covers_uncached,
     descriptor_to_pattern,
     pattern_from_xpath,
 )
-from repro.xmlq.normalize import normalize_xpath
-from repro.xmlq.partial_order import PartialOrderGraph
+from repro.xmlq.normalize import clear_normalize_cache, normalize_xpath
+from repro.xmlq.partial_order import PartialOrderGraph, QuerySetView
 
 __all__ = [
     "Element",
@@ -60,9 +62,13 @@ __all__ = [
     "PatternEdge",
     "PatternNode",
     "TreePattern",
+    "clear_pattern_caches",
     "covers",
+    "covers_uncached",
     "descriptor_to_pattern",
     "pattern_from_xpath",
+    "clear_normalize_cache",
     "normalize_xpath",
     "PartialOrderGraph",
+    "QuerySetView",
 ]

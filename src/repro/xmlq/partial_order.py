@@ -10,14 +10,66 @@ the navigation primitives the indexing layer builds on.
 
 Queries are kept in their canonical normalized text form, so equivalent
 expressions collapse to a single graph node.
+
+Performance characteristics (the seed recomputed everything per call):
+
+- ``add`` prefilters the pairwise covering checks with pattern
+  fingerprints, skipping the homomorphism search for pairs whose label
+  sets already rule covering out;
+- the Hasse diagram is maintained *incrementally* on ``add`` -- adding a
+  query only inserts its own reduction edges and deletes the existing
+  edges it short-circuits -- so ``hasse_edges``/``chains_to`` read a
+  standing structure instead of recomputing the transitive reduction
+  (the seed algorithm survives as :meth:`_recompute_hasse_edges`, the
+  oracle the property tests compare against);
+- ``more_general``/``more_specific`` return live frozen views instead of
+  copies, and skip normalization when the argument is already a known
+  canonical text.
 """
 
 from __future__ import annotations
 
+from collections.abc import Set as AbstractSet
 from typing import Iterable, Iterator, Optional
 
+from repro.perf import counters
 from repro.xmlq.normalize import normalize_xpath
 from repro.xmlq.pattern import TreePattern, covers, pattern_from_xpath
+
+
+class QuerySetView(AbstractSet):
+    """Read-only live view of a query set inside the graph.
+
+    Supports iteration, membership, length, and the standard set
+    operators (which return plain sets); call :meth:`copy` for a
+    detached mutable ``set``.  The view reflects later graph mutations.
+    """
+
+    __slots__ = ("_backing",)
+
+    def __init__(self, backing: set[str]) -> None:
+        self._backing = backing
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._backing)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._backing
+
+    def __len__(self) -> int:
+        return len(self._backing)
+
+    @classmethod
+    def _from_iterable(cls, iterable: Iterable[str]) -> set[str]:
+        # Set-algebra results detach from the graph.
+        return set(iterable)
+
+    def copy(self) -> set[str]:
+        """A detached mutable copy of the current contents."""
+        return set(self._backing)
+
+    def __repr__(self) -> str:
+        return f"QuerySetView({sorted(self._backing)!r})"
 
 
 class PartialOrderGraph:
@@ -29,40 +81,106 @@ class PartialOrderGraph:
         # (q ⊒ other, q != other).
         self._more_general: dict[str, set[str]] = {}
         self._more_specific: dict[str, set[str]] = {}
+        # Incrementally maintained transitive reduction:
+        # _hasse[q] = generals of q with no intermediate query between.
+        self._hasse: dict[str, set[str]] = {}
+        self._hasse_sorted: Optional[list[tuple[str, str]]] = None
         if queries is not None:
             for query in queries:
                 self.add(query)
 
     def add(self, query: str) -> str:
         """Add a query; returns its canonical form (the graph node id)."""
-        canonical = normalize_xpath(query)
+        canonical = self._canonicalize(query)
         if canonical in self._patterns:
             return canonical
+        counters.pog_adds += 1
         pattern = pattern_from_xpath(canonical)
-        self._more_general[canonical] = set()
-        self._more_specific[canonical] = set()
+        required, available = pattern.fingerprint
+        generals: set[str] = set()
+        specifics: set[str] = set()
         for other, other_pattern in self._patterns.items():
-            other_covers_new = covers(other_pattern, pattern)
-            new_covers_other = covers(pattern, other_pattern)
-            if other_covers_new and new_covers_other:
-                # Equivalent queries that normalization did not collapse
-                # (possible for //-queries); treat as mutually related.
-                self._more_general[canonical].add(other)
-                self._more_specific[other].add(canonical)
-                self._more_general[other].add(canonical)
-                self._more_specific[canonical].add(other)
+            other_required, other_available = other_pattern.fingerprint
+            # Fingerprint prefilter: a pattern can only cover another if
+            # its required labels all occur in the other's label set.
+            may_cover_new = other_required <= available
+            may_be_covered = required <= other_available
+            checks = int(may_cover_new) + int(may_be_covered)
+            counters.pog_covers_checks += checks
+            counters.pog_prefilter_skips += 2 - checks
+            if not checks:
                 continue
-            if other_covers_new:
-                self._more_general[canonical].add(other)
+            if may_cover_new and covers(other_pattern, pattern):
+                # Mutual covering (equivalent queries normalization did
+                # not collapse, possible for //-queries) simply lands the
+                # pair in both direction sets, as in the seed.
+                generals.add(other)
                 self._more_specific[other].add(canonical)
-            elif new_covers_other:
-                self._more_specific[canonical].add(other)
+            if may_be_covered and covers(pattern, other_pattern):
+                specifics.add(other)
                 self._more_general[other].add(canonical)
+        self._more_general[canonical] = generals
+        self._more_specific[canonical] = specifics
         self._patterns[canonical] = pattern
+        self._update_hasse(canonical, generals, specifics)
+        return canonical
+
+    def _update_hasse(
+        self, canonical: str, generals: set[str], specifics: set[str]
+    ) -> None:
+        """Splice the new node into the maintained transitive reduction.
+
+        Three local effects cover everything (proved equal to the full
+        recompute by property tests):
+
+        1. every existing edge ``s -> g`` with ``s`` below and ``g``
+           above the new node is now transitive through it -- delete;
+        2. the new node gets an up-edge to each of its generals that is
+           not reachable through another of its generals;
+        3. each of its specifics gets an up-edge to it unless another of
+           the new node's specifics already sits between them.
+        """
+        self._hasse_sorted = None
+        up: set[str] = set()
+        self._hasse[canonical] = up
+        for specific in specifics:
+            doomed = self._hasse[specific] & generals
+            if doomed:
+                self._hasse[specific] -= doomed
+                counters.pog_hasse_edge_updates += len(doomed)
+        more_general = self._more_general
+        for general in generals:
+            if not any(
+                middle != general and general in more_general[middle]
+                for middle in generals
+            ):
+                up.add(general)
+                counters.pog_hasse_edge_updates += 1
+        for specific in specifics:
+            if not (more_general[specific] & specifics):
+                self._hasse[specific].add(canonical)
+                counters.pog_hasse_edge_updates += 1
+
+    def _canonicalize(self, query: str) -> str:
+        """Canonical text of ``query``; skips normalization for texts
+        that are already graph nodes (the common hot-path case)."""
+        if query in self._patterns:
+            return query
+        return normalize_xpath(query)
+
+    def _require(self, query: str) -> str:
+        """Canonicalize and verify membership, with a helpful KeyError."""
+        canonical = self._canonicalize(query)
+        if canonical not in self._patterns:
+            raise KeyError(
+                f"query not in graph: {query!r} "
+                f"(canonical form {canonical!r}; graph has "
+                f"{len(self._patterns)} queries)"
+            )
         return canonical
 
     def __contains__(self, query: str) -> bool:
-        return normalize_xpath(query) in self._patterns
+        return self._canonicalize(query) in self._patterns
 
     def __len__(self) -> int:
         return len(self._patterns)
@@ -75,13 +193,23 @@ class PartialOrderGraph:
         """All canonical queries in the graph."""
         return list(self._patterns)
 
-    def more_general(self, query: str) -> set[str]:
-        """Queries that strictly cover ``query`` (are less specific)."""
-        return set(self._more_general[normalize_xpath(query)])
+    def more_general(self, query: str) -> QuerySetView:
+        """Queries that strictly cover ``query`` (are less specific).
 
-    def more_specific(self, query: str) -> set[str]:
-        """Queries strictly covered by ``query`` (are more specific)."""
-        return set(self._more_specific[normalize_xpath(query)])
+        Returns a read-only live view; use ``.copy()`` for a detached
+        mutable set.  Raises :class:`KeyError` with the canonical form
+        when the query is not a graph node.
+        """
+        return QuerySetView(self._more_general[self._require(query)])
+
+    def more_specific(self, query: str) -> QuerySetView:
+        """Queries strictly covered by ``query`` (are more specific).
+
+        Returns a read-only live view; use ``.copy()`` for a detached
+        mutable set.  Raises :class:`KeyError` with the canonical form
+        when the query is not a graph node.
+        """
+        return QuerySetView(self._more_specific[self._require(query)])
 
     def roots(self) -> list[str]:
         """Most general queries: those covered by no other query."""
@@ -95,7 +223,23 @@ class PartialOrderGraph:
         """Edges ``(specific, general)`` of the transitive reduction.
 
         These are the arrows of Figure 3: ``q_i -> q_j`` with
-        ``q_j ⊒ q_i`` and no intermediate query between them.
+        ``q_j ⊒ q_i`` and no intermediate query between them.  Read from
+        the incrementally maintained reduction; the sorted list is cached
+        until the next mutation.
+        """
+        if self._hasse_sorted is None:
+            self._hasse_sorted = sorted(
+                (specific, general)
+                for specific, generals in self._hasse.items()
+                for general in generals
+            )
+        return list(self._hasse_sorted)
+
+    def _recompute_hasse_edges(self) -> list[tuple[str, str]]:
+        """The seed's from-scratch transitive reduction (reference oracle).
+
+        Kept verbatim so property tests can assert the incremental
+        maintenance of :meth:`hasse_edges` never diverges from it.
         """
         edges: list[tuple[str, str]] = []
         for query, generals in self._more_general.items():
@@ -118,14 +262,10 @@ class PartialOrderGraph:
 
         A chain is a path from a root of the Hasse diagram down to
         ``target`` -- the "query chains" of Section V-B, whose last member
-        is the MSD.
+        is the MSD.  Walks the maintained reduction directly.
         """
-        canonical = normalize_xpath(target)
-        if canonical not in self._patterns:
-            raise KeyError(f"query not in graph: {target!r}")
-        hasse: dict[str, set[str]] = {q: set() for q in self._patterns}
-        for specific, general in self.hasse_edges():
-            hasse[specific].add(general)
+        canonical = self._require(target)
+        hasse = self._hasse
 
         chains: list[list[str]] = []
 
@@ -144,6 +284,6 @@ class PartialOrderGraph:
 
     def covers_query(self, general: str, specific: str) -> bool:
         """Covering test between two member queries (cached patterns)."""
-        general_pattern = self._patterns[normalize_xpath(general)]
-        specific_pattern = self._patterns[normalize_xpath(specific)]
+        general_pattern = self._patterns[self._require(general)]
+        specific_pattern = self._patterns[self._require(specific)]
         return covers(general_pattern, specific_pattern)

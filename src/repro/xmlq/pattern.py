@@ -28,12 +28,15 @@ only.
 
 from __future__ import annotations
 
+import itertools
 import re
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
 _BARE_WORD_RE = re.compile(r"[\w.\-:+]+", re.UNICODE)
 
+from repro.perf import counters
 from repro.xmlq.astnodes import (
     Axis,
     Comparison,
@@ -74,11 +77,23 @@ class PatternNode:
         return self.label == "*"
 
 
+#: Never-reused identity tokens for pattern objects; unlike ``id()``,
+#: a serial is not recycled when a pattern is garbage-collected, so it
+#: is safe to key the covering memo table on it.
+_PATTERN_SERIALS = itertools.count()
+
+
 class TreePattern:
     """A rooted tree pattern over descriptor trees.
 
     Node 0 is a virtual root standing above the document element, so that
     absolute paths can constrain the document element's name uniformly.
+
+    Every pattern carries a process-unique ``serial`` and a mutation
+    ``version``; the pair identifies one immutable snapshot of the
+    pattern and keys the memoized covering check.  Patterns returned by
+    the interning cache of :func:`pattern_from_xpath` are shared between
+    callers and therefore sealed against further mutation.
     """
 
     VIRTUAL_ROOT_LABEL = "#root"
@@ -87,6 +102,12 @@ class TreePattern:
         self.nodes: list[PatternNode] = [
             PatternNode(self.VIRTUAL_ROOT_LABEL, is_value=False)
         ]
+        self.serial: int = next(_PATTERN_SERIALS)
+        self.version: int = 0
+        self._fingerprint: Optional[
+            tuple[int, frozenset[str], frozenset[str]]
+        ] = None
+        self._interned = False
 
     def add_node(
         self,
@@ -97,10 +118,41 @@ class TreePattern:
         comparison: Optional[Comparison] = None,
     ) -> int:
         """Append a node under ``parent`` and return its index."""
+        if self._interned:
+            raise ValueError(
+                "cannot mutate an interned TreePattern shared by the "
+                "pattern cache; build a fresh pattern instead"
+            )
+        self.version += 1
+        self._fingerprint = None
         index = len(self.nodes)
         self.nodes.append(PatternNode(label, is_value=is_value, comparison=comparison))
         self.nodes[parent].edges.append(PatternEdge(axis, index))
         return index
+
+    @property
+    def fingerprint(self) -> tuple[frozenset[str], frozenset[str]]:
+        """``(required_labels, all_labels)`` of the pattern's nodes.
+
+        ``required_labels`` are the labels of non-wildcard nodes: a
+        homomorphism must map each of them onto an identically-labeled
+        target node, so ``covers(p, q)`` can only hold when
+        ``p.required_labels <= q.all_labels``.  The covering check uses
+        this as a cheap, sound rejection filter before searching for a
+        homomorphism.
+        """
+        cached = self._fingerprint
+        if cached is not None and cached[0] == self.version:
+            return cached[1], cached[2]
+        labels: set[str] = set()
+        required: set[str] = set()
+        for node in self.nodes[1:]:
+            labels.add(node.label)
+            if node.label != "*":
+                required.add(node.label)
+        computed = (self.version, frozenset(required), frozenset(labels))
+        self._fingerprint = computed
+        return computed[1], computed[2]
 
     @property
     def root(self) -> int:
@@ -128,13 +180,42 @@ class TreePattern:
         return f"TreePattern({self.size()} nodes)"
 
 
+# Interning cache: query text -> shared, sealed TreePattern.  The same
+# canonical texts recur throughout a simulation (every search step
+# rebuilds the pattern of its query in the seed), so repeats return the
+# identical object -- which in turn makes the memoized covering check
+# below hit on (serial, version) identity.
+_PATTERN_CACHE: OrderedDict[str, TreePattern] = OrderedDict()
+_PATTERN_CACHE_LIMIT = 16_384
+
+
 def pattern_from_xpath(expression: Union[str, LocationPath]) -> TreePattern:
-    """Build the tree pattern of a query.
+    """Build (or recall) the tree pattern of a query.
 
     Accepts a source string or a parsed :class:`LocationPath`; the path
-    must be absolute.
+    must be absolute.  String inputs are interned: repeated calls with
+    the same text return one shared, immutable pattern object.
     """
-    path = parse_xpath(expression) if isinstance(expression, str) else expression
+    if not isinstance(expression, str):
+        return _build_pattern(expression)
+    counters.pattern_calls += 1
+    cached = _PATTERN_CACHE.get(expression)
+    if cached is not None:
+        counters.pattern_cache_hits += 1
+        _PATTERN_CACHE.move_to_end(expression)
+        return cached
+    counters.pattern_cache_misses += 1
+    pattern = _build_pattern(parse_xpath(expression))
+    pattern.fingerprint  # precompute before the object is shared
+    pattern._interned = True
+    _PATTERN_CACHE[expression] = pattern
+    while len(_PATTERN_CACHE) > _PATTERN_CACHE_LIMIT:
+        _PATTERN_CACHE.popitem(last=False)
+    return pattern
+
+
+def _build_pattern(path: LocationPath) -> TreePattern:
+    """Uncached pattern construction from a parsed path."""
     if not path.absolute:
         raise ValueError("patterns are built from absolute paths")
     pattern = TreePattern()
@@ -192,6 +273,14 @@ def _attach_element(pattern: TreePattern, anchor: int, element: Element) -> None
         _attach_element(pattern, index, child)
 
 
+# Memoized covering verdicts, keyed on the (serial, version) identity of
+# both pattern snapshots.  Serials are never reused (unlike id()), so a
+# stale entry can never be confused with a new pattern; versions guard
+# against mutation between calls.
+_COVERS_MEMO: OrderedDict[tuple[int, int, int, int], bool] = OrderedDict()
+_COVERS_MEMO_LIMIT = 1 << 20
+
+
 def covers(
     general: Union[str, LocationPath, TreePattern],
     specific: Union[str, LocationPath, TreePattern, Element],
@@ -203,19 +292,79 @@ def covers(
     ``specific`` also matches ``general``.  ``specific`` may be a
     descriptor :class:`Element`, in which case this answers whether
     ``general`` covers the descriptor's MSD.
+
+    Verdicts are memoized on pattern identity (string inputs share
+    interned patterns, so repeated text-level checks hit), and a
+    fingerprint subset test rejects most negative pairs without running
+    the homomorphism search.  Behavior is identical to
+    :func:`covers_uncached`, which property tests enforce.
     """
+    counters.covers_calls += 1
     general_pattern = _as_pattern(general)
     if isinstance(specific, Element):
         specific_pattern = descriptor_to_pattern(specific)
     else:
         specific_pattern = _as_pattern(specific)
+    key = (
+        general_pattern.serial,
+        general_pattern.version,
+        specific_pattern.serial,
+        specific_pattern.version,
+    )
+    cached = _COVERS_MEMO.get(key)
+    if cached is not None:
+        counters.covers_cache_hits += 1
+        _COVERS_MEMO.move_to_end(key)
+        return cached
+    counters.covers_cache_misses += 1
+    required, _ = general_pattern.fingerprint
+    _, available = specific_pattern.fingerprint
+    if not required <= available:
+        counters.covers_fingerprint_rejections += 1
+        result = False
+    else:
+        result = _Homomorphism(general_pattern, specific_pattern).exists()
+    _COVERS_MEMO[key] = result
+    while len(_COVERS_MEMO) > _COVERS_MEMO_LIMIT:
+        _COVERS_MEMO.popitem(last=False)
+    return result
+
+
+def covers_uncached(
+    general: Union[str, LocationPath, TreePattern],
+    specific: Union[str, LocationPath, TreePattern, Element],
+) -> bool:
+    """Reference covering check: no interning, memo, or prefilter.
+
+    This is the seed implementation, kept as the oracle that property
+    tests compare the optimized :func:`covers` against.
+    """
+    general_pattern = _fresh_pattern(general)
+    if isinstance(specific, Element):
+        specific_pattern = descriptor_to_pattern(specific)
+    else:
+        specific_pattern = _fresh_pattern(specific)
     return _Homomorphism(general_pattern, specific_pattern).exists()
+
+
+def clear_pattern_caches() -> None:
+    """Drop interned patterns and covering verdicts (tests/benchmarks)."""
+    _PATTERN_CACHE.clear()
+    _COVERS_MEMO.clear()
 
 
 def _as_pattern(query: Union[str, LocationPath, TreePattern]) -> TreePattern:
     if isinstance(query, TreePattern):
         return query
     return pattern_from_xpath(query)
+
+
+def _fresh_pattern(query: Union[str, LocationPath, TreePattern]) -> TreePattern:
+    if isinstance(query, TreePattern):
+        return query
+    if isinstance(query, str):
+        return _build_pattern(parse_xpath(query))
+    return _build_pattern(query)
 
 
 class _Homomorphism:
@@ -227,9 +376,11 @@ class _Homomorphism:
         self._memo: dict[tuple[int, int], bool] = {}
 
     def exists(self) -> bool:
+        counters.homomorphism_runs += 1
         return self._embeds(self.source.root, self.target.root)
 
     def _embeds(self, source_index: int, target_index: int) -> bool:
+        counters.homomorphism_node_visits += 1
         key = (source_index, target_index)
         cached = self._memo.get(key)
         if cached is not None:

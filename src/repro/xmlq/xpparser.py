@@ -20,6 +20,7 @@ grammar, e.g.::
 
 from __future__ import annotations
 
+from repro.perf import counters
 from repro.xmlq.astnodes import Axis, Comparison, LocationPath, LocationStep, Predicate
 from repro.xmlq.lexer import Token, TokenType, tokenize
 
@@ -124,4 +125,5 @@ def parse_xpath(expression: str) -> LocationPath:
     Raises :class:`XPathParseError` (or
     :class:`repro.xmlq.lexer.XPathLexError`) on malformed input.
     """
+    counters.xpath_parses += 1
     return _Parser(tokenize(expression)).parse()

@@ -1,0 +1,131 @@
+"""Tests for the per-schema FieldQuery parse cache and engine hoisting.
+
+The seed keyed its parse cache on ``id(schema)``: after a schema was
+garbage-collected, a new schema allocated at the same address would be
+served queries bound to the dead schema.  The cache now lives on the
+schema instance itself, so its lifetime is the schema's lifetime, and it
+evicts least-recently-used entries instead of clearing wholesale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import LookupEngine
+from repro.core.fields import ARTICLE_SCHEMA, Record, Schema
+from repro.core.query import FieldQuery
+from repro import perf
+
+
+def _fresh_schema() -> Schema:
+    return Schema(
+        root="article",
+        fields={
+            "author": "author/name",
+            "title": "title",
+            "conf": "conf",
+            "year": "year",
+        },
+        admin={"size": "size"},
+    )
+
+
+class TestPerSchemaParseCache:
+    def test_repeat_parse_returns_cached_object(self):
+        schema = _fresh_schema()
+        text = schema.xpath_for({"author": "John_Smith"})
+        first = FieldQuery.parse(schema, text)
+        second = FieldQuery.parse(schema, text)
+        assert first is second
+
+    def test_cache_counts_hits_and_misses(self):
+        schema = _fresh_schema()
+        text = schema.xpath_for({"title": "TCP"})
+        before = perf.snapshot()
+        FieldQuery.parse(schema, text)
+        FieldQuery.parse(schema, text)
+        delta = perf.delta(before, perf.snapshot())
+        assert delta["field_parse_calls"] == 2
+        assert delta["field_parse_cache_misses"] == 1
+        assert delta["field_parse_cache_hits"] == 1
+
+    def test_equal_schemas_have_independent_caches(self):
+        """Two equal-valued schema instances must not share entries:
+        FieldQuery binds by identity (``schema is other.schema``)."""
+        schema_a = _fresh_schema()
+        schema_b = _fresh_schema()
+        text = schema_a.xpath_for({"conf": "SIGCOMM"})
+        query_a = FieldQuery.parse(schema_a, text)
+        query_b = FieldQuery.parse(schema_b, text)
+        assert query_a is not query_b
+        assert query_a.schema is schema_a
+        assert query_b.schema is schema_b
+
+    def test_cache_dies_with_schema(self):
+        """The cache hangs off the instance: no global table keeps dead
+        schemas (or their queries) alive, and a recycled id() can never
+        resurface another schema's entries."""
+        schema = _fresh_schema()
+        text = schema.xpath_for({"year": "1996"})
+        FieldQuery.parse(schema, text)
+        assert FieldQuery._PARSE_CACHE_ATTR in schema.__dict__
+        assert not hasattr(FieldQuery, "_parse_cache")  # seed global gone
+
+    def test_lru_eviction_keeps_recent_entries(self, monkeypatch):
+        monkeypatch.setattr(FieldQuery, "_PARSE_CACHE_LIMIT", 4)
+        schema = _fresh_schema()
+        texts = [
+            schema.xpath_for({"year": str(1990 + i)}) for i in range(6)
+        ]
+        parsed = [FieldQuery.parse(schema, text) for text in texts]
+        cache = schema.__dict__[FieldQuery._PARSE_CACHE_ATTR]
+        assert len(cache) == 4
+        # The most recent entries survived; the oldest two were evicted.
+        assert FieldQuery.parse(schema, texts[-1]) is parsed[-1]
+        assert FieldQuery.parse(schema, texts[0]) is not parsed[0]
+
+    def test_lru_recency_is_updated_on_hit(self, monkeypatch):
+        monkeypatch.setattr(FieldQuery, "_PARSE_CACHE_LIMIT", 2)
+        schema = _fresh_schema()
+        first = schema.xpath_for({"year": "1990"})
+        second = schema.xpath_for({"year": "1991"})
+        third = schema.xpath_for({"year": "1992"})
+        kept = FieldQuery.parse(schema, first)
+        FieldQuery.parse(schema, second)
+        FieldQuery.parse(schema, first)  # refresh recency of `first`
+        FieldQuery.parse(schema, third)  # evicts `second`, not `first`
+        assert FieldQuery.parse(schema, first) is kept
+
+
+class TestEngineHoisting:
+    def test_generalization_order_precomputed(self, small_service):
+        engine = LookupEngine(small_service, user="user:hoist")
+        order = engine._generalization_order
+        assert order, "generalization order must be precomputed"
+        # Larger keysets come first; ties follow schema field order
+        # (author before title before conf before year).
+        sizes = [len(keyset) for keyset in order]
+        assert sizes == sorted(sizes, reverse=True)
+        pairs = [keyset for keyset in order if len(keyset) == 2]
+        assert pairs[0] == frozenset({"author", "title"})
+
+    def test_generalize_prefers_largest_then_selective(self, small_service):
+        engine = LookupEngine(small_service, user="user:hoist2")
+        record = Record(
+            ARTICLE_SCHEMA,
+            {
+                "author": "A",
+                "title": "T",
+                "conf": "C",
+                "year": "1996",
+                "size": "1",
+            },
+        )
+        full = FieldQuery.msd_of(record)
+        attempted: set[frozenset[str]] = set()
+        first = engine._generalize(full, attempted)
+        assert first is not None
+        assert first.fields == frozenset({"author", "title"})
+        second = engine._generalize(full, attempted)
+        assert second is not None
+        assert second.fields == frozenset({"conf", "year"})
