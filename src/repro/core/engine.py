@@ -19,6 +19,11 @@ shortcut-creation side of the adaptive cache (Section IV-C):
 5. After a successful lookup, shortcuts are created according to the
    cache policy: on every traversed index node (multi-cache) or on the
    first contacted node only (single-cache and LRU).
+6. Deliveries can fail (the transport is allowed to drop messages and
+   nodes may crash -- see :mod:`repro.net.faults`): each exchange is
+   retried with deterministic backoff under a per-lookup interaction
+   budget, and the trace records retries, failed sends, and whether the
+   search gave up, so availability under churn is a measurement.
 
 The engine models the *automated* search mode of the paper -- the target
 record plays the role of the user's selection criterion at each step --
@@ -33,6 +38,7 @@ from typing import Optional
 from repro.core.fields import Record
 from repro.core.query import FieldQuery, QueryParseError
 from repro.core.service import IndexService
+from repro.net.transport import DeliveryError
 from repro.perf import counters
 
 
@@ -42,12 +48,24 @@ class LookupError_(RuntimeError):
 
 @dataclass
 class SearchTrace:
-    """Everything one search did, for the metric collectors."""
+    """Everything one search did, for the metric collectors.
+
+    ``interactions`` counts completed message exchanges only; failed
+    sends (message lost, node crashed with no replica left) are counted
+    separately in ``failed_sends``, and ``retries`` counts the
+    re-transmissions the engine issued to recover from them.
+    ``gave_up`` marks a search abandoned because deliveries kept failing
+    (retry/budget exhaustion) -- as opposed to the data being absent --
+    so availability under faults is measured, not estimated.
+    """
 
     query: FieldQuery
     found: bool
     interactions: int = 0
     errors: int = 0
+    retries: int = 0
+    failed_sends: int = 0
+    gave_up: bool = False
     generalized: bool = False
     cache_hit: bool = False
     hit_interaction: Optional[int] = None  # 1-based index of the jump
@@ -62,15 +80,27 @@ class SearchTrace:
 class LookupEngine:
     """Drives searches for one user against an :class:`IndexService`."""
 
+    #: Budget units charged before the k-th retry of one exchange: the
+    #: deterministic stand-in for exponential backoff in a simulation
+    #: with no wall clock (waiting longer = burning more of the lookup's
+    #: interaction budget).
+    DEFAULT_RETRY_BACKOFF = (1, 2, 4)
+
     def __init__(
         self,
         service: IndexService,
         user: str = "user:0",
         max_interactions: int = 64,
+        max_retries: int = 3,
+        retry_backoff: tuple[int, ...] = DEFAULT_RETRY_BACKOFF,
     ) -> None:
         self.service = service
         self.user = user
         self.max_interactions = max_interactions
+        self.max_retries = max_retries
+        self.retry_backoff = tuple(retry_backoff)
+        if not self.retry_backoff:
+            raise ValueError("retry_backoff cannot be empty")
         # Generalization candidates depend only on the scheme and schema,
         # so the priority order is computed once here instead of on every
         # _generalize call: larger keysets first (retain as much
@@ -88,6 +118,9 @@ class LookupEngine:
                 sorted(field_order[name] for name in keyset),
             ),
         )
+        # Idempotent under re-construction: building several engines for
+        # one user name (or rebuilding after the endpoint unregistered)
+        # must not trip the transport's duplicate-registration guard.
         if not service.transport.is_registered(user):
             service.transport.register(user, lambda message: None)
 
@@ -111,16 +144,33 @@ class LookupEngine:
 
         current = query
         attempted_generalizations: set[frozenset[str]] = set()
-        while trace.interactions < self.max_interactions:
+        # The per-lookup timeout budget, in interaction units (the
+        # simulation has no wall clock): every exchange -- successful or
+        # failed -- and every backoff period drains it.
+        budget = self.max_interactions
+        while budget > 0:
             if current.is_msd():
-                node, found = self.service.fetch_file(current, self.user)
+                fetched, budget = self._with_retries(
+                    lambda q=current: self.service.fetch_file(q, self.user),
+                    trace,
+                    budget,
+                )
+                if fetched is None:
+                    break
+                node, found = fetched
                 trace.interactions += 1
                 trace.visited.append((node, current.key()))
                 trace.found = found
                 trace.result_msd = current.key() if found else None
                 break
 
-            answer = self.service.query(current, self.user)
+            answer, budget = self._with_retries(
+                lambda q=current: self.service.query(q, self.user),
+                trace,
+                budget,
+            )
+            if answer is None:
+                break
             trace.interactions += 1
             trace.visited.append((answer.node, current.key()))
 
@@ -166,6 +216,37 @@ class LookupEngine:
         return answer.entries + answer.shortcuts
 
     # -- internals -----------------------------------------------------------------
+
+    def _with_retries(self, operation, trace: SearchTrace, budget: int):
+        """Run one message exchange under the lookup budget.
+
+        On a :class:`DeliveryError` (message lost, or every replica of
+        the destination key down) the exchange is retried up to
+        ``max_retries`` times; each retry first burns its deterministic
+        backoff from the budget.  Returns ``(result, budget_left)`` --
+        ``result`` is ``None`` when the exchange was abandoned, in which
+        case the trace is marked ``gave_up``.
+        """
+        attempt = 0
+        while budget > 0:
+            budget -= 1  # the exchange itself consumes one budget unit
+            try:
+                return operation(), budget
+            except DeliveryError:
+                trace.failed_sends += 1
+                counters.engine_failed_sends += 1
+                if attempt >= self.max_retries or budget <= 0:
+                    break
+                backoff = self.retry_backoff[
+                    min(attempt, len(self.retry_backoff) - 1)
+                ]
+                budget -= backoff
+                attempt += 1
+                trace.retries += 1
+                counters.engine_retries += 1
+        trace.gave_up = True
+        counters.engine_gave_up += 1
+        return None, budget
 
     def _select_entry(
         self, entries: list[str], target: Record

@@ -26,7 +26,7 @@ from repro.core.fields import Record, Schema
 from repro.core.query import FieldQuery
 from repro.core.scheme import IndexScheme
 from repro.net.message import Message, MessageKind
-from repro.net.transport import SimulatedTransport
+from repro.net.transport import DeliveryError, SimulatedTransport
 from repro.perf import counters
 from repro.storage.store import DHTStorage
 
@@ -222,63 +222,110 @@ class IndexService:
         return self.query_key(query.key(), user)
 
     def query_key(self, key: str, user: str) -> QueryAnswer:
-        """Resolve a raw canonical key (also used by prefix indexes)."""
+        """Resolve a raw canonical key (also used by prefix indexes).
+
+        Failure-aware: when the chosen replica is crashed or departed
+        (typed :class:`DeliveryError` with a persistent reason), the
+        request *fails over* to the key's next replica before giving up
+        -- the DHash/PAST-style redundancy the paper assumes.  Transient
+        losses (dropped messages) are re-raised for the caller's retry
+        logic, since the same node will answer a retransmission.
+        """
         counters.service_queries += 1
-        node = self._pick_replica(self.index_store, key)
-        request = Message(
-            kind=MessageKind.QUERY_REQUEST,
-            source=user,
-            destination=self.endpoint_name(node),
-            payload=(key,),
-        )
-        response = self.transport.send(request)
-        assert response is not None
-        self.transport.meter.touch_node(self.endpoint_name(node))
-        entries: list[str] = []
-        shortcuts: list[str] = []
-        file_found = False
-        for item in response.payload:
-            if item == self.FILE_FOUND_MARK:
-                file_found = True
-            elif item.startswith(SHORTCUT_MARK):
-                shortcuts.append(item[len(SHORTCUT_MARK):])
-            else:
-                entries.append(item)
-        return QueryAnswer(
-            node=node, entries=entries, shortcuts=shortcuts, file_found=file_found
-        )
+        last_error: Optional[DeliveryError] = None
+        for attempt, node in enumerate(self._replica_order(self.index_store, key)):
+            if attempt:
+                counters.service_failovers += 1
+            request = Message(
+                kind=MessageKind.QUERY_REQUEST,
+                source=user,
+                destination=self.endpoint_name(node),
+                payload=(key,),
+            )
+            try:
+                response = self.transport.send(request)
+            except DeliveryError as error:
+                if not error.retry_elsewhere:
+                    raise
+                last_error = error
+                continue
+            assert response is not None
+            self.transport.meter.touch_node(self.endpoint_name(node))
+            entries: list[str] = []
+            shortcuts: list[str] = []
+            file_found = False
+            for item in response.payload:
+                if item == self.FILE_FOUND_MARK:
+                    file_found = True
+                elif item.startswith(SHORTCUT_MARK):
+                    shortcuts.append(item[len(SHORTCUT_MARK):])
+                else:
+                    entries.append(item)
+            return QueryAnswer(
+                node=node, entries=entries, shortcuts=shortcuts,
+                file_found=file_found,
+            )
+        assert last_error is not None
+        raise last_error
 
-    def _pick_replica(self, store: DHTStorage, key: str) -> int:
-        """Choose which replica of a key serves this request.
+    def _replica_order(self, store: DHTStorage, key: str) -> list[int]:
+        """The replicas of a key in the order this request tries them.
 
-        With ``replication == 1`` this is the responsible node.  With
-        more replicas, requests rotate round-robin, spreading the load
-        of hot keys across their replica sets (Section V-g).
+        With ``replication == 1`` this is just the responsible node.
+        With more replicas, the starting point rotates round-robin,
+        spreading the load of hot keys across their replica sets
+        (Section V-g); the remaining replicas follow as failover
+        candidates.
         """
         nodes = store.responsible_nodes(key)
         if len(nodes) == 1:
-            return nodes[0]
+            return nodes
         self._replica_rotation += 1
-        return nodes[self._replica_rotation % len(nodes)]
+        start = self._replica_rotation % len(nodes)
+        return nodes[start:] + nodes[:start]
+
+    def _pick_replica(self, store: DHTStorage, key: str) -> int:
+        """The first replica this request would try (see _replica_order)."""
+        return self._replica_order(store, key)[0]
 
     def fetch_file(self, msd: FieldQuery, user: str) -> tuple[int, bool]:
-        """Retrieve the file stored under an MSD; returns (node, found)."""
+        """Retrieve the file stored under an MSD; returns (node, found).
+
+        Fails over across the MSD's replicas exactly like
+        :meth:`query_key`; transient drops propagate for retry.
+        """
         counters.service_file_fetches += 1
         key = msd.key()
-        node = self._pick_replica(self.file_store, key)
-        request = Message(
-            kind=MessageKind.FILE_REQUEST,
-            source=user,
-            destination=self.endpoint_name(node),
-            payload=(key,),
-        )
-        response = self.transport.send(request)
-        assert response is not None
-        self.transport.meter.touch_node(self.endpoint_name(node))
-        return node, bool(response.payload)
+        last_error: Optional[DeliveryError] = None
+        for attempt, node in enumerate(self._replica_order(self.file_store, key)):
+            if attempt:
+                counters.service_failovers += 1
+            request = Message(
+                kind=MessageKind.FILE_REQUEST,
+                source=user,
+                destination=self.endpoint_name(node),
+                payload=(key,),
+            )
+            try:
+                response = self.transport.send(request)
+            except DeliveryError as error:
+                if not error.retry_elsewhere:
+                    raise
+                last_error = error
+                continue
+            assert response is not None
+            self.transport.meter.touch_node(self.endpoint_name(node))
+            return node, bool(response.payload)
+        assert last_error is not None
+        raise last_error
 
     def insert_shortcut(self, node: int, query_key: str, msd_key: str, user: str) -> None:
-        """Create a cache shortcut on a node (counted as cache traffic)."""
+        """Create a cache shortcut on a node (counted as cache traffic).
+
+        Best-effort: shortcut creation is an optimization, so a delivery
+        failure (node crashed, message lost) is swallowed -- the lookup
+        already succeeded, and a later lookup will re-seed the cache.
+        """
         if not self.cache_policy.caches_enabled:
             return
         request = Message(
@@ -287,7 +334,10 @@ class IndexService:
             destination=self.endpoint_name(node),
             payload=(query_key, msd_key),
         )
-        self.transport.send(request)
+        try:
+            self.transport.send(request)
+        except DeliveryError:
+            pass
 
     # -- statistics ---------------------------------------------------------------------
 

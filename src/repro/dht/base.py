@@ -55,6 +55,46 @@ class DHTProtocol(abc.ABC):
     def remove_node(self, node: NodeId) -> None:
         """Remove a node from the overlay."""
 
+    # -- crash state (transient failures, Section IV-C) ----------------------
+    #
+    # A *crashed* node differs from a *removed* one: it stays in the
+    # overlay's routing state (lookups still resolve to it) but cannot
+    # serve requests until it recovers.  This is the window in which the
+    # storage layer's replica failover and the engine's retries must
+    # carry the load.  The state lives here so every substrate exposes
+    # ``fail_node`` / ``recover_node`` / ``is_alive`` consistently.
+
+    @property
+    def _crashed_nodes(self) -> set[NodeId]:
+        crashed = self.__dict__.get("_crashed_node_set")
+        if crashed is None:
+            crashed = self.__dict__["_crashed_node_set"] = set()
+        return crashed
+
+    def fail_node(self, node: NodeId) -> None:
+        """Mark a member node crashed (it stays in the overlay)."""
+        if node not in self:
+            raise KeyError(f"node id {node} not in the overlay")
+        self._crashed_nodes.add(node)
+
+    def recover_node(self, node: NodeId) -> None:
+        """Bring a crashed node back up (no-op when it is not crashed)."""
+        self._crashed_nodes.discard(node)
+
+    def is_alive(self, node: NodeId) -> bool:
+        """True for overlay members that are not currently crashed."""
+        if node in self._crashed_nodes:
+            return False
+        return node in self
+
+    @property
+    def failed_nodes(self) -> set[NodeId]:
+        """Crashed nodes that are still overlay members."""
+        crashed = self._crashed_nodes
+        if not crashed:
+            return set()
+        return crashed & set(self.node_ids)
+
     # -- common helpers ------------------------------------------------------
 
     def __len__(self) -> int:

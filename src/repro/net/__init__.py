@@ -12,13 +12,27 @@ reproducible:
   and per-node message counts (Figures 12 and 15),
 - :mod:`repro.net.transport` -- an in-process transport that routes
   messages between registered endpoints while metering them,
+- :mod:`repro.net.faults` -- deterministic fault injection (message
+  loss, duplicates, latency ticks, crash/rejoin schedules) wrapping the
+  transport behind the same endpoint protocol,
 - :mod:`repro.net.latency` -- pluggable link-latency models so substrate
   experiments can report lookup delays.
 """
 
 from repro.net.message import Message, MessageKind, TrafficCategory
 from repro.net.traffic import NodeLoad, TrafficMeter
-from repro.net.transport import Endpoint, SimulatedTransport, TransportError
+from repro.net.transport import (
+    DeliveryError,
+    Endpoint,
+    SimulatedTransport,
+    TransportError,
+)
+from repro.net.faults import (
+    NO_FAULTS,
+    CrashEvent,
+    FaultPlan,
+    FaultyTransport,
+)
 from repro.net.latency import (
     ConstantLatency,
     LatencyModel,
@@ -34,6 +48,11 @@ __all__ = [
     "Endpoint",
     "SimulatedTransport",
     "TransportError",
+    "DeliveryError",
+    "NO_FAULTS",
+    "CrashEvent",
+    "FaultPlan",
+    "FaultyTransport",
     "ConstantLatency",
     "LatencyModel",
     "SeededUniformLatency",

@@ -1,0 +1,242 @@
+"""Deterministic fault injection over the simulated transport.
+
+The paper treats index entries as soft state over a churning peer
+population ("nodes can fail", Section IV-C) but evaluates on a perfectly
+reliable network.  This module supplies the missing failure model as a
+wrapper -- :class:`FaultyTransport` exposes the same endpoint protocol as
+:class:`repro.net.transport.SimulatedTransport`, so the whole stack runs
+unchanged over it -- driven by a seeded :class:`FaultPlan`:
+
+- per-message *drop* probability (request or response lost in flight),
+- per-exchange *duplicate* delivery (the destination handles the message
+  twice, as a retransmitting network would cause),
+- added *latency ticks* per delivered message (interaction-count based;
+  the simulation has no wall clock),
+- a *crash/rejoin schedule*: endpoints marked crashed stay registered but
+  refuse delivery until they recover, which is exactly the window in
+  which replica failover and lookup retries must carry the load.
+
+Every injected fault raises the typed
+:class:`repro.net.transport.DeliveryError` (never the hard
+:class:`TransportError`) and increments a :mod:`repro.perf` counter, so
+chaos runs are measured, not estimated.  All randomness flows through one
+``random.Random`` -- either the plan's seed or an instance threaded in by
+the simulation -- making every chaos run bit-reproducible.
+
+A zero :class:`FaultPlan` is guaranteed transparent: no random draws, no
+counter increments, byte-identical metering to the bare transport.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.net.message import Message
+from repro.net.traffic import TrafficMeter
+from repro.net.transport import DeliveryError, Endpoint, SimulatedTransport
+from repro.perf import counters
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """One scheduled crash: at the ``at_send``-th send, ``victim`` goes
+    down for the next ``downtime_sends`` sends, then rejoins.
+
+    ``victim=None`` picks a random crashable endpoint (by default any
+    ``node:``-named one) at fire time, using the transport's RNG.
+    """
+
+    at_send: int
+    downtime_sends: int
+    victim: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.at_send < 0 or self.downtime_sends < 1:
+            raise ValueError("need at_send >= 0 and downtime_sends >= 1")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded description of what goes wrong, and how often."""
+
+    drop_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    max_latency_ticks: int = 0
+    crash_schedule: tuple[CrashEvent, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_probability", "duplicate_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.max_latency_ticks < 0:
+            raise ValueError("max_latency_ticks cannot be negative")
+
+    @property
+    def is_zero(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (
+            self.drop_probability == 0.0
+            and self.duplicate_probability == 0.0
+            and self.max_latency_ticks == 0
+            and not self.crash_schedule
+        )
+
+
+#: The transparent plan: wrapping with it is behaviourally identical to
+#: the bare transport (asserted by tests).
+NO_FAULTS = FaultPlan()
+
+
+def _default_crashable(names: list[str]) -> list[str]:
+    """Endpoints eligible for random crash selection: index nodes only."""
+    return [name for name in names if name.startswith("node:")]
+
+
+class FaultyTransport:
+    """A :class:`SimulatedTransport` wrapper that injects planned faults.
+
+    Implements the same endpoint protocol (register / unregister /
+    is_registered / endpoint_names / send / meter), so services and
+    engines built for the plain transport run over it unchanged.
+    """
+
+    def __init__(
+        self,
+        inner: SimulatedTransport,
+        plan: FaultPlan = NO_FAULTS,
+        rng: Optional[random.Random] = None,
+        crashable: Callable[[list[str]], list[str]] = _default_crashable,
+    ) -> None:
+        self.inner = inner
+        self.plan = plan
+        self._rng = rng if rng is not None else random.Random(plan.seed)
+        self._crashable = crashable
+        self._crashed: set[str] = set()
+        self.sends = 0
+        #: Total injected latency, in abstract ticks (no wall clock).
+        self.latency_ticks = 0
+        self._pending_crashes = sorted(
+            plan.crash_schedule, key=lambda event: event.at_send
+        )
+        self._pending_recoveries: list[tuple[int, str]] = []
+
+    # -- endpoint protocol (delegation) ------------------------------------
+
+    @property
+    def meter(self) -> TrafficMeter:
+        return self.inner.meter
+
+    def register(self, name: str, endpoint: Endpoint) -> None:
+        """Attach an endpoint on the wrapped transport."""
+        self.inner.register(name, endpoint)
+
+    def unregister(self, name: str) -> None:
+        """Detach an endpoint; a crashed one departs un-crashed."""
+        self.inner.unregister(name)
+        self._crashed.discard(name)
+
+    def is_registered(self, name: str) -> bool:
+        """True when the wrapped transport knows this endpoint."""
+        return self.inner.is_registered(name)
+
+    @property
+    def endpoint_names(self) -> list[str]:
+        return self.inner.endpoint_names
+
+    # -- crash state --------------------------------------------------------
+
+    def fail_node(self, name: str) -> None:
+        """Mark an endpoint crashed: registered, but refusing delivery."""
+        self._crashed.add(name)
+
+    def recover_node(self, name: str) -> None:
+        """Bring a crashed endpoint back up."""
+        self._crashed.discard(name)
+
+    def is_crashed(self, name: str) -> bool:
+        """True while an endpoint is in its crash window."""
+        return name in self._crashed
+
+    @property
+    def crashed_endpoints(self) -> set[str]:
+        return set(self._crashed)
+
+    # -- delivery -----------------------------------------------------------
+
+    def send(self, message: Message) -> Optional[Message]:
+        """Deliver through the inner transport, injecting planned faults.
+
+        Fault accounting rules (asserted by tests):
+
+        - a dropped *request* still meters its request bytes (the sender
+          spent them) but the handler never runs;
+        - a dropped *response* meters both sides (the node did the work
+          and transmitted) yet the caller sees a :class:`DeliveryError`;
+        - a duplicated message runs the handler twice and meters both
+          deliveries;
+        - a send to a crashed endpoint meters the request bytes and
+          raises with reason ``crashed`` so callers fail over.
+        """
+        self._advance_schedule()
+        self.sends += 1
+        plan = self.plan
+        if message.destination in self._crashed:
+            counters.fault_crashed_sends += 1
+            self.inner.meter.record(message)
+            raise DeliveryError(DeliveryError.CRASHED, message.destination)
+        if (
+            plan.drop_probability
+            and self._rng.random() < plan.drop_probability
+        ):
+            counters.fault_drops += 1
+            self.inner.meter.record(message)
+            raise DeliveryError(DeliveryError.DROPPED, message.destination)
+        if plan.max_latency_ticks:
+            ticks = self._rng.randint(0, plan.max_latency_ticks)
+            self.latency_ticks += ticks
+            counters.fault_latency_ticks += ticks
+        response = self.inner.send(message)
+        if (
+            plan.duplicate_probability
+            and self._rng.random() < plan.duplicate_probability
+        ):
+            counters.fault_duplicates += 1
+            self.inner.send(message)
+        if (
+            response is not None
+            and plan.drop_probability
+            and self._rng.random() < plan.drop_probability
+        ):
+            counters.fault_drops += 1
+            raise DeliveryError(DeliveryError.DROPPED, message.destination)
+        return response
+
+    def _advance_schedule(self) -> None:
+        """Fire crash/recovery events scheduled at the current send."""
+        while self._pending_recoveries and (
+            self._pending_recoveries[0][0] <= self.sends
+        ):
+            _, name = self._pending_recoveries.pop(0)
+            self.recover_node(name)
+        while self._pending_crashes and (
+            self._pending_crashes[0].at_send <= self.sends
+        ):
+            event = self._pending_crashes.pop(0)
+            victim = event.victim
+            if victim is None:
+                candidates = [
+                    name
+                    for name in self._crashable(self.inner.endpoint_names)
+                    if name not in self._crashed
+                ]
+                if not candidates:
+                    continue
+                victim = candidates[self._rng.randrange(len(candidates))]
+            self.fail_node(victim)
+            recover_at = self.sends + event.downtime_sends
+            self._pending_recoveries.append((recover_at, victim))
+            self._pending_recoveries.sort()

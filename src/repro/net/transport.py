@@ -19,7 +19,38 @@ from repro.net.traffic import TrafficMeter
 
 
 class TransportError(RuntimeError):
-    """Raised for unknown destinations or duplicate registrations."""
+    """Raised on transport *misuse*: duplicate registrations and sends to
+    destinations that never existed (a programming error in the caller)."""
+
+
+class DeliveryError(TransportError):
+    """A message could not be delivered for a *runtime* reason.
+
+    Unlike :class:`TransportError` (misuse, not recoverable), a delivery
+    error models a network condition a robust client is expected to
+    handle: the destination departed, crashed, or the message was lost.
+    ``reason`` is one of the ``*_REASON`` constants below and tells the
+    retry logic whether trying another replica can help (a crashed node
+    stays crashed) or whether retrying the same node is enough (a drop
+    is transient).
+    """
+
+    #: The message was dropped on the wire (transient; retry same node).
+    DROPPED = "dropped"
+    #: The destination is crashed (persistent; fail over to a replica).
+    CRASHED = "crashed"
+    #: The destination unregistered after having existed (node departed).
+    UNREGISTERED = "unregistered"
+
+    def __init__(self, reason: str, destination: str) -> None:
+        super().__init__(f"delivery failed ({reason}): {destination!r}")
+        self.reason = reason
+        self.destination = destination
+
+    @property
+    def retry_elsewhere(self) -> bool:
+        """Whether another replica could answer where this node did not."""
+        return self.reason in (self.CRASHED, self.UNREGISTERED)
 
 
 Endpoint = Callable[[Message], Optional[Message]]
@@ -35,12 +66,16 @@ class SimulatedTransport:
     def __init__(self, meter: Optional[TrafficMeter] = None) -> None:
         self.meter = meter if meter is not None else TrafficMeter()
         self._endpoints: dict[str, Endpoint] = {}
+        # Names that existed at some point: distinguishes "never existed"
+        # (programming error) from "departed" (runtime condition).
+        self._ever_registered: set[str] = set()
 
     def register(self, name: str, endpoint: Endpoint) -> None:
         """Attach an endpoint under a unique name."""
         if name in self._endpoints:
             raise TransportError(f"endpoint already registered: {name!r}")
         self._endpoints[name] = endpoint
+        self._ever_registered.add(name)
 
     def unregister(self, name: str) -> None:
         """Detach an endpoint (e.g. a departed node)."""
@@ -60,9 +95,20 @@ class SimulatedTransport:
         """Deliver a message; meter it and any synchronous response.
 
         Returns the destination's response message, if it produced one.
+        Sending to a name that *never* existed raises
+        :class:`TransportError` (a programming error); sending to a name
+        that existed but has since unregistered raises the typed
+        :class:`DeliveryError` (a runtime condition -- the node departed
+        between resolution and delivery).  A message lost in flight still
+        costs its request bytes, so failed sends are metered.
         """
         handler = self._endpoints.get(message.destination)
         if handler is None:
+            if message.destination in self._ever_registered:
+                self.meter.record(message)
+                raise DeliveryError(
+                    DeliveryError.UNREGISTERED, message.destination
+                )
             raise TransportError(f"no such endpoint: {message.destination!r}")
         self.meter.record(message)
         response = handler(message)

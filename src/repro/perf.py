@@ -69,6 +69,20 @@ class PerfCounters:
         "service_file_fetches",
         "engine_searches",
         "engine_generalizations",
+        # fault injection (repro.net.faults)
+        "fault_drops",
+        "fault_duplicates",
+        "fault_latency_ticks",
+        "fault_crashed_sends",
+        # failure-aware lookups (engine retries, service replica failover)
+        "engine_retries",
+        "engine_failed_sends",
+        "engine_gave_up",
+        "service_failovers",
+        # storage failover and churn repair
+        "storage_failovers",
+        "storage_repair_keys",
+        "storage_repair_bytes",
     )
 
     def __init__(self) -> None:

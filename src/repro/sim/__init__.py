@@ -21,6 +21,8 @@ from repro.sim.runner import clear_cache, run_cached
 from repro.sim.presets import (
     CACHE_POLICIES_FIG11,
     CACHE_POLICIES_FIG12,
+    CHURN_CONFIG,
+    CHURN_SMOKE_CONFIG,
     PAPER_CONFIG,
     SCHEMES,
     SMOKE_CONFIG,
@@ -35,6 +37,8 @@ __all__ = [
     "run_cached",
     "CACHE_POLICIES_FIG11",
     "CACHE_POLICIES_FIG12",
+    "CHURN_CONFIG",
+    "CHURN_SMOKE_CONFIG",
     "PAPER_CONFIG",
     "SCHEMES",
     "SMOKE_CONFIG",

@@ -5,9 +5,13 @@ metrics, e.g.::
 
     python -m repro.sim --scheme flat --cache lru30 --queries 10000
     python -m repro.sim --substrate chord --nodes 200 --scale 0.2
+    python -m repro.sim --preset churn --scale 0.1
 
 ``--scale`` proportionally shrinks the paper's full setup (500 nodes,
-10,000 articles, 50,000 queries) for quick explorations.
+10,000 articles, 50,000 queries) for quick explorations.  ``--preset
+churn`` runs the availability experiment -- seeded message loss, Poisson
+join/leave churn, and transient crashes -- and the report then includes
+the availability table (success rate, retries, failovers, repair cost).
 """
 
 from __future__ import annotations
@@ -18,6 +22,13 @@ from dataclasses import replace
 
 from repro.analysis.tables import format_table
 from repro.sim.experiment import Experiment, ExperimentConfig
+from repro.sim.presets import CHURN_CONFIG, PAPER_CONFIG, SMOKE_CONFIG
+
+_PRESETS = {
+    "paper": PAPER_CONFIG,
+    "smoke": SMOKE_CONFIG,
+    "churn": CHURN_CONFIG,
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -28,17 +39,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
-        "--scheme", choices=("simple", "flat", "complex"), default="simple"
+        "--scheme", choices=("simple", "flat", "complex"), default=None
     )
     parser.add_argument(
         "--cache",
-        default="none",
+        default=None,
         help="none | multi | single | lruK (e.g. lru30)",
     )
     parser.add_argument(
         "--substrate",
         choices=("ideal", "chord", "kademlia", "pastry", "can"),
-        default="ideal",
+        default=None,
     )
     parser.add_argument("--nodes", type=int, default=None)
     parser.add_argument("--articles", type=int, default=None)
@@ -60,17 +71,74 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="add permanent deep links for the N most popular articles",
     )
+    parser.add_argument(
+        "--preset",
+        choices=sorted(_PRESETS),
+        default=None,
+        help="start from a named configuration (flags still override)",
+    )
+    chaos = parser.add_argument_group("failure model")
+    chaos.add_argument(
+        "--drop-probability",
+        type=float,
+        default=None,
+        help="per-message loss probability (seeded, deterministic)",
+    )
+    chaos.add_argument(
+        "--duplicate-probability",
+        type=float,
+        default=None,
+        help="per-exchange duplicate-delivery probability",
+    )
+    chaos.add_argument(
+        "--latency-ticks",
+        type=int,
+        default=None,
+        help="max added latency ticks per delivered message",
+    )
+    chaos.add_argument(
+        "--churn-events",
+        type=int,
+        default=None,
+        help="join/leave events over the feed (with incremental repair)",
+    )
+    chaos.add_argument(
+        "--churn-mode",
+        choices=("uniform", "poisson"),
+        default=None,
+        help="how churn events are placed over the feed",
+    )
+    chaos.add_argument(
+        "--crash-events",
+        type=int,
+        default=None,
+        help="transient node crashes over the feed",
+    )
+    chaos.add_argument(
+        "--crash-downtime",
+        type=int,
+        default=None,
+        help="crash window length, in queries",
+    )
+    chaos.add_argument(
+        "--churn-seed",
+        type=int,
+        default=None,
+        help="seed of the single RNG driving churn, crashes, and faults",
+    )
     return parser
 
 
 def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
-    config = ExperimentConfig(scheme=args.scheme, cache=args.cache,
-                              substrate=args.substrate)
+    config = _PRESETS[args.preset] if args.preset else ExperimentConfig()
     if args.scale is not None:
         if args.scale <= 0:
             raise SystemExit("--scale must be positive")
         config = config.scaled(args.scale)
     overrides = {
+        "scheme": args.scheme,
+        "cache": args.cache,
+        "substrate": args.substrate,
         "num_nodes": args.nodes,
         "num_articles": args.articles,
         "num_queries": args.queries,
@@ -80,6 +148,14 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         "corpus_seed": args.corpus_seed,
         "query_seed": args.query_seed,
         "shortcut_top_n": args.shortcut_top_n,
+        "fault_drop_probability": args.drop_probability,
+        "fault_duplicate_probability": args.duplicate_probability,
+        "fault_latency_ticks": args.latency_ticks,
+        "churn_events": args.churn_events,
+        "churn_mode": args.churn_mode,
+        "crash_events": args.crash_events,
+        "crash_downtime_queries": args.crash_downtime,
+        "churn_seed": args.churn_seed,
     }
     set_overrides = {key: value for key, value in overrides.items()
                      if value is not None}
@@ -119,6 +195,12 @@ def main(argv: list[str] | None = None) -> int:
         ["runtime", f"{result.runtime_seconds:.1f} s"],
     ]
     print(format_table(["metric", "value"], rows, title=result.label()))
+    if config.has_chaos:
+        print(format_table(
+            ["availability metric", "value"],
+            result.availability_rows(),
+            title="availability under faults",
+        ))
     perf = result.perf_counters
     if perf:
         perf_rows = [

@@ -17,7 +17,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.core.cache import CachePolicy
 from repro.core.engine import LookupEngine
@@ -32,6 +32,8 @@ from repro.dht.idspace import hash_key
 from repro.dht.kademlia import KademliaNetwork
 from repro.dht.pastry import PastryNetwork
 from repro.dht.ring import IdealRing
+from repro.core.engine import SearchTrace
+from repro.net.faults import FaultPlan, FaultyTransport
 from repro.net.transport import SimulatedTransport
 from repro.sim.metrics import ExperimentResult
 from repro.storage.store import DHTStorage
@@ -70,12 +72,31 @@ class ExperimentConfig:
     corpus_seed: int = 2003
     query_seed: int = 42
     shortcut_top_n: int = 0
-    #: Number of churn events spread uniformly across the query feed.
-    #: Each event removes one random node (losing its cache) and joins a
-    #: fresh one, then rebalances both stores -- the maintenance a
-    #: DHash/PAST-class storage layer performs (Section III-A).
+    #: Number of churn events across the query feed.  Each event removes
+    #: one random node (losing its cache) and joins a fresh one, then
+    #: repairs both stores -- the maintenance a DHash/PAST-class storage
+    #: layer performs (Section III-A).  ``churn_mode`` places the events:
+    #: "uniform" spreads them evenly; "poisson" draws each query position
+    #: independently with rate churn_events/num_queries (a Poisson
+    #: join/leave process over the feed).
     churn_events: int = 0
+    churn_mode: str = "uniform"
+    #: One seed drives *all* chaos randomness -- churn scheduling, crash
+    #: victim selection, and message-fault draws share a single
+    #: ``random.Random`` so every chaos run is bit-reproducible.
     churn_seed: int = 7
+    #: Message-fault injection (see repro.net.faults): per-message drop
+    #: probability, per-exchange duplicate probability, max added latency
+    #: ticks per delivered message.  All zero = the reliable network.
+    fault_drop_probability: float = 0.0
+    fault_duplicate_probability: float = 0.0
+    fault_latency_ticks: int = 0
+    #: Transient node crashes: events spread uniformly over the feed;
+    #: each crashes one random live node (it stays in the overlay and
+    #: registered, but refuses delivery) for ``crash_downtime_queries``
+    #: queries, then it recovers with its stored state intact.
+    crash_events: int = 0
+    crash_downtime_queries: int = 200
 
     def __post_init__(self) -> None:
         if self.scheme not in _SCHEME_BUILDERS:
@@ -85,6 +106,30 @@ class ExperimentConfig:
         CachePolicy.parse(self.cache)  # validates
         if self.num_nodes < 1 or self.num_articles < 1 or self.num_queries < 0:
             raise ValueError("sizes must be positive")
+        if self.churn_mode not in ("uniform", "poisson"):
+            raise ValueError(f"unknown churn mode {self.churn_mode!r}")
+        if self.crash_events < 0 or self.crash_downtime_queries < 1:
+            raise ValueError("crash schedule must be non-negative")
+        # Delegates range checks on the probabilities / latency ticks.
+        self.fault_plan()
+
+    def fault_plan(self) -> FaultPlan:
+        """The message-fault plan this configuration describes."""
+        return FaultPlan(
+            drop_probability=self.fault_drop_probability,
+            duplicate_probability=self.fault_duplicate_probability,
+            max_latency_ticks=self.fault_latency_ticks,
+            seed=self.churn_seed,
+        )
+
+    @property
+    def has_chaos(self) -> bool:
+        """Whether any failure mechanism is active in this cell."""
+        return bool(
+            self.churn_events
+            or self.crash_events
+            or not self.fault_plan().is_zero
+        )
 
     def scaled(self, factor: float) -> "ExperimentConfig":
         """A proportionally smaller/larger copy (for quick tests)."""
@@ -120,7 +165,13 @@ class Experiment:
             raise ValueError("shared corpus does not match the configuration")
         self.scheme = scheme or _SCHEME_BUILDERS[config.scheme](ARTICLE_SCHEMA)
         self.protocol = self._build_substrate()
-        self.transport = SimulatedTransport()
+        # One seeded RNG drives churn scheduling, crash victim selection,
+        # and message-fault draws: chaos runs are bit-reproducible, and a
+        # zero fault plan makes the wrapper draw-free and transparent.
+        self._chaos_rng = random.Random(config.churn_seed)
+        self.transport = FaultyTransport(
+            SimulatedTransport(), config.fault_plan(), rng=self._chaos_rng
+        )
         self.index_store = DHTStorage(
             self.protocol, replication=config.replication
         )
@@ -141,9 +192,16 @@ class Experiment:
         self._populated = False
         self._dht_hops_total = 0
         self._dht_lookups = 0
-        self._churn_rng = random.Random(config.churn_seed)
         self._join_counter = config.num_nodes
         self.churn_keys_moved = 0
+        self.repair_keys = 0
+        self.repair_bytes = 0
+        #: Nodes currently in a crash window, mapped to their scheduled
+        #: recovery query position.
+        self._crashed_until: dict[int, int] = {}
+        #: Optional observer called with every SearchTrace as the feed
+        #: runs (determinism and zero-fault-identity tests use this).
+        self.trace_sink: Optional[Callable[[SearchTrace], None]] = None
 
     def _build_substrate(self) -> DHTProtocol:
         config = self.config
@@ -205,24 +263,27 @@ class Experiment:
             PowerLawPopularity.for_population(len(self.corpus)),
             seed=config.query_seed,
         )
-        churn_positions: set[int] = set()
-        if config.churn_events:
-            stride = max(1, config.num_queries // (config.churn_events + 1))
-            churn_positions = {
-                stride * (event + 1) for event in range(config.churn_events)
-            }
+        churn_positions, crash_positions = self._chaos_schedule()
 
         meter = self.transport.meter
         for position, workload_query in enumerate(
             generator.generate(config.num_queries)
         ):
+            self._process_recoveries(position)
             if position in churn_positions:
                 self._churn_event()
+            if position in crash_positions:
+                self._crash_event(position)
             trace = self.engine.search(workload_query.query, workload_query.target)
             meter.end_query()
+            if self.trace_sink is not None:
+                self.trace_sink(trace)
             result.searches += 1
             result.found += int(trace.found)
             result.total_interactions += trace.interactions
+            result.total_retries += trace.retries
+            result.total_failed_sends += trace.failed_sends
+            result.lookups_gave_up += int(trace.gave_up)
             if trace.errors:
                 result.nonindexed_queries += 1
                 result.total_error_interactions += trace.errors
@@ -233,14 +294,59 @@ class Experiment:
             self._dht_hops_total += sum(
                 1 for _ in trace.visited
             )  # interactions resolve one key each
+        self._process_recoveries(config.num_queries)
         self._collect(result)
         result.perf_counters = perf.delta(perf_before, perf.snapshot())
+        for counter in (
+            "fault_drops",
+            "fault_duplicates",
+            "fault_crashed_sends",
+            "fault_latency_ticks",
+            "service_failovers",
+            "storage_failovers",
+        ):
+            setattr(result, counter, result.perf_counters.get(counter, 0))
+        result.repair_keys = self.repair_keys
+        result.repair_bytes = self.repair_bytes
         result.runtime_seconds = time.monotonic() - started
         return result
+
+    def _chaos_schedule(self) -> tuple[set[int], set[int]]:
+        """Query positions at which churn and crash events fire.
+
+        Computed up front from the shared chaos RNG, so the schedule is
+        independent of how many per-message fault draws the feed makes.
+        Uniform mode spreads events evenly (the seed behaviour); poisson
+        mode draws each position independently at the configured rate.
+        """
+        config = self.config
+        churn_positions: set[int] = set()
+        if config.churn_events:
+            if config.churn_mode == "poisson" and config.num_queries:
+                rate = min(1.0, config.churn_events / config.num_queries)
+                churn_positions = {
+                    position
+                    for position in range(config.num_queries)
+                    if self._chaos_rng.random() < rate
+                }
+            else:
+                stride = max(1, config.num_queries // (config.churn_events + 1))
+                churn_positions = {
+                    stride * (event + 1) for event in range(config.churn_events)
+                }
+        crash_positions: set[int] = set()
+        if config.crash_events:
+            stride = max(1, config.num_queries // (config.crash_events + 1))
+            crash_positions = {
+                stride * (event + 1) for event in range(config.crash_events)
+            }
+        return churn_positions, crash_positions
 
     def _collect(self, result: ExperimentResult) -> None:
         queries = max(1, result.searches)
         result.avg_interactions = result.total_interactions / queries
+        result.success_rate = result.found / queries
+        result.retries_per_lookup = result.total_retries / queries
         meter = self.transport.meter
         result.normal_bytes_total = meter.normal_bytes
         result.cache_bytes_total = meter.cache_bytes
@@ -274,11 +380,20 @@ class Experiment:
         result.avg_dht_hops = self._average_dht_hops()
 
     def _churn_event(self) -> None:
-        """One membership change: a random leave, a fresh join, repair."""
+        """One membership change: a random leave, a fresh join, repair.
+
+        The departed node's physical copies leave with it; the
+        incremental :meth:`DHTStorage.repair` pass then re-replicates the
+        keys it was responsible for and seeds the joiner -- churn-
+        triggered maintenance instead of the full rebalance.
+        """
         victims = self.protocol.node_ids
-        victim = victims[self._churn_rng.randrange(len(victims))]
+        victim = victims[self._chaos_rng.randrange(len(victims))]
         self.protocol.remove_node(victim)
         self.service.unregister_node(victim)
+        self._crashed_until.pop(victim, None)
+        self.index_store.drop_node(victim)
+        self.file_store.drop_node(victim)
         while True:
             self._join_counter += 1
             joiner = hash_key(f"node-{self._join_counter}", self.config.bits)
@@ -286,8 +401,45 @@ class Experiment:
                 break
         self.protocol.add_node(joiner)
         self.service.register_nodes()
-        self.churn_keys_moved += self.index_store.rebalance()
-        self.churn_keys_moved += self.file_store.rebalance()
+        for store in (self.index_store, self.file_store):
+            report = store.repair()
+            self.churn_keys_moved += report.keys_repaired
+            self.repair_keys += report.keys_repaired
+            self.repair_bytes += report.bytes_copied
+
+    def _crash_event(self, position: int) -> None:
+        """Crash one random live node for a fixed window of queries.
+
+        The node stays in the overlay and registered -- lookups still
+        resolve to it -- but the transport refuses delivery until it
+        recovers, so retries and replica failover must carry the load.
+        """
+        candidates = [
+            node
+            for node in self.protocol.node_ids
+            if node not in self._crashed_until
+        ]
+        if not candidates:
+            return
+        victim = candidates[self._chaos_rng.randrange(len(candidates))]
+        self.protocol.fail_node(victim)
+        self.transport.fail_node(self.service.endpoint_name(victim))
+        self._crashed_until[victim] = position + self.config.crash_downtime_queries
+
+    def _process_recoveries(self, position: int) -> None:
+        """Bring back crashed nodes whose downtime has elapsed; their
+        stored state survived the crash, and a repair pass restores any
+        replicas created elsewhere in the meantime to consistency."""
+        due = [
+            node
+            for node, recover_at in self._crashed_until.items()
+            if recover_at <= position
+        ]
+        for node in due:
+            del self._crashed_until[node]
+            if node in self.protocol:
+                self.protocol.recover_node(node)
+            self.transport.recover_node(self.service.endpoint_name(node))
 
     def _average_dht_hops(self) -> float:
         """Mean substrate hops to resolve an index key, sampled post-hoc.

@@ -72,6 +72,22 @@ class ExperimentResult:
     # Substrate ablation
     avg_dht_hops: float = 0.0
 
+    # Availability under faults and churn (chaos runs).  All zero on a
+    # reliable network, so the failure-free figures are untouched.
+    success_rate: float = 0.0          # found / searches
+    total_retries: int = 0             # re-sent exchanges across all lookups
+    retries_per_lookup: float = 0.0
+    total_failed_sends: int = 0        # exchanges that raised DeliveryError
+    lookups_gave_up: int = 0           # searches abandoned on delivery failure
+    fault_drops: int = 0               # injected message losses
+    fault_duplicates: int = 0          # injected duplicate deliveries
+    fault_crashed_sends: int = 0       # sends refused by crashed nodes
+    fault_latency_ticks: int = 0       # injected latency, in ticks
+    service_failovers: int = 0         # requests redirected to a replica
+    storage_failovers: int = 0         # reads skipping a dead replica
+    repair_keys: int = 0               # keys re-replicated by churn repair
+    repair_bytes: int = 0              # repair traffic (bytes copied)
+
     runtime_seconds: float = 0.0
 
     # Hot-path perf counters accumulated during this run (the increments
@@ -129,6 +145,23 @@ class ExperimentResult:
         "errors",
     ]
 
+    def availability_rows(self) -> list[list[object]]:
+        """The availability report of a chaos run (label/value rows)."""
+        return [
+            ["lookup success rate", f"{100 * self.success_rate:.2f}%"],
+            ["lookups that gave up", self.lookups_gave_up],
+            ["retries / lookup", round(self.retries_per_lookup, 4)],
+            ["failed sends", self.total_failed_sends],
+            ["replica failovers (service, storage)",
+             f"{self.service_failovers}, {self.storage_failovers}"],
+            ["injected drops / duplicates", f"{self.fault_drops} / "
+             f"{self.fault_duplicates}"],
+            ["sends refused by crashed nodes", self.fault_crashed_sends],
+            ["injected latency ticks", self.fault_latency_ticks],
+            ["keys re-replicated by repair", self.repair_keys],
+            ["repair traffic", f"{self.repair_bytes:,} B"],
+        ]
+
     def validate(self) -> None:
         """Internal consistency checks (used by tests)."""
         if self.found > self.searches:
@@ -137,3 +170,7 @@ class ExperimentResult:
             raise ValueError("cache activity recorded without a cache policy")
         if not 0.0 <= self.hit_ratio <= 1.0:
             raise ValueError("hit ratio outside [0, 1]")
+        if not 0.0 <= self.success_rate <= 1.0:
+            raise ValueError("success rate outside [0, 1]")
+        if self.lookups_gave_up > self.searches:
+            raise ValueError("more abandoned lookups than searches")

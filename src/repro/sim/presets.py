@@ -50,6 +50,34 @@ SMOKE_CONFIG = ExperimentConfig(
     num_authors=200,
 )
 
+#: The churn/availability experiment: the paper's 50,000-query feed under
+#: a seeded chaos plan -- 5% message drop, Poisson join/leave churning 10%
+#: of the 500-node population, plus transient crash windows -- with
+#: replication 3 so retries and replica failover can carry the load.  The
+#: acceptance bar is >= 95% lookup success (measured well above that).
+CHURN_CONFIG = replace(
+    PAPER_CONFIG,
+    cache="single",
+    replication=3,
+    churn_events=50,
+    churn_mode="poisson",
+    fault_drop_probability=0.05,
+    crash_events=10,
+    crash_downtime_queries=500,
+)
+
+#: A proportionally reduced chaos cell for fast tests.
+CHURN_SMOKE_CONFIG = replace(
+    CHURN_CONFIG,
+    num_nodes=50,
+    num_articles=500,
+    num_queries=2_000,
+    num_authors=200,
+    churn_events=5,
+    crash_events=2,
+    crash_downtime_queries=100,
+)
+
 
 def paper_grid(
     schemes: tuple[str, ...] = SCHEMES,

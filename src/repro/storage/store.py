@@ -13,7 +13,11 @@ The layer supports:
   (read/write semantics of Section IV-C);
 - membership changes: after nodes join or leave, :meth:`rebalance`
   re-places every key on its current responsible nodes (the block
-  transfer CFS performs on join);
+  transfer CFS performs on join), while the cheaper incremental
+  :meth:`repair` pass only re-replicates under-replicated keys and
+  purges stale copies (churn-triggered maintenance);
+- transient failures: reads fail over past crashed replicas
+  (``protocol.is_alive``), counting the wasted probes;
 - per-node occupancy statistics (keys per node), which Section V-F
   reports (e.g. "an average of 155 keys per node for simple").
 """
@@ -25,6 +29,7 @@ from typing import Callable, Optional
 
 from repro.dht.base import DHTProtocol, NodeId
 from repro.dht.idspace import hash_key
+from repro.perf import counters
 
 
 class StorageError(KeyError):
@@ -54,6 +59,31 @@ class GetResult:
     @property
     def found(self) -> bool:
         return bool(self.values)
+
+
+@dataclass(frozen=True)
+class RepairReport:
+    """What one incremental :meth:`DHTStorage.repair` pass did.
+
+    ``keys_repaired`` counts keys copied to at least one node that
+    lacked them; ``copies_created`` counts the individual new replicas;
+    ``bytes_copied`` is the key+value text shipped (the repair-traffic
+    overhead the availability report quotes); ``keys_pruned`` counts
+    stale copies dropped from departed or no-longer-responsible nodes.
+    """
+
+    keys_repaired: int = 0
+    copies_created: int = 0
+    bytes_copied: int = 0
+    keys_pruned: int = 0
+
+    def __add__(self, other: "RepairReport") -> "RepairReport":
+        return RepairReport(
+            self.keys_repaired + other.keys_repaired,
+            self.copies_created + other.copies_created,
+            self.bytes_copied + other.bytes_copied,
+            self.keys_pruned + other.keys_pruned,
+        )
 
 
 class DHTStorage:
@@ -123,12 +153,19 @@ class DHTStorage:
 
         Tries the primary responsible node first, then the replicas, so
         reads survive the loss of up to ``replication - 1`` nodes (until
-        the next :meth:`rebalance`).
+        the next :meth:`rebalance` or :meth:`repair`).  A crashed replica
+        (``protocol.is_alive`` false) cannot serve: it is skipped -- the
+        failover still costs a wasted probe hop and is counted in
+        ``storage_failovers`` -- and the read proceeds to the next copy.
         """
         numeric = self.numeric_key(key)
         result = self.protocol.lookup(numeric)
         hops = result.hops
         for node in self.responsible_nodes(key):
+            if not self.protocol.is_alive(node):
+                counters.storage_failovers += 1
+                hops += 1
+                continue
             values = self._node_stores.get(node, {}).get(key)
             if values:
                 return GetResult(
@@ -182,6 +219,102 @@ class DHTStorage:
         return tuple(self._node_stores.get(node, {}).get(key, ()))
 
     # -- churn ----------------------------------------------------------------
+
+    def drop_node(self, node: NodeId) -> int:
+        """Discard a departed node's physical store (its copies are gone).
+
+        Returns the number of keys the node was holding.  Call on node
+        departure so no stale replica survives outside the ring --
+        :meth:`repair` and :meth:`rebalance` also purge departed holders,
+        but between the departure and the next repair pass the orphaned
+        entries would otherwise still count toward storage statistics.
+        """
+        return len(self._node_stores.pop(node, {}))
+
+    def repair(self) -> RepairReport:
+        """Incrementally re-replicate under-replicated keys after churn.
+
+        Unlike the full :meth:`rebalance` (which rewrites every node's
+        store from the catalog), repair only touches the delta: it purges
+        copies held by departed or no-longer-responsible nodes, then
+        copies each key to the live responsible nodes that lack it.
+        Crashed nodes cannot receive repair traffic; their copies are
+        restored once they recover and a later pass runs.  The bytes
+        shipped are counted (``storage_repair_bytes``) so the repair
+        overhead of a chaos run is measured, not estimated.
+        """
+        live = set(self.protocol.node_ids)
+        keys_pruned = 0
+        for node in list(self._node_stores):
+            if node not in live:
+                keys_pruned += self.drop_node(node)
+        keys_repaired = copies_created = bytes_copied = 0
+        placements: dict[str, set[NodeId]] = {}
+        for key, stored_values in self._catalog.items():
+            targets = self.responsible_nodes(key)
+            placements[key] = set(targets)
+            key_bytes = len(key.encode("utf-8"))
+            repaired_here = False
+            for node in targets:
+                if not self.protocol.is_alive(node):
+                    continue
+                store = self._node_stores.setdefault(node, {})
+                held = store.get(key)
+                if held is None:
+                    store[key] = list(stored_values)
+                    copies_created += 1
+                    repaired_here = True
+                    bytes_copied += sum(
+                        key_bytes + len(value.encode("utf-8"))
+                        for value in stored_values
+                    )
+                elif len(held) < len(stored_values):
+                    for value in stored_values:
+                        if value not in held:
+                            held.append(value)
+                            bytes_copied += key_bytes + len(
+                                value.encode("utf-8")
+                            )
+                    repaired_here = True
+            if repaired_here:
+                keys_repaired += 1
+        # Prune copies on live nodes that are no longer responsible for a
+        # key (responsibility shifted to a joiner), so occupancy stays
+        # truthful without a full rebalance.
+        for node, store in self._node_stores.items():
+            stale = [
+                key for key in store if node not in placements.get(key, ())
+            ]
+            for key in stale:
+                del store[key]
+            keys_pruned += len(stale)
+        counters.storage_repair_keys += keys_repaired
+        counters.storage_repair_bytes += bytes_copied
+        return RepairReport(
+            keys_repaired=keys_repaired,
+            copies_created=copies_created,
+            bytes_copied=bytes_copied,
+            keys_pruned=keys_pruned,
+        )
+
+    def under_replicated_keys(self) -> list[str]:
+        """Keys currently held by fewer live nodes than required.
+
+        A diagnostic for churn experiments: after :meth:`repair` (with
+        all responsible nodes alive) this must be empty.
+        """
+        missing: list[str] = []
+        for key in self._catalog:
+            holders = sum(
+                1
+                for node in self.responsible_nodes(key)
+                if self.protocol.is_alive(node)
+                and key in self._node_stores.get(node, {})
+            )
+            required = min(self.replication, len(self.protocol.node_ids))
+            if holders < required:
+                missing.append(key)
+        return missing
 
     def rebalance(self) -> int:
         """Re-place every key on its current responsible nodes.

@@ -137,6 +137,52 @@ class TestContract:
             network.lookup(key).node for key in keys
         ]
 
+    def test_crash_state_contract(self, substrate):
+        """fail/recover mark transient crashes without leaving the overlay."""
+        network, node_ids = substrate
+        victim = node_ids[3]
+        assert network.is_alive(victim)
+        assert network.failed_nodes == set()
+        network.fail_node(victim)
+        assert not network.is_alive(victim)
+        assert victim in network  # crashed, but still a member
+        assert network.failed_nodes == {victim}
+        # Routing still resolves keys (possibly to the crashed node --
+        # callers check is_alive); the structure itself is untouched.
+        assert network.lookup(12345).node in set(network.node_ids)
+        network.recover_node(victim)
+        assert network.is_alive(victim)
+        assert network.failed_nodes == set()
+
+    def test_fail_unknown_node_rejected(self, substrate):
+        network, node_ids = substrate
+        missing = next(i for i in range(SPACE) if i not in set(node_ids))
+        with pytest.raises(KeyError):
+            network.fail_node(missing)
+
+    def test_recover_is_idempotent(self, substrate):
+        network, node_ids = substrate
+        network.recover_node(node_ids[0])  # never crashed: a no-op
+        network.fail_node(node_ids[0])
+        network.recover_node(node_ids[0])
+        network.recover_node(node_ids[0])
+        assert network.is_alive(node_ids[0])
+
+    def test_departed_node_not_alive(self, substrate):
+        network, node_ids = substrate
+        rng = random.Random(23)
+        fresh = next(
+            candidate
+            for candidate in iter(lambda: rng.randrange(SPACE), None)
+            if candidate not in set(node_ids)
+        )
+        network.add_node(fresh)
+        network.fail_node(fresh)
+        network.remove_node(fresh)
+        # Departure trumps crash state: the node is simply not a member.
+        assert not network.is_alive(fresh)
+        assert fresh not in network.failed_nodes
+
     def test_single_node_network_owns_everything(self, substrate):
         network, _ = substrate
         # Build a one-node instance of the same class.

@@ -3,7 +3,11 @@
 import pytest
 
 from repro.net.message import Message, MessageKind
-from repro.net.transport import SimulatedTransport, TransportError
+from repro.net.transport import (
+    DeliveryError,
+    SimulatedTransport,
+    TransportError,
+)
 
 
 @pytest.fixture
@@ -34,6 +38,46 @@ class TestRegistration:
         transport.register("a", lambda m: None)
         transport.register("b", lambda m: None)
         assert sorted(transport.endpoint_names) == ["a", "b"]
+
+
+class TestErrorTaxonomy:
+    """Never-existed destinations are programming errors; departed ones
+    are runtime conditions a robust caller retries or fails over."""
+
+    def test_never_existed_is_hard_error(self, transport):
+        with pytest.raises(TransportError) as excinfo:
+            transport.send(Message(MessageKind.QUERY_REQUEST, "u", "node:x"))
+        assert not isinstance(excinfo.value, DeliveryError)
+
+    def test_unregister_then_send_is_delivery_error(self, transport):
+        transport.register("node:1", lambda m: None)
+        transport.unregister("node:1")
+        with pytest.raises(DeliveryError) as excinfo:
+            transport.send(Message(MessageKind.QUERY_REQUEST, "u", "node:1"))
+        assert excinfo.value.reason == DeliveryError.UNREGISTERED
+        assert excinfo.value.destination == "node:1"
+        assert excinfo.value.retry_elsewhere
+
+    def test_delivery_error_is_transport_error(self, transport):
+        # Callers that only catch the broad class still see departures.
+        transport.register("node:1", lambda m: None)
+        transport.unregister("node:1")
+        with pytest.raises(TransportError):
+            transport.send(Message(MessageKind.QUERY_REQUEST, "u", "node:1"))
+
+    def test_failed_send_to_departed_still_meters_request(self, transport):
+        transport.register("node:1", lambda m: None)
+        transport.unregister("node:1")
+        message = Message(MessageKind.QUERY_REQUEST, "u", "node:1", ("q",))
+        with pytest.raises(DeliveryError):
+            transport.send(message)
+        assert transport.meter.normal_bytes == message.size_bytes
+
+    def test_reregistration_after_departure(self, transport):
+        transport.register("node:1", lambda m: None)
+        transport.unregister("node:1")
+        transport.register("node:1", lambda m: None)  # rejoining is fine
+        assert transport.is_registered("node:1")
 
 
 class TestDelivery:

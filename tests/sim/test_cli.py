@@ -51,6 +51,56 @@ class TestArgumentParsing:
         assert parse(["--shortcut-top-n", "25"]).shortcut_top_n == 25
 
 
+class TestPresetAndChaosFlags:
+    def test_churn_preset_loads(self):
+        from repro.sim.presets import CHURN_CONFIG
+
+        assert parse(["--preset", "churn"]) == CHURN_CONFIG
+
+    def test_preset_fields_survive_unrelated_flags(self):
+        # Flags left at their defaults must not clobber preset values.
+        config = parse(["--preset", "churn", "--queries", "1000"])
+        assert config.cache == "single"          # from the preset
+        assert config.replication == 3           # from the preset
+        assert config.churn_mode == "poisson"    # from the preset
+        assert config.num_queries == 1000        # the explicit override
+
+    def test_preset_scales(self):
+        config = parse(["--preset", "churn", "--scale", "0.1"])
+        assert config.num_nodes == 50
+        assert config.fault_drop_probability == 0.05
+
+    def test_chaos_flags(self):
+        config = parse(
+            [
+                "--drop-probability", "0.1",
+                "--duplicate-probability", "0.02",
+                "--latency-ticks", "3",
+                "--churn-events", "7",
+                "--churn-mode", "poisson",
+                "--crash-events", "2",
+                "--crash-downtime", "150",
+                "--churn-seed", "11",
+            ]
+        )
+        assert config.fault_drop_probability == 0.1
+        assert config.fault_duplicate_probability == 0.02
+        assert config.fault_latency_ticks == 3
+        assert config.churn_events == 7
+        assert config.churn_mode == "poisson"
+        assert config.crash_events == 2
+        assert config.crash_downtime_queries == 150
+        assert config.churn_seed == 11
+        assert config.has_chaos
+
+    def test_no_chaos_by_default(self):
+        assert not parse([]).has_chaos
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            parse(["--drop-probability", "1.5"])
+
+
 class TestMain:
     def test_runs_tiny_experiment(self, capsys):
         code = main(
@@ -69,3 +119,23 @@ class TestMain:
         code = main(["--cache", "bogus", "--scale", "0.01"])
         assert code == 2
         assert "error" in capsys.readouterr().err
+
+    def test_chaos_run_prints_availability_table(self, capsys):
+        code = main(
+            [
+                "--scale", "0.01",
+                "--queries", "300",
+                "--replication", "3",
+                "--drop-probability", "0.05",
+                "--churn-events", "2",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "availability under faults" in output
+        assert "lookup success rate" in output
+
+    def test_reliable_run_omits_availability_table(self, capsys):
+        code = main(["--scale", "0.01", "--queries", "200"])
+        assert code == 0
+        assert "availability under faults" not in capsys.readouterr().out
