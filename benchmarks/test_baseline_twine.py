@@ -14,7 +14,6 @@ identical corpus, substrate, and workload:
   traffic sits at the flat end of the spectrum.
 """
 
-from dataclasses import replace
 
 from conftest import REDUCED, cell, emit
 from repro.analysis.tables import format_table

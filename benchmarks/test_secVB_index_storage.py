@@ -10,14 +10,14 @@ article corpus and report absolute bytes, ratios relative to *simple*,
 and the index-to-data overhead using the same 250 KB-average articles.
 """
 
-import pytest
-
-from conftest import PAPER, emit
-from repro.analysis.tables import format_table
-from repro.sim.experiment import Experiment, ExperimentConfig
-from repro.workload.corpus import CorpusConfig, SyntheticCorpus
-
 from dataclasses import replace
+
+import pytest
+from conftest import PAPER, emit
+
+from repro.analysis.tables import format_table
+from repro.sim.experiment import Experiment
+from repro.workload.corpus import CorpusConfig, SyntheticCorpus
 
 
 def build_storage_report():

@@ -29,6 +29,21 @@ def summarize(values: Sequence[float]) -> dict[str, float]:
     }
 
 
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of a sample, ``fraction`` in [0, 1].
+
+    ``percentile(xs, 0.5)`` is the nearest-rank median; ``0.0`` maps to
+    the minimum and ``1.0`` to the maximum.
+    """
+    if not values:
+        raise ValueError("no values")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction outside [0, 1]")
+    ordered = sorted(values)
+    rank = math.ceil(fraction * len(ordered))
+    return ordered[max(0, rank - 1)]
+
+
 def ccdf_points(values: Sequence[float]) -> list[tuple[float, float]]:
     """Empirical complementary CDF: points ``(v, P(X > v))``."""
     if not values:

@@ -21,6 +21,8 @@ This package implements Section IV of the paper:
   jumps, and generalization/specialization for non-indexed queries.
 """
 
+from repro.core.cache import CacheEntry, CachePolicy, NodeCache
+from repro.core.engine import LookupEngine, LookupError_, SearchTrace
 from repro.core.fields import ARTICLE_SCHEMA, Record, Schema, SchemaError
 from repro.core.query import FieldQuery, QueryParseError
 from repro.core.scheme import (
@@ -31,9 +33,7 @@ from repro.core.scheme import (
     flat_scheme,
     simple_scheme,
 )
-from repro.core.cache import CacheEntry, CachePolicy, NodeCache
 from repro.core.service import IndexService, IndexServiceError
-from repro.core.engine import LookupEngine, LookupError_, SearchTrace
 from repro.core.session import InteractiveSession, SessionError, SessionStep
 from repro.core.substring import PrefixIndex, PrefixQuery
 

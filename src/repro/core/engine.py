@@ -28,18 +28,35 @@ shortcut-creation side of the adaptive cache (Section IV-C):
 The engine models the *automated* search mode of the paper -- the target
 record plays the role of the user's selection criterion at each step --
 which is exactly the behaviour simulated in Section V.
+
+Since the virtual-time refactor, one search is a **resumable state
+machine**: :meth:`LookupEngine.search_steps` is a generator that yields
+one :class:`SearchStep` per message exchange and receives the exchange's
+result (or has the :class:`DeliveryError` thrown into it).  Two drivers
+consume it:
+
+- :meth:`LookupEngine.search` executes every step inline against the
+  synchronous service API -- operation for operation the pre-refactor
+  call stack, so sequential-mode results are bit-identical;
+- :meth:`LookupEngine.start_async` executes steps through the service's
+  continuation-passing API over an event kernel, so N users' searches
+  interleave by virtual time and retry backoff becomes a scheduled
+  timer instead of pure budget burn.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Callable, Generator, Optional, Union
 
 from repro.core.fields import Record
 from repro.core.query import FieldQuery, QueryParseError
-from repro.core.service import IndexService
+from repro.core.service import IndexService, QueryAnswer
 from repro.net.transport import DeliveryError
 from repro.perf import counters
+
+if TYPE_CHECKING:
+    from repro.sim.kernel import EventKernel
 
 
 class LookupError_(RuntimeError):
@@ -77,6 +94,51 @@ class SearchTrace:
         return self.cache_hit and self.hit_interaction == 1
 
 
+# -- search steps -----------------------------------------------------------
+#
+# The vocabulary of the search state machine: search_steps() yields one of
+# these per externally visible action and is resumed with the action's
+# result.  QueryStep/FetchStep expect a result (or a DeliveryError thrown
+# in); ShortcutStep is fire-and-forget; BackoffStep asks the driver to let
+# the retry backoff elapse (a no-op for the synchronous driver, whose
+# backoff is pure budget burn; a timer for the event-kernel driver).
+
+
+@dataclass(frozen=True)
+class QueryStep:
+    """Resolve a query at the node responsible for it."""
+
+    query: FieldQuery
+
+
+@dataclass(frozen=True)
+class FetchStep:
+    """Fetch the file stored under a most specific descriptor."""
+
+    msd: FieldQuery
+
+
+@dataclass(frozen=True)
+class ShortcutStep:
+    """Create one cache shortcut on a traversed node (best-effort)."""
+
+    node: int
+    query_key: str
+    msd_key: str
+
+
+@dataclass(frozen=True)
+class BackoffStep:
+    """Wait out a retry backoff of ``units`` budget units."""
+
+    units: int
+
+
+SearchStep = Union[QueryStep, FetchStep, ShortcutStep, BackoffStep]
+#: The generator type of one resumable search.
+SearchSteps = Generator[SearchStep, object, None]
+
+
 class LookupEngine:
     """Drives searches for one user against an :class:`IndexService`."""
 
@@ -86,6 +148,10 @@ class LookupEngine:
     #: interaction budget).
     DEFAULT_RETRY_BACKOFF = (1, 2, 4)
 
+    #: Virtual milliseconds one backoff budget unit costs in async mode,
+    #: so the deterministic budget backoff doubles as a real timer.
+    DEFAULT_BACKOFF_UNIT_MS = 10.0
+
     def __init__(
         self,
         service: IndexService,
@@ -93,11 +159,13 @@ class LookupEngine:
         max_interactions: int = 64,
         max_retries: int = 3,
         retry_backoff: tuple[int, ...] = DEFAULT_RETRY_BACKOFF,
+        backoff_unit_ms: float = DEFAULT_BACKOFF_UNIT_MS,
     ) -> None:
         self.service = service
         self.user = user
         self.max_interactions = max_interactions
         self.max_retries = max_retries
+        self.backoff_unit_ms = backoff_unit_ms
         self.retry_backoff = tuple(retry_backoff)
         if not self.retry_backoff:
             raise ValueError("retry_backoff cannot be empty")
@@ -132,28 +200,129 @@ class LookupEngine:
         ``query`` must cover the target record (the user knows what it is
         looking for).  Returns the full trace; raises nothing on a failed
         search (the trace reports ``found=False``).
+
+        This synchronous driver executes the search state machine inline,
+        one service call per step, in exactly the order the pre-kernel
+        call stack used -- sequential-mode results are bit-identical.
         """
+        trace = self._begin_search(query, target)
+        steps = self.search_steps(trace, target)
+        try:
+            step = next(steps)
+            while True:
+                try:
+                    result = self._perform_step(step)
+                except DeliveryError as error:
+                    step = steps.throw(error)
+                else:
+                    step = steps.send(result)
+        except StopIteration:
+            pass
+        return trace
+
+    def start_async(
+        self,
+        query: FieldQuery,
+        target: Record,
+        kernel: "EventKernel",
+        on_complete: Callable[[SearchTrace], None],
+    ) -> SearchTrace:
+        """Begin one lookup on the event kernel; returns its live trace.
+
+        The search advances as its message exchanges complete on the
+        virtual clock -- other lookups' events interleave freely in
+        between -- and ``on_complete(trace)`` fires at the search's
+        virtual completion time.  Retry backoff waits
+        ``units * backoff_unit_ms`` on the clock (besides burning the
+        usual interaction budget).
+        """
+        trace = self._begin_search(query, target)
+        steps = self.search_steps(trace, target)
+
+        def advance(send: bool, value: object) -> None:
+            try:
+                if send:
+                    step = steps.send(value)
+                else:
+                    step = steps.throw(value)
+            except StopIteration:
+                on_complete(trace)
+                return
+            dispatch(step)
+
+        def dispatch(step: SearchStep) -> None:
+            on_done = lambda result: advance(True, result)  # noqa: E731
+            on_error = lambda error: advance(False, error)  # noqa: E731
+            if isinstance(step, QueryStep):
+                self.service.query_async(
+                    step.query, self.user, on_done, on_error
+                )
+            elif isinstance(step, FetchStep):
+                self.service.fetch_file_async(
+                    step.msd, self.user, on_done, on_error
+                )
+            elif isinstance(step, ShortcutStep):
+                # Best-effort, no response expected: the search moves on
+                # without waiting for the insert to land.
+                self.service.insert_shortcut_async(
+                    step.node, step.query_key, step.msd_key, self.user
+                )
+                advance(True, None)
+            else:  # BackoffStep
+                kernel.schedule(
+                    step.units * self.backoff_unit_ms,
+                    lambda: advance(True, None),
+                )
+
+        advance(True, None)
+        return trace
+
+    def _begin_search(self, query: FieldQuery, target: Record) -> SearchTrace:
+        """Validate the request and open the trace (shared by drivers)."""
         if not query.covers_record(target):
             raise LookupError_(
                 f"{query!r} does not cover the target record {target!r}"
             )
         counters.engine_searches += 1
-        trace = SearchTrace(query=query, found=False)
+        return SearchTrace(query=query, found=False)
+
+    def _perform_step(self, step: SearchStep) -> object:
+        """Execute one step against the synchronous service API."""
+        if isinstance(step, QueryStep):
+            return self.service.query(step.query, self.user)
+        if isinstance(step, FetchStep):
+            return self.service.fetch_file(step.msd, self.user)
+        if isinstance(step, ShortcutStep):
+            self.service.insert_shortcut(
+                step.node, step.query_key, step.msd_key, self.user
+            )
+            return None
+        # BackoffStep: sequential mode has no clock; the budget units the
+        # generator already burned *are* the backoff.
+        return None
+
+    def search_steps(self, trace: SearchTrace, target: Record) -> SearchSteps:
+        """The search state machine: one yielded step per external action.
+
+        The driver resumes each ``yield`` with the step's result, or
+        throws the :class:`DeliveryError` a failed exchange produced.
+        All trace bookkeeping happens in here, identically for every
+        driver.
+        """
         target_msd = FieldQuery.msd_of(target)
         target_msd_key = target_msd.key()
 
-        current = query
+        current = trace.query
         attempted_generalizations: set[frozenset[str]] = set()
-        # The per-lookup timeout budget, in interaction units (the
-        # simulation has no wall clock): every exchange -- successful or
-        # failed -- and every backoff period drains it.
+        # The per-lookup timeout budget, in interaction units: every
+        # exchange -- successful or failed -- and every backoff period
+        # drains it.  (In async mode, backoff additionally takes virtual
+        # time; the budget arithmetic is driver-independent.)
         budget = self.max_interactions
         while budget > 0:
             if current.is_msd():
-                fetched, budget = self._with_retries(
-                    lambda q=current: self.service.fetch_file(q, self.user),
-                    trace,
-                    budget,
+                fetched, budget = yield from self._exchange_steps(
+                    FetchStep(current), trace, budget
                 )
                 if fetched is None:
                     break
@@ -164,13 +333,12 @@ class LookupEngine:
                 trace.result_msd = current.key() if found else None
                 break
 
-            answer, budget = self._with_retries(
-                lambda q=current: self.service.query(q, self.user),
-                trace,
-                budget,
+            answer, budget = yield from self._exchange_steps(
+                QueryStep(current), trace, budget
             )
             if answer is None:
                 break
+            assert isinstance(answer, QueryAnswer)
             trace.interactions += 1
             trace.visited.append((answer.node, current.key()))
 
@@ -201,8 +369,7 @@ class LookupEngine:
             current = fallback
 
         if trace.found:
-            self._create_shortcuts(trace, target_msd_key)
-        return trace
+            yield from self._shortcut_steps(trace, target_msd_key)
 
     def explore(self, query: FieldQuery) -> list[str]:
         """One interactive step: the raw result set for a query.
@@ -217,21 +384,24 @@ class LookupEngine:
 
     # -- internals -----------------------------------------------------------------
 
-    def _with_retries(self, operation, trace: SearchTrace, budget: int):
-        """Run one message exchange under the lookup budget.
+    def _exchange_steps(self, step: SearchStep, trace: SearchTrace, budget: int):
+        """Yield one message exchange until it succeeds, under the budget.
 
-        On a :class:`DeliveryError` (message lost, or every replica of
-        the destination key down) the exchange is retried up to
-        ``max_retries`` times; each retry first burns its deterministic
-        backoff from the budget.  Returns ``(result, budget_left)`` --
-        ``result`` is ``None`` when the exchange was abandoned, in which
-        case the trace is marked ``gave_up``.
+        On a :class:`DeliveryError` thrown in by the driver (message
+        lost, or every replica of the destination key down) the exchange
+        is retried up to ``max_retries`` times; each retry first burns
+        its deterministic backoff from the budget (and yields a
+        :class:`BackoffStep` so time-aware drivers let it elapse).
+        Returns ``(result, budget_left)`` -- ``result`` is ``None`` when
+        the exchange was abandoned, in which case the trace is marked
+        ``gave_up``.
         """
         attempt = 0
         while budget > 0:
             budget -= 1  # the exchange itself consumes one budget unit
             try:
-                return operation(), budget
+                result = yield step
+                return result, budget
             except DeliveryError:
                 trace.failed_sends += 1
                 counters.engine_failed_sends += 1
@@ -244,6 +414,7 @@ class LookupEngine:
                 attempt += 1
                 trace.retries += 1
                 counters.engine_retries += 1
+                yield BackoffStep(backoff)
         trace.gave_up = True
         counters.engine_gave_up += 1
         return None, budget
@@ -282,8 +453,8 @@ class LookupEngine:
                 return query.restrict(keyset)
         return None
 
-    def _create_shortcuts(self, trace: SearchTrace, target_msd_key: str) -> None:
-        """Create cache entries along the successful lookup path."""
+    def _shortcut_steps(self, trace: SearchTrace, target_msd_key: str):
+        """Yield the cache-entry creations of a successful lookup path."""
         policy = self.service.cache_policy
         if not policy.caches_enabled:
             return
@@ -299,4 +470,4 @@ class LookupEngine:
         else:
             steps = index_steps[:1]
         for node, query_key in steps:
-            self.service.insert_shortcut(node, query_key, target_msd_key, self.user)
+            yield ShortcutStep(node, query_key, target_msd_key)

@@ -19,7 +19,7 @@ are measured, not estimated.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.core.cache import CachePolicy, NodeCache
 from repro.core.fields import Record, Schema
@@ -251,22 +251,27 @@ class IndexService:
                 continue
             assert response is not None
             self.transport.meter.touch_node(self.endpoint_name(node))
-            entries: list[str] = []
-            shortcuts: list[str] = []
-            file_found = False
-            for item in response.payload:
-                if item == self.FILE_FOUND_MARK:
-                    file_found = True
-                elif item.startswith(SHORTCUT_MARK):
-                    shortcuts.append(item[len(SHORTCUT_MARK):])
-                else:
-                    entries.append(item)
-            return QueryAnswer(
-                node=node, entries=entries, shortcuts=shortcuts,
-                file_found=file_found,
-            )
+            return self._parse_answer(node, response)
         assert last_error is not None
         raise last_error
+
+    @staticmethod
+    def _parse_answer(node: int, response: Message) -> QueryAnswer:
+        """Decode one query response payload into a structured answer."""
+        entries: list[str] = []
+        shortcuts: list[str] = []
+        file_found = False
+        for item in response.payload:
+            if item == IndexService.FILE_FOUND_MARK:
+                file_found = True
+            elif item.startswith(SHORTCUT_MARK):
+                shortcuts.append(item[len(SHORTCUT_MARK):])
+            else:
+                entries.append(item)
+        return QueryAnswer(
+            node=node, entries=entries, shortcuts=shortcuts,
+            file_found=file_found,
+        )
 
     def _replica_order(self, store: DHTStorage, key: str) -> list[int]:
         """The replicas of a key in the order this request tries them.
@@ -338,6 +343,143 @@ class IndexService:
             self.transport.send(request)
         except DeliveryError:
             pass
+
+    # -- user-facing operations (event-kernel, continuation-passing) --------------------
+    #
+    # The async variants mirror their synchronous counterparts exchange
+    # for exchange -- same counters, same replica failover policy -- but
+    # deliver through the transport's virtual clock, so N lookups can be
+    # in flight at once and each request pays its overlay routing delay
+    # (``route_hops`` legs, sampled by the bound latency model).  Results
+    # and delivery failures arrive via continuations instead of
+    # return/raise.  Per-query node touching is left to the driver (the
+    # meter's current-query set cannot tell overlapping lookups apart).
+
+    def query_async(
+        self,
+        query: FieldQuery,
+        user: str,
+        on_done: Callable[[QueryAnswer], None],
+        on_error: Callable[[DeliveryError], None],
+    ) -> None:
+        """Resolve ``q`` over the virtual clock; see :meth:`query`."""
+        self.query_key_async(query.key(), user, on_done, on_error)
+
+    def query_key_async(
+        self,
+        key: str,
+        user: str,
+        on_done: Callable[[QueryAnswer], None],
+        on_error: Callable[[DeliveryError], None],
+    ) -> None:
+        """Scheduled variant of :meth:`query_key` with replica failover.
+
+        Failover works exactly like the synchronous path, spread over
+        virtual time: a persistent failure (crashed/departed replica)
+        becomes an error event one request leg later, at which point the
+        next replica is tried; transient drops propagate to ``on_error``
+        for the caller's retry logic.
+        """
+        counters.service_queries += 1
+        order = self._replica_order(self.index_store, key)
+        hops = self._route_hops(self.index_store, key)
+
+        def attempt(index: int) -> None:
+            if index:
+                counters.service_failovers += 1
+            node = order[index]
+            request = Message(
+                kind=MessageKind.QUERY_REQUEST,
+                source=user,
+                destination=self.endpoint_name(node),
+                payload=(key,),
+                route_hops=hops,
+            )
+
+            def on_result(response: Optional[Message]) -> None:
+                assert response is not None
+                on_done(self._parse_answer(node, response))
+
+            def on_fail(error: DeliveryError) -> None:
+                if error.retry_elsewhere and index + 1 < len(order):
+                    attempt(index + 1)
+                else:
+                    on_error(error)
+
+            self.transport.send_async(request, on_result, on_fail)
+
+        attempt(0)
+
+    def fetch_file_async(
+        self,
+        msd: FieldQuery,
+        user: str,
+        on_done: Callable[[tuple[int, bool]], None],
+        on_error: Callable[[DeliveryError], None],
+    ) -> None:
+        """Scheduled variant of :meth:`fetch_file`; yields (node, found)."""
+        counters.service_file_fetches += 1
+        key = msd.key()
+        order = self._replica_order(self.file_store, key)
+        hops = self._route_hops(self.file_store, key)
+
+        def attempt(index: int) -> None:
+            if index:
+                counters.service_failovers += 1
+            node = order[index]
+            request = Message(
+                kind=MessageKind.FILE_REQUEST,
+                source=user,
+                destination=self.endpoint_name(node),
+                payload=(key,),
+                route_hops=hops,
+            )
+
+            def on_result(response: Optional[Message]) -> None:
+                assert response is not None
+                on_done((node, bool(response.payload)))
+
+            def on_fail(error: DeliveryError) -> None:
+                if error.retry_elsewhere and index + 1 < len(order):
+                    attempt(index + 1)
+                else:
+                    on_error(error)
+
+            self.transport.send_async(request, on_result, on_fail)
+
+        attempt(0)
+
+    def insert_shortcut_async(
+        self, node: int, query_key: str, msd_key: str, user: str
+    ) -> None:
+        """Scheduled, fire-and-forget variant of :meth:`insert_shortcut`.
+
+        The shortcut lands one request leg after ``now``; delivery
+        failures are swallowed exactly like the synchronous path (a later
+        lookup re-seeds the cache).
+        """
+        if not self.cache_policy.caches_enabled:
+            return
+        request = Message(
+            kind=MessageKind.CACHE_INSERT,
+            source=user,
+            destination=self.endpoint_name(node),
+            payload=(query_key, msd_key),
+        )
+        self.transport.send_async(
+            request, lambda response: None, lambda error: None
+        )
+
+    def _route_hops(self, store: DHTStorage, key: str) -> int:
+        """Overlay legs a request for ``key`` traverses (>= 1).
+
+        ``LookupResult.hops`` counts routing steps beyond the first
+        contacted node, so a request costs ``1 + hops`` legs: user to
+        entry node, then along the overlay route.  Responses return
+        directly (one leg) since the requester's address is known.
+        """
+        result = store.protocol.lookup(store.numeric_key(key))
+        return 1 + result.hops
 
     # -- statistics ---------------------------------------------------------------------
 

@@ -25,18 +25,18 @@ report per-lookup hop counts so the substrate-independence ablation can
 contrast routing cost with indexing cost.
 """
 
+from repro.dht.base import DHTProtocol, LookupResult, NodeId
+from repro.dht.can import CANNetwork, Zone
+from repro.dht.chord import ChordNetwork, ChordNode
 from repro.dht.idspace import (
     DEFAULT_BITS,
     IdSpace,
     hash_key,
     in_interval,
 )
-from repro.dht.base import DHTProtocol, LookupResult, NodeId
-from repro.dht.ring import IdealRing
-from repro.dht.chord import ChordNetwork, ChordNode
 from repro.dht.kademlia import KademliaNetwork, KademliaNode
 from repro.dht.pastry import PastryNetwork, PastryNode
-from repro.dht.can import CANNetwork, Zone
+from repro.dht.ring import IdealRing
 
 __all__ = [
     "DEFAULT_BITS",

@@ -13,21 +13,14 @@ reproducible:
 - :mod:`repro.net.transport` -- an in-process transport that routes
   messages between registered endpoints while metering them,
 - :mod:`repro.net.faults` -- deterministic fault injection (message
-  loss, duplicates, latency ticks, crash/rejoin schedules) wrapping the
+  loss, duplicates, added latency, crash/rejoin schedules) wrapping the
   transport behind the same endpoint protocol,
 - :mod:`repro.net.latency` -- pluggable link-latency models so substrate
   experiments can report lookup delays.
 """
 
-from repro.net.message import Message, MessageKind, TrafficCategory
-from repro.net.traffic import NodeLoad, TrafficMeter
-from repro.net.transport import (
-    DeliveryError,
-    Endpoint,
-    SimulatedTransport,
-    TransportError,
-)
 from repro.net.faults import (
+    MS_PER_TICK,
     NO_FAULTS,
     CrashEvent,
     FaultPlan,
@@ -37,6 +30,16 @@ from repro.net.latency import (
     ConstantLatency,
     LatencyModel,
     SeededUniformLatency,
+    ZeroLatency,
+    parse_latency_model,
+)
+from repro.net.message import Message, MessageKind, TrafficCategory
+from repro.net.traffic import NodeLoad, TrafficMeter
+from repro.net.transport import (
+    DeliveryError,
+    Endpoint,
+    SimulatedTransport,
+    TransportError,
 )
 
 __all__ = [
@@ -53,7 +56,10 @@ __all__ = [
     "CrashEvent",
     "FaultPlan",
     "FaultyTransport",
+    "MS_PER_TICK",
     "ConstantLatency",
     "LatencyModel",
     "SeededUniformLatency",
+    "ZeroLatency",
+    "parse_latency_model",
 ]

@@ -10,8 +10,9 @@ unchanged over it -- driven by a seeded :class:`FaultPlan`:
 - per-message *drop* probability (request or response lost in flight),
 - per-exchange *duplicate* delivery (the destination handles the message
   twice, as a retransmitting network would cause),
-- added *latency ticks* per delivered message (interaction-count based;
-  the simulation has no wall clock),
+- added *latency milliseconds* per delivered message, on the same
+  virtual clock the event kernel uses (the legacy unit-less "ticks" are
+  accepted as a deprecated alias converting at :data:`MS_PER_TICK`),
 - a *crash/rejoin schedule*: endpoints marked crashed stay registered but
   refuse delivery until they recover, which is exactly the window in
   which replica failover and lookup retries must carry the load.
@@ -30,13 +31,28 @@ counter increments, byte-identical metering to the bare transport.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Callable, Optional
+import warnings
+from dataclasses import InitVar, dataclass
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.net.message import Message
 from repro.net.traffic import TrafficMeter
-from repro.net.transport import DeliveryError, Endpoint, SimulatedTransport
+from repro.net.transport import (
+    DeliveryError,
+    Endpoint,
+    ErrorCallback,
+    ResponseCallback,
+    SimulatedTransport,
+)
 from repro.perf import counters
+
+if TYPE_CHECKING:
+    from repro.net.latency import LatencyModel
+    from repro.sim.kernel import EventKernel
+
+#: Conversion rate of the deprecated unit-less latency "ticks" to virtual
+#: milliseconds: one tick is one millisecond on the shared clock.
+MS_PER_TICK = 1.0
 
 
 @dataclass(frozen=True)
@@ -59,21 +75,42 @@ class CrashEvent:
 
 @dataclass(frozen=True)
 class FaultPlan:
-    """Seeded description of what goes wrong, and how often."""
+    """Seeded description of what goes wrong, and how often.
+
+    Added latency is expressed in virtual-clock milliseconds
+    (``max_latency_ms``).  The pre-kernel ``max_latency_ticks`` keyword
+    is still accepted as a deprecated alias and converts at
+    :data:`MS_PER_TICK`.
+    """
 
     drop_probability: float = 0.0
     duplicate_probability: float = 0.0
-    max_latency_ticks: int = 0
+    max_latency_ms: float = 0.0
     crash_schedule: tuple[CrashEvent, ...] = ()
     seed: int = 0
+    max_latency_ticks: InitVar[Optional[int]] = None
 
-    def __post_init__(self) -> None:
+    def __post_init__(self, max_latency_ticks: Optional[int]) -> None:
+        if max_latency_ticks is not None:
+            warnings.warn(
+                "FaultPlan(max_latency_ticks=...) is deprecated; use "
+                "max_latency_ms (1 tick = 1 ms on the virtual clock)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if self.max_latency_ms:
+                raise ValueError(
+                    "give max_latency_ms or max_latency_ticks, not both"
+                )
+            object.__setattr__(
+                self, "max_latency_ms", max_latency_ticks * MS_PER_TICK
+            )
         for name in ("drop_probability", "duplicate_probability"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {value}")
-        if self.max_latency_ticks < 0:
-            raise ValueError("max_latency_ticks cannot be negative")
+        if self.max_latency_ms < 0:
+            raise ValueError("max_latency_ms cannot be negative")
 
     @property
     def is_zero(self) -> bool:
@@ -81,7 +118,7 @@ class FaultPlan:
         return (
             self.drop_probability == 0.0
             and self.duplicate_probability == 0.0
-            and self.max_latency_ticks == 0
+            and self.max_latency_ms == 0.0
             and not self.crash_schedule
         )
 
@@ -117,8 +154,8 @@ class FaultyTransport:
         self._crashable = crashable
         self._crashed: set[str] = set()
         self.sends = 0
-        #: Total injected latency, in abstract ticks (no wall clock).
-        self.latency_ticks = 0
+        #: Total injected latency, in virtual-clock milliseconds.
+        self.latency_ms = 0.0
         self._pending_crashes = sorted(
             plan.crash_schedule, key=lambda event: event.at_send
         )
@@ -195,10 +232,10 @@ class FaultyTransport:
             counters.fault_drops += 1
             self.inner.meter.record(message)
             raise DeliveryError(DeliveryError.DROPPED, message.destination)
-        if plan.max_latency_ticks:
-            ticks = self._rng.randint(0, plan.max_latency_ticks)
-            self.latency_ticks += ticks
-            counters.fault_latency_ticks += ticks
+        if plan.max_latency_ms:
+            added_ms = self._draw_latency_ms()
+            self.latency_ms += added_ms
+            counters.fault_latency_ms += added_ms
         response = self.inner.send(message)
         if (
             plan.duplicate_probability
@@ -214,6 +251,112 @@ class FaultyTransport:
             counters.fault_drops += 1
             raise DeliveryError(DeliveryError.DROPPED, message.destination)
         return response
+
+    def _draw_latency_ms(self) -> float:
+        """One added-latency draw from the plan's seeded RNG."""
+        return self._rng.uniform(0.0, self.plan.max_latency_ms)
+
+    # -- virtual-time delivery ---------------------------------------------
+
+    @property
+    def kernel(self) -> Optional["EventKernel"]:
+        return self.inner.kernel
+
+    def bind_clock(
+        self, kernel: "EventKernel", latency: "LatencyModel"
+    ) -> None:
+        """Attach the event kernel and latency model (delegated)."""
+        self.inner.bind_clock(kernel, latency)
+
+    def send_async(
+        self,
+        message: Message,
+        on_result: ResponseCallback,
+        on_error: ErrorCallback,
+    ) -> None:
+        """Scheduled delivery with planned faults on the virtual clock.
+
+        Mirrors :meth:`send` fault-for-fault, with time made explicit:
+
+        - crashed destination / dropped request: request bytes metered,
+          ``on_error`` fires after the request's one-way delay (the
+          idealized timeout of the failure detector);
+        - injected latency is added to the request leg's travel time (and
+          accounted in ``latency_ms`` exactly like the sync path);
+        - a duplicated request is a second scheduled delivery whose
+          response is discarded;
+        - a dropped *response* is decided when the response leg arrives:
+          the work and bytes were spent, the caller still sees the error.
+
+        All draws happen at send time except the response drop (drawn at
+        response arrival), so fault sequences are a deterministic
+        function of the kernel's event order.
+        """
+        self._advance_schedule()
+        self.sends += 1
+        plan = self.plan
+        kernel = self.inner.kernel
+        if kernel is None:
+            raise RuntimeError("send_async requires bind_clock() first")
+        if message.destination in self._crashed:
+            counters.fault_crashed_sends += 1
+            self.inner.meter.record(message)
+            delay = self.inner._hop_delay(message)
+            kernel.schedule(
+                delay,
+                lambda: on_error(
+                    DeliveryError(DeliveryError.CRASHED, message.destination)
+                ),
+            )
+            return
+        if (
+            plan.drop_probability
+            and self._rng.random() < plan.drop_probability
+        ):
+            counters.fault_drops += 1
+            self.inner.meter.record(message)
+            delay = self.inner._hop_delay(message)
+            kernel.schedule(
+                delay,
+                lambda: on_error(
+                    DeliveryError(DeliveryError.DROPPED, message.destination)
+                ),
+            )
+            return
+        extra_ms = 0.0
+        if plan.max_latency_ms:
+            extra_ms = self._draw_latency_ms()
+            self.latency_ms += extra_ms
+            counters.fault_latency_ms += extra_ms
+        duplicated = bool(
+            plan.duplicate_probability
+            and self._rng.random() < plan.duplicate_probability
+        )
+
+        def deliver_result(response: Optional[Message]) -> None:
+            if (
+                response is not None
+                and plan.drop_probability
+                and self._rng.random() < plan.drop_probability
+            ):
+                counters.fault_drops += 1
+                on_error(
+                    DeliveryError(DeliveryError.DROPPED, message.destination)
+                )
+                return
+            on_result(response)
+
+        self.inner.send_async(
+            message, deliver_result, on_error, extra_delay_ms=extra_ms
+        )
+        if duplicated:
+            counters.fault_duplicates += 1
+            self.inner.send_async(
+                message,
+                lambda response: None,
+                lambda error: None,
+                extra_delay_ms=extra_ms,
+            )
 
     def _advance_schedule(self) -> None:
         """Fire crash/recovery events scheduled at the current send."""

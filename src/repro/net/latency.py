@@ -11,6 +11,7 @@ Kademlia, to substantiate that the indexing layer is latency-neutral.
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Protocol
 
 
@@ -20,6 +21,19 @@ class LatencyModel(Protocol):
     def sample(self, source: str, destination: str) -> float:
         """Latency of a message from ``source`` to ``destination``."""
         ...
+
+
+class ZeroLatency:
+    """Every hop is instantaneous.
+
+    The event-kernel equivalent of the paper's synchronous feed: with
+    zero hop delay, event order degenerates to scheduling order, which
+    is how sequential-mode equivalence is guaranteed.
+    """
+
+    def sample(self, source: str, destination: str) -> float:
+        """Latency of one hop (always zero)."""
+        return 0.0
 
 
 class ConstantLatency:
@@ -59,6 +73,44 @@ class SeededUniformLatency:
             return 0.0
         pair = (source, destination)
         if pair not in self._cache:
-            generator = random.Random((hash(pair) ^ self.seed) & 0xFFFFFFFF)
+            # crc32, not hash(): string hashing is salted per process, and
+            # per-pair delays must be identical across repeated runs for
+            # the determinism guarantees of the event kernel.
+            digest = zlib.crc32(f"{source}\x00{destination}".encode("utf-8"))
+            generator = random.Random((digest ^ self.seed) & 0xFFFFFFFF)
             self._cache[pair] = generator.uniform(self.low, self.high)
         return self._cache[pair]
+
+
+def parse_latency_model(spec: str, seed: int = 0) -> LatencyModel:
+    """Build a latency model from a compact CLI/config spec string.
+
+    Accepted forms::
+
+        zero                    no hop delay (the default)
+        constant[:MS]           fixed delay, default 50 ms
+        uniform[:LOW:HIGH]      stable per-pair delay in [LOW, HIGH] ms,
+                                default [10, 100]
+
+    ``seed`` feeds the uniform model so two runs with the same
+    configuration draw identical per-pair delays.
+    """
+    name, _, rest = spec.partition(":")
+    parts = rest.split(":") if rest else []
+    try:
+        if name == "zero" and not parts:
+            return ZeroLatency()
+        if name == "constant" and len(parts) <= 1:
+            return ConstantLatency(float(parts[0])) if parts else ConstantLatency()
+        if name == "uniform" and len(parts) in (0, 2):
+            if parts:
+                return SeededUniformLatency(
+                    float(parts[0]), float(parts[1]), seed=seed
+                )
+            return SeededUniformLatency(seed=seed)
+    except ValueError as error:
+        raise ValueError(f"bad latency model spec {spec!r}: {error}") from None
+    raise ValueError(
+        f"unknown latency model {spec!r} "
+        "(expected zero | constant[:MS] | uniform[:LOW:HIGH])"
+    )

@@ -76,6 +76,13 @@ class Message:
     destination: str
     payload: tuple[str, ...] = ()
     explicit_size: Optional[int] = None
+    #: Overlay legs this message traverses (>= 1).  The synchronous
+    #: transport ignores it; the event kernel multiplies the sampled
+    #: per-hop latency by it, so a request routed through a Chord/
+    #: Kademlia overlay costs its real routing delay while the direct
+    #: response costs one leg.  It does not contribute to ``size_bytes``
+    #: (the byte model of Figure 12 is per application message).
+    route_hops: int = 1
     category: TrafficCategory = field(default=None)  # type: ignore[assignment]
 
     def __post_init__(self) -> None:

@@ -83,9 +83,18 @@ class TrafficMeter:
 
     def end_query(self) -> None:
         """Flush the set of nodes touched by the query just completed."""
-        for node in self._current_query_nodes:
-            self._node_loads.setdefault(node, NodeLoad()).queries_touched += 1
+        self.count_query(self._current_query_nodes)
         self._current_query_nodes.clear()
+
+    def count_query(self, nodes: set[str]) -> None:
+        """Credit one completed query to every node in ``nodes``.
+
+        Concurrent lookups each carry their own touched-node set (the
+        shared ``touch_node`` scratch set cannot tell overlapping
+        queries apart), and flush it here when the lookup completes.
+        """
+        for node in nodes:
+            self._node_loads.setdefault(node, NodeLoad()).queries_touched += 1
 
     def node_load(self, node: str) -> NodeLoad:
         """The per-node counters for one endpoint."""

@@ -5,17 +5,29 @@ endpoints (nodes, user agents) register under a unique name; messages are
 delivered synchronously to the destination's handler, and every delivered
 message is metered by the attached :class:`repro.net.traffic.TrafficMeter`.
 
-The synchronous delivery model matches the paper's simulation, which is a
-sequential feed of 50,000 queries -- there is no concurrency inside a
-single lookup, only iteration.
+The synchronous delivery model (:meth:`SimulatedTransport.send`) matches
+the paper's simulation, which is a sequential feed of 50,000 queries --
+there is no concurrency inside a single lookup, only iteration.
+
+For the concurrent experiments the paper never ran, the transport also
+supports *scheduled* delivery (:meth:`SimulatedTransport.send_async`):
+bound to an event kernel and a latency model (:meth:`bind_clock`), a send
+books the handler invocation at ``now + latency`` on the virtual clock
+and the response arrival one response-leg later, so many lookups can be
+in flight at once and hop latency -- not call order -- decides who gets
+answered first.  Byte metering is identical in both modes.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.net.message import Message
 from repro.net.traffic import TrafficMeter
+
+if TYPE_CHECKING:  # import cycle guard: sim.kernel is typing-only here
+    from repro.net.latency import LatencyModel
+    from repro.sim.kernel import EventKernel
 
 
 class TransportError(RuntimeError):
@@ -54,6 +66,10 @@ class DeliveryError(TransportError):
 
 
 Endpoint = Callable[[Message], Optional[Message]]
+#: Continuation receiving the (optional) response of an async exchange.
+ResponseCallback = Callable[[Optional[Message]], None]
+#: Continuation receiving the DeliveryError of a failed async exchange.
+ErrorCallback = Callable[["DeliveryError"], None]
 
 
 class SimulatedTransport:
@@ -69,6 +85,9 @@ class SimulatedTransport:
         # Names that existed at some point: distinguishes "never existed"
         # (programming error) from "departed" (runtime condition).
         self._ever_registered: set[str] = set()
+        # Virtual-time mode (bind_clock): unset means synchronous-only.
+        self.kernel: Optional["EventKernel"] = None
+        self.latency: Optional["LatencyModel"] = None
 
     def register(self, name: str, endpoint: Endpoint) -> None:
         """Attach an endpoint under a unique name."""
@@ -115,3 +134,85 @@ class SimulatedTransport:
         if response is not None:
             self.meter.record(response)
         return response
+
+    # -- virtual-time delivery ---------------------------------------------
+
+    def bind_clock(
+        self, kernel: "EventKernel", latency: "LatencyModel"
+    ) -> None:
+        """Attach the event kernel and latency model for scheduled sends."""
+        self.kernel = kernel
+        self.latency = latency
+
+    def _hop_delay(self, message: Message) -> float:
+        """One-way delay of a message: per-hop latency times route legs.
+
+        Every leg is charged the sampled (source, destination) latency --
+        the intermediate overlay relays are anonymous, so the endpoint
+        pair stands in for each of them.  A direct message has
+        ``route_hops == 1`` and costs exactly one sample.
+        """
+        assert self.latency is not None
+        sample = self.latency.sample(message.source, message.destination)
+        return sample * max(1, message.route_hops)
+
+    def send_async(
+        self,
+        message: Message,
+        on_result: ResponseCallback,
+        on_error: ErrorCallback,
+        extra_delay_ms: float = 0.0,
+    ) -> None:
+        """Deliver a message through the virtual clock.
+
+        The handler runs at ``now + hop_delay + extra_delay_ms``; its
+        response (if any) arrives back at the sender one response leg
+        later, passed to ``on_result``.  Handlers and callbacks never run
+        inside this call -- everything goes through the kernel heap, so
+        concurrent exchanges interleave strictly by virtual time.
+
+        Runtime failures are *reported, not raised*: ``on_error``
+        receives the :class:`DeliveryError` after the request's one-way
+        delay (an idealized failure detector -- the sender learns of the
+        loss when a timeout of one leg expires).  Misuse -- sending to a
+        name that never existed, or sending without :meth:`bind_clock` --
+        still raises :class:`TransportError` synchronously.
+        """
+        if self.kernel is None or self.latency is None:
+            raise TransportError("send_async requires bind_clock() first")
+        if (
+            message.destination not in self._endpoints
+            and message.destination not in self._ever_registered
+        ):
+            raise TransportError(f"no such endpoint: {message.destination!r}")
+        # The sender spends the request bytes now, delivered or not.
+        self.meter.record(message)
+        delay = self._hop_delay(message) + extra_delay_ms
+        self.kernel.schedule(
+            delay, lambda: self._deliver_scheduled(message, on_result, on_error)
+        )
+
+    def _deliver_scheduled(
+        self,
+        message: Message,
+        on_result: ResponseCallback,
+        on_error: ErrorCallback,
+    ) -> None:
+        """Arrival event: run the handler, schedule the response leg.
+
+        The destination is re-resolved at arrival time -- a node that
+        departed while the message was in flight yields the same
+        ``unregistered`` delivery error the synchronous path produces.
+        """
+        assert self.kernel is not None
+        handler = self._endpoints.get(message.destination)
+        if handler is None:
+            on_error(DeliveryError(DeliveryError.UNREGISTERED, message.destination))
+            return
+        response = handler(message)
+        if response is None:
+            on_result(None)
+            return
+        self.meter.record(response)
+        response_delay = self._hop_delay(response)
+        self.kernel.schedule(response_delay, lambda: on_result(response))

@@ -72,7 +72,7 @@ class PerfCounters:
         # fault injection (repro.net.faults)
         "fault_drops",
         "fault_duplicates",
-        "fault_latency_ticks",
+        "fault_latency_ms",
         "fault_crashed_sends",
         # failure-aware lookups (engine retries, service replica failover)
         "engine_retries",

@@ -7,6 +7,9 @@ indexing network with 50,000 queries from our query generator."
 
 - :mod:`repro.sim.experiment` -- configuration and the experiment driver
   (build substrate -> storage -> index service -> feed queries);
+- :mod:`repro.sim.kernel` -- the discrete-event kernel (virtual clock)
+  that concurrent-mode runs schedule message deliveries and retry
+  backoff timers on;
 - :mod:`repro.sim.metrics` -- the result record with every measurement
   the paper's figures report;
 - :mod:`repro.sim.runner` -- a memoizing runner so the many benches that
@@ -16,29 +19,34 @@ indexing network with 50,000 queries from our query generator."
 """
 
 from repro.sim.experiment import Experiment, ExperimentConfig
+from repro.sim.kernel import EventKernel, KernelError
 from repro.sim.metrics import ExperimentResult
-from repro.sim.runner import clear_cache, run_cached
 from repro.sim.presets import (
     CACHE_POLICIES_FIG11,
     CACHE_POLICIES_FIG12,
     CHURN_CONFIG,
     CHURN_SMOKE_CONFIG,
+    CONCURRENT_CONFIG,
     PAPER_CONFIG,
     SCHEMES,
     SMOKE_CONFIG,
     paper_grid,
 )
+from repro.sim.runner import clear_cache, run_cached
 
 __all__ = [
     "Experiment",
     "ExperimentConfig",
     "ExperimentResult",
+    "EventKernel",
+    "KernelError",
     "clear_cache",
     "run_cached",
     "CACHE_POLICIES_FIG11",
     "CACHE_POLICIES_FIG12",
     "CHURN_CONFIG",
     "CHURN_SMOKE_CONFIG",
+    "CONCURRENT_CONFIG",
     "PAPER_CONFIG",
     "SCHEMES",
     "SMOKE_CONFIG",

@@ -6,12 +6,17 @@ metrics, e.g.::
     python -m repro.sim --scheme flat --cache lru30 --queries 10000
     python -m repro.sim --substrate chord --nodes 200 --scale 0.2
     python -m repro.sim --preset churn --scale 0.1
+    python -m repro.sim --concurrency 16 --latency-model uniform:10:100
 
 ``--scale`` proportionally shrinks the paper's full setup (500 nodes,
 10,000 articles, 50,000 queries) for quick explorations.  ``--preset
 churn`` runs the availability experiment -- seeded message loss, Poisson
 join/leave churn, and transient crashes -- and the report then includes
 the availability table (success rate, retries, failovers, repair cost).
+``--concurrency`` / ``--latency-model`` switch the run onto the
+virtual-time event kernel (overlapping lookups, real latency
+accounting) and add p50/p95/p99 response times to the report; the
+``concurrent`` preset combines that with the churn cell.
 """
 
 from __future__ import annotations
@@ -22,12 +27,18 @@ from dataclasses import replace
 
 from repro.analysis.tables import format_table
 from repro.sim.experiment import Experiment, ExperimentConfig
-from repro.sim.presets import CHURN_CONFIG, PAPER_CONFIG, SMOKE_CONFIG
+from repro.sim.presets import (
+    CHURN_CONFIG,
+    CONCURRENT_CONFIG,
+    PAPER_CONFIG,
+    SMOKE_CONFIG,
+)
 
 _PRESETS = {
     "paper": PAPER_CONFIG,
     "smoke": SMOKE_CONFIG,
     "churn": CHURN_CONFIG,
+    "concurrent": CONCURRENT_CONFIG,
 }
 
 
@@ -77,6 +88,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="start from a named configuration (flags still override)",
     )
+    kernel = parser.add_argument_group("virtual-time kernel")
+    kernel.add_argument(
+        "--concurrency",
+        type=int,
+        default=None,
+        help="number of concurrent users (>1 runs on the event kernel)",
+    )
+    kernel.add_argument(
+        "--latency-model",
+        default=None,
+        help="zero | constant[:MS] | uniform[:LOW:HIGH] (virtual ms)",
+    )
+    kernel.add_argument(
+        "--arrival-interval-ms",
+        type=float,
+        default=None,
+        help="open-loop Poisson mean inter-arrival gap (0 = closed loop)",
+    )
     chaos = parser.add_argument_group("failure model")
     chaos.add_argument(
         "--drop-probability",
@@ -91,10 +120,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-exchange duplicate-delivery probability",
     )
     chaos.add_argument(
+        "--latency-ms",
+        type=float,
+        default=None,
+        help="max added latency per delivered message, in virtual ms",
+    )
+    chaos.add_argument(
         "--latency-ticks",
         type=int,
         default=None,
-        help="max added latency ticks per delivered message",
+        help="deprecated alias of --latency-ms (1 tick = 1 ms)",
     )
     chaos.add_argument(
         "--churn-events",
@@ -148,8 +183,12 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         "corpus_seed": args.corpus_seed,
         "query_seed": args.query_seed,
         "shortcut_top_n": args.shortcut_top_n,
+        "concurrency": args.concurrency,
+        "latency_model": args.latency_model,
+        "arrival_interval_ms": args.arrival_interval_ms,
         "fault_drop_probability": args.drop_probability,
         "fault_duplicate_probability": args.duplicate_probability,
+        "fault_latency_ms": args.latency_ms,
         "fault_latency_ticks": args.latency_ticks,
         "churn_events": args.churn_events,
         "churn_mode": args.churn_mode,
@@ -194,7 +233,20 @@ def main(argv: list[str] | None = None) -> int:
         ["DHT hops / key", round(result.avg_dht_hops, 2)],
         ["runtime", f"{result.runtime_seconds:.1f} s"],
     ]
+    if config.uses_kernel:
+        rows[-1:-1] = [
+            ["response time p50 / p95 / p99",
+             f"{result.response_time_ms_p50:,.1f} / "
+             f"{result.response_time_ms_p95:,.1f} / "
+             f"{result.response_time_ms_p99:,.1f} ms"],
+        ]
     print(format_table(["metric", "value"], rows, title=result.label()))
+    if config.uses_kernel:
+        print(format_table(
+            ["response-time metric", "value"],
+            result.response_time_rows(),
+            title="virtual-time kernel",
+        ))
     if config.has_chaos:
         print(format_table(
             ["availability metric", "value"],

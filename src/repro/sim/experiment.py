@@ -8,38 +8,49 @@ grid.  The construction mirrors the paper's layering exactly:
         -> index service (scheme + cache policy)
           -> lookup engine (one simulated user population)
 
-and the run sequentially feeds the configured number of generated
-queries, collecting every measurement of Section V.
+The run has two modes sharing one workload and one chaos schedule:
+
+- **sequential** (the default): queries are fed one at a time through the
+  synchronous call stack, exactly as the paper's figures measure them;
+- **concurrent** (``concurrency > 1``, a non-zero ``latency_model``, or
+  an open-loop arrival process): lookups run as resumable state machines
+  on the virtual-time event kernel, with message deliveries delayed by
+  the latency model, so in-flight searches overlap and per-query
+  response times (p50/p95/p99 on the virtual clock) become measurable.
 """
 
 from __future__ import annotations
 
 import random
 import time
+import warnings
+from collections import deque
 from dataclasses import dataclass, replace
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional
 
+from repro import perf
+from repro.analysis.stats import percentile
 from repro.core.cache import CachePolicy
-from repro.core.engine import LookupEngine
+from repro.core.engine import LookupEngine, SearchTrace
 from repro.core.fields import ARTICLE_SCHEMA
 from repro.core.scheme import IndexScheme, complex_scheme, flat_scheme, simple_scheme
 from repro.core.service import IndexService
 from repro.dht.base import DHTProtocol
-from repro import perf
 from repro.dht.can import CANNetwork
 from repro.dht.chord import ChordNetwork
 from repro.dht.idspace import hash_key
 from repro.dht.kademlia import KademliaNetwork
 from repro.dht.pastry import PastryNetwork
 from repro.dht.ring import IdealRing
-from repro.core.engine import SearchTrace
-from repro.net.faults import FaultPlan, FaultyTransport
+from repro.net.faults import MS_PER_TICK, FaultPlan, FaultyTransport
+from repro.net.latency import parse_latency_model
 from repro.net.transport import SimulatedTransport
+from repro.sim.kernel import EventKernel
 from repro.sim.metrics import ExperimentResult
 from repro.storage.store import DHTStorage
 from repro.workload.corpus import CorpusConfig, SyntheticCorpus
-from repro.workload.querygen import QueryGenerator
 from repro.workload.popularity import PowerLawPopularity
+from repro.workload.querygen import QueryGenerator, WorkloadQuery
 
 _SCHEME_BUILDERS = {
     "simple": simple_scheme,
@@ -72,6 +83,21 @@ class ExperimentConfig:
     corpus_seed: int = 2003
     query_seed: int = 42
     shortcut_top_n: int = 0
+    #: Number of concurrently active users.  1 keeps the paper's
+    #: sequential feed; N > 1 runs a closed-loop population of N users
+    #: on the event kernel, each issuing its next query as soon as the
+    #: previous one completes, with lookups overlapping in virtual time.
+    concurrency: int = 1
+    #: Link-latency model for kernel mode: ``zero`` (the default, and
+    #: the sequential semantics), ``constant[:MS]``, or
+    #: ``uniform[:LOW:HIGH]`` (seeded per node pair).  Any non-zero
+    #: model switches the run onto the virtual clock.
+    latency_model: str = "zero"
+    #: Open-loop arrival process: when > 0, queries arrive at Poisson
+    #: times with this mean inter-arrival gap (virtual ms), round-robin
+    #: across the user population, regardless of completions.  0 keeps
+    #: the closed loop.
+    arrival_interval_ms: float = 0.0
     #: Number of churn events across the query feed.  Each event removes
     #: one random node (losing its cache) and joins a fresh one, then
     #: repairs both stores -- the maintenance a DHash/PAST-class storage
@@ -87,9 +113,14 @@ class ExperimentConfig:
     churn_seed: int = 7
     #: Message-fault injection (see repro.net.faults): per-message drop
     #: probability, per-exchange duplicate probability, max added latency
-    #: ticks per delivered message.  All zero = the reliable network.
+    #: in virtual milliseconds per delivered message.  All zero = the
+    #: reliable network.
     fault_drop_probability: float = 0.0
     fault_duplicate_probability: float = 0.0
+    fault_latency_ms: float = 0.0
+    #: Deprecated pre-kernel spelling of ``fault_latency_ms`` (one
+    #: legacy tick is ``MS_PER_TICK`` virtual milliseconds).  Setting
+    #: both is an error.
     fault_latency_ticks: int = 0
     #: Transient node crashes: events spread uniformly over the feed;
     #: each crashes one random live node (it stays in the overlay and
@@ -106,19 +137,40 @@ class ExperimentConfig:
         CachePolicy.parse(self.cache)  # validates
         if self.num_nodes < 1 or self.num_articles < 1 or self.num_queries < 0:
             raise ValueError("sizes must be positive")
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        if self.arrival_interval_ms < 0:
+            raise ValueError("arrival interval must be non-negative")
+        parse_latency_model(self.latency_model)  # validates the spec
         if self.churn_mode not in ("uniform", "poisson"):
             raise ValueError(f"unknown churn mode {self.churn_mode!r}")
         if self.crash_events < 0 or self.crash_downtime_queries < 1:
             raise ValueError("crash schedule must be non-negative")
-        # Delegates range checks on the probabilities / latency ticks.
+        if self.fault_latency_ticks:
+            if self.fault_latency_ms:
+                raise ValueError(
+                    "give fault_latency_ms or fault_latency_ticks, not both"
+                )
+            warnings.warn(
+                "ExperimentConfig(fault_latency_ticks=...) is deprecated; "
+                "use fault_latency_ms (1 tick = 1 virtual ms)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        # Delegates range checks on the probabilities / latency.
         self.fault_plan()
+
+    @property
+    def effective_fault_latency_ms(self) -> float:
+        """Injected-latency bound in ms, folding in the deprecated ticks."""
+        return self.fault_latency_ms + self.fault_latency_ticks * MS_PER_TICK
 
     def fault_plan(self) -> FaultPlan:
         """The message-fault plan this configuration describes."""
         return FaultPlan(
             drop_probability=self.fault_drop_probability,
             duplicate_probability=self.fault_duplicate_probability,
-            max_latency_ticks=self.fault_latency_ticks,
+            max_latency_ms=self.effective_fault_latency_ms,
             seed=self.churn_seed,
         )
 
@@ -129,6 +181,15 @@ class ExperimentConfig:
             self.churn_events
             or self.crash_events
             or not self.fault_plan().is_zero
+        )
+
+    @property
+    def uses_kernel(self) -> bool:
+        """Whether this cell runs on the virtual-time event kernel."""
+        return (
+            self.concurrency > 1
+            or self.latency_model != "zero"
+            or self.arrival_interval_ms > 0
         )
 
     def scaled(self, factor: float) -> "ExperimentConfig":
@@ -254,6 +315,8 @@ class Experiment:
             num_nodes=config.num_nodes,
             num_articles=config.num_articles,
             num_queries=config.num_queries,
+            concurrency=config.concurrency,
+            latency_model=config.latency_model,
         )
         result.index_storage_bytes = self.service.index_storage_bytes()
         result.article_bytes = self.corpus.total_article_bytes()
@@ -265,35 +328,11 @@ class Experiment:
         )
         churn_positions, crash_positions = self._chaos_schedule()
 
-        meter = self.transport.meter
-        for position, workload_query in enumerate(
-            generator.generate(config.num_queries)
-        ):
-            self._process_recoveries(position)
-            if position in churn_positions:
-                self._churn_event()
-            if position in crash_positions:
-                self._crash_event(position)
-            trace = self.engine.search(workload_query.query, workload_query.target)
-            meter.end_query()
-            if self.trace_sink is not None:
-                self.trace_sink(trace)
-            result.searches += 1
-            result.found += int(trace.found)
-            result.total_interactions += trace.interactions
-            result.total_retries += trace.retries
-            result.total_failed_sends += trace.failed_sends
-            result.lookups_gave_up += int(trace.gave_up)
-            if trace.errors:
-                result.nonindexed_queries += 1
-                result.total_error_interactions += trace.errors
-            if trace.cache_hit:
-                result.cache_hits += 1
-            if trace.first_contact_hit:
-                result.first_contact_hits += 1
-            self._dht_hops_total += sum(
-                1 for _ in trace.visited
-            )  # interactions resolve one key each
+        feed = generator.generate(config.num_queries)
+        if config.uses_kernel:
+            self._run_concurrent(result, feed, churn_positions, crash_positions)
+        else:
+            self._run_sequential(result, feed, churn_positions, crash_positions)
         self._process_recoveries(config.num_queries)
         self._collect(result)
         result.perf_counters = perf.delta(perf_before, perf.snapshot())
@@ -301,7 +340,7 @@ class Experiment:
             "fault_drops",
             "fault_duplicates",
             "fault_crashed_sends",
-            "fault_latency_ticks",
+            "fault_latency_ms",
             "service_failovers",
             "storage_failovers",
         ):
@@ -310,6 +349,159 @@ class Experiment:
         result.repair_bytes = self.repair_bytes
         result.runtime_seconds = time.monotonic() - started
         return result
+
+    def _run_sequential(
+        self,
+        result: ExperimentResult,
+        feed: Iterable[WorkloadQuery],
+        churn_positions: set[int],
+        crash_positions: set[int],
+    ) -> None:
+        """The paper's feed: one query at a time through the call stack."""
+        meter = self.transport.meter
+        for position, workload_query in enumerate(feed):
+            self._dispatch_chaos(position, churn_positions, crash_positions)
+            trace = self.engine.search(workload_query.query, workload_query.target)
+            meter.end_query()
+            self._record_trace(result, trace)
+
+    def _run_concurrent(
+        self,
+        result: ExperimentResult,
+        feed: Iterable[WorkloadQuery],
+        churn_positions: set[int],
+        crash_positions: set[int],
+    ) -> None:
+        """Kernel mode: overlapping lookups on the virtual clock.
+
+        Closed loop by default -- each of the ``concurrency`` users
+        starts its next query the moment the previous one completes --
+        or open loop when ``arrival_interval_ms`` > 0, with Poisson
+        arrivals round-robin across the user population.  Chaos events
+        fire at the same feed positions as in sequential mode, applied
+        when the query at that position is dispatched.
+        """
+        config = self.config
+        kernel = EventKernel()
+        latency = parse_latency_model(
+            config.latency_model, seed=config.churn_seed
+        )
+        self.transport.bind_clock(kernel, latency)
+        engines = [self.engine] + [
+            LookupEngine(self.service, user=f"user:{index}")
+            for index in range(1, config.concurrency)
+        ]
+        meter = self.transport.meter
+        response_times: list[float] = []
+        items = deque(enumerate(feed))
+
+        def finish(trace: SearchTrace, started_at: float) -> None:
+            response_times.append(kernel.now - started_at)
+            # Overlapping lookups cannot share the meter's scratch set;
+            # each trace carries its own visited nodes (Fig 15).
+            meter.count_query(
+                {self.service.endpoint_name(node) for node, _ in trace.visited}
+            )
+            self._record_trace(result, trace)
+
+        def begin(
+            engine: LookupEngine,
+            position: int,
+            workload_query: WorkloadQuery,
+            and_then: Optional[Callable[[], None]] = None,
+        ) -> None:
+            self._dispatch_chaos(position, churn_positions, crash_positions)
+            started_at = kernel.now
+
+            def on_complete(trace: SearchTrace) -> None:
+                finish(trace, started_at)
+                if and_then is not None:
+                    and_then()
+
+            engine.start_async(
+                workload_query.query, workload_query.target, kernel, on_complete
+            )
+
+        def begin_next(engine: LookupEngine) -> None:
+            if not items:
+                return
+            position, workload_query = items.popleft()
+            begin(
+                engine,
+                position,
+                workload_query,
+                and_then=lambda: begin_next(engine),
+            )
+
+        if config.arrival_interval_ms > 0:
+            # Open loop: arrival times are drawn up front from their own
+            # seeded RNG, independent of chaos and completion order.
+            arrival_rng = random.Random(config.query_seed ^ 0x5EED)
+            arrival_at = 0.0
+            for index, (position, workload_query) in enumerate(items):
+                arrival_at += arrival_rng.expovariate(
+                    1.0 / config.arrival_interval_ms
+                )
+                kernel.schedule(
+                    arrival_at,
+                    lambda engine=engines[index % len(engines)],
+                    position=position,
+                    workload_query=workload_query: begin(
+                        engine, position, workload_query
+                    ),
+                )
+            items.clear()
+        else:
+            for engine in engines:
+                begin_next(engine)
+
+        kernel.run()
+        if result.searches != config.num_queries:
+            raise RuntimeError(
+                f"kernel drained with {result.searches} of "
+                f"{config.num_queries} lookups completed"
+            )
+        result.virtual_time_ms = kernel.now
+        if response_times:
+            count = len(response_times)
+            result.response_time_ms_mean = sum(response_times) / count
+            result.response_time_ms_p50 = percentile(response_times, 0.50)
+            result.response_time_ms_p95 = percentile(response_times, 0.95)
+            result.response_time_ms_p99 = percentile(response_times, 0.99)
+
+    def _dispatch_chaos(
+        self,
+        position: int,
+        churn_positions: set[int],
+        crash_positions: set[int],
+    ) -> None:
+        """Apply the chaos schedule due at one query position."""
+        self._process_recoveries(position)
+        if position in churn_positions:
+            self._churn_event()
+        if position in crash_positions:
+            self._crash_event(position)
+
+    def _record_trace(self, result: ExperimentResult, trace: SearchTrace) -> None:
+        """Fold one completed lookup into the running result."""
+        if self.trace_sink is not None:
+            self.trace_sink(trace)
+        result.searches += 1
+        result.found += int(trace.found)
+        result.total_interactions += trace.interactions
+        result.total_retries += trace.retries
+        result.total_failed_sends += trace.failed_sends
+        result.lookups_gave_up += int(trace.gave_up)
+        if trace.errors:
+            result.nonindexed_queries += 1
+            result.total_error_interactions += trace.errors
+        if trace.cache_hit:
+            result.cache_hits += 1
+        if trace.first_contact_hit:
+            result.first_contact_hits += 1
+        self._dht_hops_total += sum(
+            1 for _ in trace.visited
+        )  # interactions resolve one key each
 
     def _chaos_schedule(self) -> tuple[set[int], set[int]]:
         """Query positions at which churn and crash events fire.

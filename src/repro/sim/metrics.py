@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+
 @dataclass
 class ExperimentResult:
     """Aggregated outcome of one simulation run.
@@ -32,6 +34,20 @@ class ExperimentResult:
     num_nodes: int
     num_articles: int
     num_queries: int
+
+    # Simulation mode (virtual-time kernel runs; sequential mode keeps
+    # the defaults and all response-time fields at zero).
+    concurrency: int = 1
+    latency_model: str = "zero"
+
+    # Per-query response time on the virtual clock (kernel mode only).
+    response_time_ms_mean: float = 0.0
+    response_time_ms_p50: float = 0.0
+    response_time_ms_p95: float = 0.0
+    response_time_ms_p99: float = 0.0
+    #: Virtual time at which the last event of the run fired (the
+    #: makespan of the whole feed on the simulated clock).
+    virtual_time_ms: float = 0.0
 
     # Search outcomes
     searches: int = 0
@@ -82,7 +98,7 @@ class ExperimentResult:
     fault_drops: int = 0               # injected message losses
     fault_duplicates: int = 0          # injected duplicate deliveries
     fault_crashed_sends: int = 0       # sends refused by crashed nodes
-    fault_latency_ticks: int = 0       # injected latency, in ticks
+    fault_latency_ms: float = 0.0      # injected latency, in virtual ms
     service_failovers: int = 0         # requests redirected to a replica
     storage_failovers: int = 0         # reads skipping a dead replica
     repair_keys: int = 0               # keys re-replicated by churn repair
@@ -145,6 +161,18 @@ class ExperimentResult:
         "errors",
     ]
 
+    def response_time_rows(self) -> list[list[object]]:
+        """The latency report of a virtual-time run (label/value rows)."""
+        return [
+            ["concurrency", self.concurrency],
+            ["latency model", self.latency_model],
+            ["response time p50", f"{self.response_time_ms_p50:,.1f} ms"],
+            ["response time p95", f"{self.response_time_ms_p95:,.1f} ms"],
+            ["response time p99", f"{self.response_time_ms_p99:,.1f} ms"],
+            ["response time mean", f"{self.response_time_ms_mean:,.1f} ms"],
+            ["virtual makespan", f"{self.virtual_time_ms:,.1f} ms"],
+        ]
+
     def availability_rows(self) -> list[list[object]]:
         """The availability report of a chaos run (label/value rows)."""
         return [
@@ -157,7 +185,7 @@ class ExperimentResult:
             ["injected drops / duplicates", f"{self.fault_drops} / "
              f"{self.fault_duplicates}"],
             ["sends refused by crashed nodes", self.fault_crashed_sends],
-            ["injected latency ticks", self.fault_latency_ticks],
+            ["injected latency", f"{self.fault_latency_ms:,.0f} ms"],
             ["keys re-replicated by repair", self.repair_keys],
             ["repair traffic", f"{self.repair_bytes:,} B"],
         ]

@@ -66,6 +66,16 @@ CHURN_CONFIG = replace(
     crash_downtime_queries=500,
 )
 
+#: The response-time experiment: the churn cell driven by 16 concurrent
+#: users on the virtual-time event kernel, with seeded per-pair link
+#: latencies, so p50/p95/p99 lookup response times become measurable
+#: under the same failure load.
+CONCURRENT_CONFIG = replace(
+    CHURN_CONFIG,
+    concurrency=16,
+    latency_model="uniform:10:100",
+)
+
 #: A proportionally reduced chaos cell for fast tests.
 CHURN_SMOKE_CONFIG = replace(
     CHURN_CONFIG,

@@ -18,6 +18,15 @@ to summarize traces the way the paper's figures do.
 """
 
 from repro.workload.corpus import CorpusConfig, SyntheticCorpus
+from repro.workload.logs import (
+    DerivedModels,
+    LogEntry,
+    LogSummary,
+    derive_models,
+    generate_query_log,
+    parse_query_log,
+    summarize_log,
+)
 from repro.workload.popularity import (
     PAPER_CCDF_COEFFICIENT,
     PAPER_CCDF_EXPONENT,
@@ -36,15 +45,6 @@ from repro.workload.trace import (
     read_trace,
     structure_distribution,
     write_trace,
-)
-from repro.workload.logs import (
-    DerivedModels,
-    LogEntry,
-    LogSummary,
-    derive_models,
-    generate_query_log,
-    parse_query_log,
-    summarize_log,
 )
 
 __all__ = [

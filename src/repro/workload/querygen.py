@@ -19,8 +19,8 @@ import random
 from dataclasses import dataclass
 from typing import Iterator, Mapping, Optional, Sequence
 
-from repro.core.query import FieldQuery
 from repro.core.fields import Record
+from repro.core.query import FieldQuery
 from repro.workload.corpus import SyntheticCorpus
 from repro.workload.popularity import PowerLawPopularity
 

@@ -20,12 +20,12 @@ This package implements the data-description layer of the paper
   expressions (footnote 1 of the paper).
 """
 
-from repro.xmlq.element import Element, element, text_element
-from repro.xmlq.xmlparse import XMLParseError, parse_xml, serialize_xml
-from repro.xmlq.lexer import Token, TokenType, XPathLexError, tokenize
 from repro.xmlq.astnodes import Axis, Comparison, LocationPath, LocationStep, Predicate
-from repro.xmlq.xpparser import XPathParseError, parse_xpath
+from repro.xmlq.element import Element, element, text_element
 from repro.xmlq.evaluator import evaluate, matches
+from repro.xmlq.lexer import Token, TokenType, XPathLexError, tokenize
+from repro.xmlq.normalize import clear_normalize_cache, normalize_xpath
+from repro.xmlq.partial_order import PartialOrderGraph, QuerySetView
 from repro.xmlq.pattern import (
     PatternEdge,
     PatternNode,
@@ -36,8 +36,8 @@ from repro.xmlq.pattern import (
     descriptor_to_pattern,
     pattern_from_xpath,
 )
-from repro.xmlq.normalize import clear_normalize_cache, normalize_xpath
-from repro.xmlq.partial_order import PartialOrderGraph, QuerySetView
+from repro.xmlq.xmlparse import XMLParseError, parse_xml, serialize_xml
+from repro.xmlq.xpparser import XPathParseError, parse_xpath
 
 __all__ = [
     "Element",

@@ -34,8 +34,6 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
-_BARE_WORD_RE = re.compile(r"[\w.\-:+]+", re.UNICODE)
-
 from repro.perf import counters
 from repro.xmlq.astnodes import (
     Axis,
@@ -46,6 +44,8 @@ from repro.xmlq.astnodes import (
 )
 from repro.xmlq.element import Element
 from repro.xmlq.xpparser import parse_xpath
+
+_BARE_WORD_RE = re.compile(r"[\w.\-:+]+", re.UNICODE)
 
 
 @dataclass(frozen=True)

@@ -1,6 +1,5 @@
 """Unit tests for the reproduction-report assembler."""
 
-import pathlib
 
 import pytest
 

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.analysis.stats import ccdf_points, lorenz_skew, rank_ordered, summarize
+from repro.analysis.stats import (
+    ccdf_points,
+    lorenz_skew,
+    percentile,
+    rank_ordered,
+    summarize,
+)
 
 
 class TestSummarize:
@@ -23,6 +29,32 @@ class TestSummarize:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             summarize([])
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = list(range(1, 101))  # 1..100
+        assert percentile(values, 0.50) == 50
+        assert percentile(values, 0.95) == 95
+        assert percentile(values, 0.99) == 99
+
+    def test_extremes(self):
+        assert percentile([5.0, 1.0, 9.0], 0.0) == 1.0
+        assert percentile([5.0, 1.0, 9.0], 1.0) == 9.0
+
+    def test_unsorted_input(self):
+        assert percentile([30.0, 10.0, 20.0], 0.5) == 20.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_fraction_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
 
 
 class TestCCDF:

@@ -1,6 +1,5 @@
 """Failure-aware lookup tests: retries, backoff budget, replica failover."""
 
-import pytest
 
 from repro.core.engine import LookupEngine
 from repro.core.fields import ARTICLE_SCHEMA

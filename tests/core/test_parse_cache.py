@@ -9,12 +9,10 @@ evicts least-recently-used entries instead of clearing wholesale.
 
 from __future__ import annotations
 
-import pytest
-
+from repro import perf
 from repro.core.engine import LookupEngine
 from repro.core.fields import ARTICLE_SCHEMA, Record, Schema
 from repro.core.query import FieldQuery
-from repro import perf
 
 
 def _fresh_schema() -> Schema:

@@ -17,7 +17,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.cache import CachePolicy
-from repro.core.engine import LookupEngine
 from repro.core.fields import ARTICLE_SCHEMA, Record
 from repro.core.query import FieldQuery
 from repro.core.scheme import complex_scheme, flat_scheme, simple_scheme

@@ -1,6 +1,5 @@
 """Unit tests for replica load-spreading in the index service."""
 
-import pytest
 
 from repro.core.engine import LookupEngine
 from repro.core.fields import ARTICLE_SCHEMA

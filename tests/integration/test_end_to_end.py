@@ -186,7 +186,6 @@ class TestChurn:
             DHTStorage(protocol, replication=3),
             transport,
         )
-        engine = LookupEngine(service, user="user:int")
         for record in paper_records:
             service.insert_record(record)
         # Losing one node must not lose any key (replicas remain).

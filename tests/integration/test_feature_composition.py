@@ -6,7 +6,6 @@ with caching, replication with deletion, churned storage beneath prefix
 search, and Twine beside the index service on one substrate.
 """
 
-import pytest
 
 from repro.baselines.twine import TwineResolver
 from repro.core.cache import CachePolicy

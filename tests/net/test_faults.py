@@ -5,13 +5,14 @@ import random
 import pytest
 
 from repro import perf
-from repro.net.message import Message, MessageKind
 from repro.net.faults import (
+    MS_PER_TICK,
     NO_FAULTS,
     CrashEvent,
     FaultPlan,
     FaultyTransport,
 )
+from repro.net.message import Message, MessageKind
 from repro.net.transport import (
     DeliveryError,
     SimulatedTransport,
@@ -56,7 +57,7 @@ class TestFaultPlan:
         with pytest.raises(ValueError):
             FaultPlan(duplicate_probability=-0.1)
         with pytest.raises(ValueError):
-            FaultPlan(max_latency_ticks=-1)
+            FaultPlan(max_latency_ms=-1.0)
         with pytest.raises(ValueError):
             CrashEvent(at_send=-1, downtime_sends=3)
 
@@ -89,7 +90,7 @@ class TestZeroPlanTransparency:
         delta = perf.delta(before, perf.snapshot())
         assert delta["fault_drops"] == 0
         assert delta["fault_duplicates"] == 0
-        assert delta["fault_latency_ticks"] == 0
+        assert delta["fault_latency_ms"] == 0
         assert delta["fault_crashed_sends"] == 0
 
 
@@ -152,11 +153,23 @@ class TestDuplicates:
 
 
 class TestLatency:
-    def test_latency_ticks_accumulate(self, wired):
-        faulty, _ = wired(FaultPlan(max_latency_ticks=5, seed=3))
+    def test_latency_ms_accumulates(self, wired):
+        faulty, _ = wired(FaultPlan(max_latency_ms=5.0, seed=3))
         for _ in range(50):
             faulty.send(request())
-        assert 0 < faulty.latency_ticks <= 250
+        assert 0 < faulty.latency_ms <= 250.0
+
+    def test_deprecated_ticks_alias_converts(self):
+        with pytest.warns(DeprecationWarning):
+            plan = FaultPlan(max_latency_ticks=7)
+        # The pinned conversion rate: one legacy tick is one virtual
+        # millisecond on the shared clock.
+        assert MS_PER_TICK == 1.0
+        assert plan.max_latency_ms == 7 * MS_PER_TICK
+
+    def test_ticks_and_ms_together_rejected(self):
+        with pytest.raises(ValueError), pytest.warns(DeprecationWarning):
+            FaultPlan(max_latency_ms=3.0, max_latency_ticks=4)
 
 
 class TestCrashes:
@@ -211,6 +224,108 @@ class TestCrashes:
         faulty.fail_node("node:1")
         faulty.unregister("node:1")
         assert not faulty.is_crashed("node:1")
+
+
+class TestAsyncFaults:
+    """Kernel-scheduled sends through the fault layer."""
+
+    def clocked(self, wired, plan, rng=None):
+        from repro.net.latency import ConstantLatency
+        from repro.sim.kernel import EventKernel
+
+        faulty, received = wired(plan, rng=rng)
+        kernel = EventKernel()
+        faulty.bind_clock(kernel, ConstantLatency(10.0))
+        return faulty, received, kernel
+
+    def test_zero_plan_delivers_on_schedule(self, wired):
+        faulty, received, kernel = self.clocked(wired, NO_FAULTS)
+        arrivals = []
+        faulty.send_async(
+            request(),
+            lambda response: arrivals.append(kernel.now),
+            lambda error: arrivals.append(error),
+        )
+        kernel.run()
+        assert arrivals == [20.0]
+        assert len(received) == 1
+
+    def test_crashed_node_fails_after_request_leg(self, wired):
+        faulty, received, kernel = self.clocked(wired, NO_FAULTS)
+        faulty.fail_node("node:1")
+        outcomes = []
+        faulty.send_async(
+            request(),
+            lambda response: outcomes.append("delivered"),
+            lambda error: outcomes.append((kernel.now, error.reason)),
+        )
+        kernel.run()
+        # The failure surfaces only after the request leg has elapsed
+        # (an idealized failure-detector timeout), never instantly.
+        assert outcomes == [(10.0, DeliveryError.CRASHED)]
+        assert received == []
+
+    def test_dropped_request_fails_async(self, wired):
+        faulty, received, kernel = self.clocked(
+            wired, FaultPlan(drop_probability=1.0, seed=3)
+        )
+        outcomes = []
+        faulty.send_async(
+            request(),
+            lambda response: outcomes.append("delivered"),
+            lambda error: outcomes.append(error.reason),
+        )
+        kernel.run()
+        assert outcomes == [DeliveryError.DROPPED]
+        assert received == []
+
+    def test_duplicate_delivers_twice_async(self, wired):
+        faulty, received, kernel = self.clocked(
+            wired, FaultPlan(duplicate_probability=1.0, seed=3)
+        )
+        responses = []
+        faulty.send_async(
+            request(),
+            lambda response: responses.append(response),
+            lambda error: responses.append(error),
+        )
+        kernel.run()
+        # The caller sees one response; the endpoint handled two copies.
+        assert len(responses) == 1
+        assert len(received) == 2
+
+    def test_injected_latency_delays_arrival(self, wired):
+        faulty, received, kernel = self.clocked(
+            wired, FaultPlan(max_latency_ms=500.0, seed=3)
+        )
+        arrivals = []
+        faulty.send_async(
+            request(),
+            lambda response: arrivals.append(kernel.now),
+            lambda error: None,
+        )
+        kernel.run()
+        assert len(arrivals) == 1
+        assert arrivals[0] > 20.0  # both legs plus the injected delay
+        assert faulty.latency_ms > 0
+
+    def test_async_faults_deterministic_in_seed(self, wired):
+        def drive():
+            faulty, _, kernel = self.clocked(
+                wired, FaultPlan(drop_probability=0.3, seed=11),
+                rng=random.Random(11),
+            )
+            outcomes = []
+            for _ in range(100):
+                faulty.send_async(
+                    request(),
+                    lambda response: outcomes.append("ok"),
+                    lambda error: outcomes.append("drop"),
+                )
+            kernel.run()
+            return outcomes
+
+        assert drive() == drive()
 
 
 class TestEndpointProtocol:

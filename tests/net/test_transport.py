@@ -121,3 +121,107 @@ class TestDelivery:
         meter = TrafficMeter()
         transport = SimulatedTransport(meter)
         assert transport.meter is meter
+
+
+class TestAsyncDelivery:
+    """Kernel-scheduled sends: deliveries take virtual time."""
+
+    @pytest.fixture
+    def clocked(self, transport):
+        from repro.net.latency import ConstantLatency
+        from repro.sim.kernel import EventKernel
+
+        kernel = EventKernel()
+        transport.bind_clock(kernel, ConstantLatency(10.0))
+        return transport, kernel
+
+    def echo(self, message):
+        return message.reply(MessageKind.QUERY_RESPONSE, ("ok",))
+
+    def request(self, destination="node:1", route_hops=1):
+        return Message(
+            MessageKind.QUERY_REQUEST,
+            "u",
+            destination,
+            ("q",),
+            route_hops=route_hops,
+        )
+
+    def test_unbound_transport_rejects_async(self, transport):
+        transport.register("node:1", self.echo)
+        with pytest.raises(TransportError):
+            transport.send_async(self.request(), lambda r: None, lambda e: None)
+
+    def test_response_arrives_after_both_legs(self, clocked):
+        transport, kernel = clocked
+        transport.register("node:1", self.echo)
+        arrivals = []
+        transport.send_async(
+            self.request(),
+            lambda response: arrivals.append((kernel.now, response.payload)),
+            lambda error: arrivals.append(("error", error)),
+        )
+        assert arrivals == []  # nothing is delivered synchronously
+        kernel.run()
+        # One 10 ms request leg plus one 10 ms response leg.
+        assert arrivals == [(20.0, ("ok",))]
+
+    def test_route_hops_multiply_the_request_leg(self, clocked):
+        transport, kernel = clocked
+        transport.register("node:1", self.echo)
+        arrivals = []
+        transport.send_async(
+            self.request(route_hops=4),
+            lambda response: arrivals.append(kernel.now),
+            lambda error: None,
+        )
+        kernel.run()
+        # 4 overlay hops out (40 ms), one direct response leg back.
+        assert arrivals == [50.0]
+
+    def test_no_response_handler_completes_with_none(self, clocked):
+        transport, kernel = clocked
+        transport.register("sink", lambda m: None)
+        arrivals = []
+        transport.send_async(
+            self.request("sink"),
+            lambda response: arrivals.append((kernel.now, response)),
+            lambda error: None,
+        )
+        kernel.run()
+        assert arrivals == [(10.0, None)]
+
+    def test_departure_during_flight_is_delivery_error(self, clocked):
+        transport, kernel = clocked
+        transport.register("node:1", self.echo)
+        errors = []
+        transport.send_async(
+            self.request(),
+            lambda response: errors.append("delivered"),
+            lambda error: errors.append(error.reason),
+        )
+        # The endpoint leaves while the request is in flight; arrival
+        # resolves the handler and finds it gone.
+        transport.unregister("node:1")
+        kernel.run()
+        assert errors == [DeliveryError.UNREGISTERED]
+
+    def test_never_existed_destination_still_hard_error(self, clocked):
+        transport, _ = clocked
+        with pytest.raises(TransportError):
+            transport.send_async(
+                self.request("node:never"), lambda r: None, lambda e: None
+            )
+
+    def test_async_meters_like_sync(self, clocked):
+        transport, kernel = clocked
+        transport.register("node:1", self.echo)
+        request = self.request()
+        sizes = []
+        transport.send_async(
+            request,
+            lambda response: sizes.append(response.size_bytes),
+            lambda error: None,
+        )
+        kernel.run()
+        assert transport.meter.normal_bytes == request.size_bytes + sizes[0]

@@ -2,7 +2,6 @@
 
 from dataclasses import replace
 
-import pytest
 
 from repro.sim.experiment import Experiment, ExperimentConfig
 

@@ -75,7 +75,7 @@ class TestPresetAndChaosFlags:
             [
                 "--drop-probability", "0.1",
                 "--duplicate-probability", "0.02",
-                "--latency-ticks", "3",
+                "--latency-ms", "3",
                 "--churn-events", "7",
                 "--churn-mode", "poisson",
                 "--crash-events", "2",
@@ -85,7 +85,7 @@ class TestPresetAndChaosFlags:
         )
         assert config.fault_drop_probability == 0.1
         assert config.fault_duplicate_probability == 0.02
-        assert config.fault_latency_ticks == 3
+        assert config.fault_latency_ms == 3.0
         assert config.churn_events == 7
         assert config.churn_mode == "poisson"
         assert config.crash_events == 2
@@ -93,12 +93,62 @@ class TestPresetAndChaosFlags:
         assert config.churn_seed == 11
         assert config.has_chaos
 
+    def test_deprecated_latency_ticks_still_converts(self):
+        from repro.net.faults import MS_PER_TICK
+
+        with pytest.warns(DeprecationWarning):
+            config = parse(["--latency-ticks", "3"])
+        assert config.fault_latency_ticks == 3
+        assert config.effective_fault_latency_ms == 3 * MS_PER_TICK
+        assert config.fault_plan().max_latency_ms == 3 * MS_PER_TICK
+
+    def test_latency_ms_and_ticks_together_rejected(self):
+        with pytest.raises(ValueError):
+            parse(["--latency-ms", "2", "--latency-ticks", "3"])
+
     def test_no_chaos_by_default(self):
         assert not parse([]).has_chaos
 
     def test_invalid_probability_rejected(self):
         with pytest.raises(ValueError):
             parse(["--drop-probability", "1.5"])
+
+
+class TestKernelFlags:
+    def test_kernel_flags(self):
+        config = parse(
+            [
+                "--concurrency", "16",
+                "--latency-model", "uniform:10:100",
+                "--arrival-interval-ms", "5",
+            ]
+        )
+        assert config.concurrency == 16
+        assert config.latency_model == "uniform:10:100"
+        assert config.arrival_interval_ms == 5.0
+        assert config.uses_kernel
+
+    def test_sequential_by_default(self):
+        config = parse([])
+        assert config.concurrency == 1
+        assert config.latency_model == "zero"
+        assert not config.uses_kernel
+
+    def test_concurrent_preset_loads(self):
+        from repro.sim.presets import CONCURRENT_CONFIG
+
+        config = parse(["--preset", "concurrent"])
+        assert config == CONCURRENT_CONFIG
+        assert config.concurrency == 16
+        assert config.uses_kernel
+
+    def test_invalid_latency_model_rejected(self):
+        with pytest.raises(ValueError):
+            parse(["--latency-model", "bogus"])
+
+    def test_invalid_concurrency_rejected(self):
+        with pytest.raises(ValueError):
+            parse(["--concurrency", "0"])
 
 
 class TestMain:
@@ -139,3 +189,25 @@ class TestMain:
         code = main(["--scale", "0.01", "--queries", "200"])
         assert code == 0
         assert "availability under faults" not in capsys.readouterr().out
+
+    def test_concurrent_run_prints_response_times(self, capsys):
+        code = main(
+            [
+                "--scale", "0.01",
+                "--queries", "200",
+                "--concurrency", "4",
+                "--latency-model", "constant:20",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "response time p50 / p95 / p99" in output
+        assert "virtual-time kernel" in output
+        assert "virtual makespan" in output
+
+    def test_sequential_run_omits_response_times(self, capsys):
+        code = main(["--scale", "0.01", "--queries", "200"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "response time" not in output
+        assert "virtual-time kernel" not in output

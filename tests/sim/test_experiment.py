@@ -5,7 +5,6 @@ from dataclasses import replace
 import pytest
 
 from repro.sim.experiment import Experiment, ExperimentConfig
-from repro.sim.presets import SMOKE_CONFIG
 from repro.workload.corpus import CorpusConfig, SyntheticCorpus
 
 TINY = ExperimentConfig(

@@ -1,0 +1,127 @@
+"""Unit tests for the discrete-event kernel (repro.sim.kernel)."""
+
+import pytest
+
+from repro.sim.kernel import EventKernel, KernelError
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert EventKernel().now == 0.0
+
+    def test_events_fire_in_time_order(self):
+        kernel = EventKernel()
+        fired = []
+        kernel.schedule(30.0, lambda: fired.append("c"))
+        kernel.schedule(10.0, lambda: fired.append("a"))
+        kernel.schedule(20.0, lambda: fired.append("b"))
+        kernel.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        kernel = EventKernel()
+        fired = []
+        for label in ("first", "second", "third"):
+            kernel.schedule(5.0, lambda label=label: fired.append(label))
+        kernel.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_now_advances_to_event_time(self):
+        kernel = EventKernel()
+        seen = []
+        kernel.schedule(12.5, lambda: seen.append(kernel.now))
+        kernel.schedule(40.0, lambda: seen.append(kernel.now))
+        final = kernel.run()
+        assert seen == [12.5, 40.0]
+        assert final == kernel.now == 40.0
+
+    def test_delays_are_relative_to_now(self):
+        kernel = EventKernel()
+        times = []
+
+        def chained():
+            times.append(kernel.now)
+            if len(times) < 3:
+                kernel.schedule(10.0, chained)
+
+        kernel.schedule(10.0, chained)
+        kernel.run()
+        assert times == [10.0, 20.0, 30.0]
+
+    def test_zero_delay_runs_after_current_bookings(self):
+        kernel = EventKernel()
+        fired = []
+        kernel.schedule(0.0, lambda: fired.append("booked-first"))
+        kernel.schedule(0.0, lambda: fired.append("booked-second"))
+        kernel.run()
+        assert fired == ["booked-first", "booked-second"]
+        assert kernel.now == 0.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(KernelError):
+            EventKernel().schedule(-0.1, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_never_fires(self):
+        kernel = EventKernel()
+        fired = []
+        handle = kernel.schedule(5.0, lambda: fired.append("cancelled"))
+        kernel.schedule(10.0, lambda: fired.append("kept"))
+        handle.cancel()
+        kernel.run()
+        assert fired == ["kept"]
+
+    def test_cancel_after_fire_is_noop(self):
+        kernel = EventKernel()
+        handle = kernel.schedule(1.0, lambda: None)
+        kernel.run()
+        handle.cancel()  # must not raise
+
+    def test_pending_counts_live_events_only(self):
+        kernel = EventKernel()
+        kernel.schedule(1.0, lambda: None)
+        drop = kernel.schedule(2.0, lambda: None)
+        assert kernel.pending == 2
+        drop.cancel()
+        assert kernel.pending == 1
+
+
+class TestRun:
+    def test_step_on_empty_queue_returns_false(self):
+        assert EventKernel().step() is False
+
+    def test_events_run_counts_fired_callbacks(self):
+        kernel = EventKernel()
+        for _ in range(4):
+            kernel.schedule(1.0, lambda: None)
+        kernel.schedule(2.0, lambda: None).cancel()
+        kernel.run()
+        assert kernel.events_run == 4
+
+    def test_run_until_stops_early_with_queue_intact(self):
+        kernel = EventKernel()
+        fired = []
+        for delay in (1.0, 2.0, 3.0):
+            kernel.schedule(delay, lambda delay=delay: fired.append(delay))
+        kernel.run(until=lambda: len(fired) >= 2)
+        assert fired == [1.0, 2.0]
+        assert kernel.pending == 1
+
+    def test_deterministic_across_instances(self):
+        def drive():
+            kernel = EventKernel()
+            fired = []
+
+            def fan_out():
+                for delay in (7.0, 3.0, 3.0):
+                    kernel.schedule(
+                        delay, lambda delay=delay: fired.append((kernel.now, delay))
+                    )
+
+            kernel.schedule(1.0, fan_out)
+            kernel.schedule(2.0, lambda: fired.append((kernel.now, "fixed")))
+            kernel.run()
+            return fired, kernel.events_run, kernel.now
+
+        assert drive() == drive()

@@ -39,6 +39,33 @@ class TestDerived:
         assert len(make().summary_row()) == len(ExperimentResult.SUMMARY_HEADERS)
 
 
+class TestResponseTimeRows:
+    def test_rows_report_kernel_fields(self):
+        result = make(
+            concurrency=16,
+            latency_model="uniform:10:100",
+            response_time_ms_p50=120.0,
+            response_time_ms_p95=340.5,
+            response_time_ms_p99=510.0,
+            response_time_ms_mean=150.25,
+            virtual_time_ms=9_876.0,
+        )
+        rows = dict((label, value) for label, value in result.response_time_rows())
+        assert rows["concurrency"] == 16
+        assert rows["latency model"] == "uniform:10:100"
+        assert rows["response time p50"] == "120.0 ms"
+        assert rows["response time p95"] == "340.5 ms"
+        assert rows["response time p99"] == "510.0 ms"
+        assert rows["virtual makespan"] == "9,876.0 ms"
+
+    def test_sequential_defaults(self):
+        result = make()
+        assert result.concurrency == 1
+        assert result.latency_model == "zero"
+        assert result.response_time_ms_p99 == 0.0
+        assert result.virtual_time_ms == 0.0
+
+
 class TestValidation:
     def test_valid(self):
         make(searches=10, found=10).validate()

@@ -1,6 +1,5 @@
 """Replica failover, incremental repair, and departed-node hygiene."""
 
-import pytest
 
 from repro.dht.idspace import hash_key
 from repro.dht.ring import IdealRing

@@ -5,7 +5,6 @@ import random
 import pytest
 
 from repro.workload.popularity import (
-    PAPER_CCDF_COEFFICIENT,
     PAPER_CCDF_EXPONENT,
     PowerLawPopularity,
     ZipfPopularity,

@@ -5,7 +5,6 @@ import pytest
 from repro.workload.corpus import CorpusConfig, SyntheticCorpus
 from repro.workload.popularity import PowerLawPopularity
 from repro.workload.querygen import (
-    BIBFINDER_STRUCTURE,
     QueryGenerator,
     QueryStructureModel,
 )

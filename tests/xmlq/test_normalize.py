@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.xmlq.normalize import normalize_xpath
 from repro.xmlq.evaluator import matches
+from repro.xmlq.normalize import normalize_xpath
 
 
 class TestCanonicalForm:
