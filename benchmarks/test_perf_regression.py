@@ -15,6 +15,8 @@ Run with the other benches::
 from __future__ import annotations
 
 import itertools
+import time
+from dataclasses import replace
 
 from repro import perf
 from repro.core.cache import CachePolicy
@@ -25,6 +27,7 @@ from repro.core.service import IndexService
 from repro.dht.idspace import hash_key
 from repro.dht.ring import IdealRing
 from repro.net.transport import SimulatedTransport
+from repro.sim.experiment import Experiment, ExperimentConfig
 from repro.storage.store import DHTStorage
 from repro.workload.corpus import CorpusConfig, SyntheticCorpus
 from repro.workload.querygen import QueryGenerator
@@ -180,3 +183,53 @@ class TestEndToEndCounters:
         # field queries decide covering by constraint subset, and any
         # text-level covers calls hit the memo.
         assert increments["homomorphism_node_visits"] <= 10_000
+
+
+class TestTracingOverhead:
+    """The observability layer must cost nothing when off, little when on.
+
+    Every tracer call site is guarded by ``if tracer is not None``; an
+    untraced run therefore performs zero tracing work beyond the None
+    check.  The structural test pins that wiring; the wall-clock test
+    bounds the traced/untraced ratio on a concurrent kernel run with a
+    generous margin (locally ~1.17x) so genuine regressions -- an
+    unguarded call site, eager serialization -- fail loudly without CI
+    timing noise causing flakes.
+    """
+
+    CONFIG = ExperimentConfig(
+        cache="single",
+        num_nodes=20,
+        num_articles=120,
+        num_queries=400,
+        num_authors=48,
+        concurrency=8,
+        latency_model="uniform:10:100",
+    )
+
+    def test_untraced_stack_holds_no_tracer(self):
+        experiment = Experiment(self.CONFIG)
+        assert experiment.tracer is None
+        assert experiment.engine.tracer is None
+        assert experiment.transport.tracer is None
+        assert experiment.index_store.tracer is None
+        assert experiment.file_store.tracer is None
+
+    def test_traced_run_overhead_is_bounded(self):
+        def best_of(config, repetitions=3):
+            times = []
+            for _ in range(repetitions):
+                experiment = Experiment(config)
+                start = time.perf_counter()
+                experiment.run()
+                times.append(time.perf_counter() - start)
+            return min(times)
+
+        best_of(self.CONFIG, repetitions=1)  # warm process-global caches
+        untraced = best_of(self.CONFIG)
+        traced = best_of(replace(self.CONFIG, trace=True))
+        ratio = traced / untraced
+        assert ratio < 1.75, (
+            f"tracing overhead regressed: traced/untraced = {ratio:.2f} "
+            f"({traced * 1000:.0f}ms vs {untraced * 1000:.0f}ms)"
+        )

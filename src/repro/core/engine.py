@@ -56,6 +56,7 @@ from repro.net.transport import DeliveryError
 from repro.perf import counters
 
 if TYPE_CHECKING:
+    from repro.obs.tracer import Tracer
     from repro.sim.kernel import EventKernel
 
 
@@ -88,6 +89,8 @@ class SearchTrace:
     hit_interaction: Optional[int] = None  # 1-based index of the jump
     visited: list[tuple[int, str]] = field(default_factory=list)
     result_msd: Optional[str] = None
+    #: Trace-span id of this lookup when the engine is traced (else None).
+    span_id: Optional[int] = None
 
     @property
     def first_contact_hit(self) -> bool:
@@ -160,9 +163,11 @@ class LookupEngine:
         max_retries: int = 3,
         retry_backoff: tuple[int, ...] = DEFAULT_RETRY_BACKOFF,
         backoff_unit_ms: float = DEFAULT_BACKOFF_UNIT_MS,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         self.service = service
         self.user = user
+        self.tracer = tracer
         self.max_interactions = max_interactions
         self.max_retries = max_retries
         self.backoff_unit_ms = backoff_unit_ms
@@ -218,6 +223,7 @@ class LookupEngine:
                     step = steps.send(result)
         except StopIteration:
             pass
+        self._end_lookup(trace)
         return trace
 
     def start_async(
@@ -246,6 +252,7 @@ class LookupEngine:
                 else:
                     step = steps.throw(value)
             except StopIteration:
+                self._end_lookup(trace)
                 on_complete(trace)
                 return
             dispatch(step)
@@ -269,10 +276,10 @@ class LookupEngine:
                 )
                 advance(True, None)
             else:  # BackoffStep
-                kernel.schedule(
-                    step.units * self.backoff_unit_ms,
-                    lambda: advance(True, None),
-                )
+                wait_ms = step.units * self.backoff_unit_ms
+                if self.tracer is not None and self.tracer.current is not None:
+                    self.tracer.backoff(*self.tracer.current, wait_ms=wait_ms)
+                kernel.schedule(wait_ms, lambda: advance(True, None))
 
         advance(True, None)
         return trace
@@ -284,7 +291,26 @@ class LookupEngine:
                 f"{query!r} does not cover the target record {target!r}"
             )
         counters.engine_searches += 1
-        return SearchTrace(query=query, found=False)
+        trace = SearchTrace(query=query, found=False)
+        if self.tracer is not None:
+            trace.span_id = self.tracer.begin_lookup(query.key(), self.user)
+        return trace
+
+    def _end_lookup(self, trace: SearchTrace) -> None:
+        """Close the lookup's trace span with its outcome (if traced)."""
+        if self.tracer is None or trace.span_id is None:
+            return
+        self.tracer.end_lookup(
+            trace.span_id,
+            found=trace.found,
+            gave_up=trace.gave_up,
+            cache_hit=trace.cache_hit,
+            generalized=trace.generalized,
+            interactions=trace.interactions,
+            retries=trace.retries,
+            failed_sends=trace.failed_sends,
+            errors=trace.errors,
+        )
 
     def _perform_step(self, step: SearchStep) -> object:
         """Execute one step against the synchronous service API."""
@@ -299,6 +325,8 @@ class LookupEngine:
             return None
         # BackoffStep: sequential mode has no clock; the budget units the
         # generator already burned *are* the backoff.
+        if self.tracer is not None and self.tracer.current is not None:
+            self.tracer.backoff(*self.tracer.current, wait_ms=0.0)
         return None
 
     def search_steps(self, trace: SearchTrace, target: Record) -> SearchSteps:
@@ -321,7 +349,7 @@ class LookupEngine:
         budget = self.max_interactions
         while budget > 0:
             if current.is_msd():
-                fetched, budget = yield from self._exchange_steps(
+                fetched, budget, exchange = yield from self._exchange_steps(
                     FetchStep(current), trace, budget
                 )
                 if fetched is None:
@@ -331,9 +359,17 @@ class LookupEngine:
                 trace.visited.append((node, current.key()))
                 trace.found = found
                 trace.result_msd = current.key() if found else None
+                if self.tracer is not None:
+                    self.tracer.fetch_step(
+                        trace.span_id,
+                        exchange,
+                        node=node,
+                        query=current.key(),
+                        found=found,
+                    )
                 break
 
-            answer, budget = yield from self._exchange_steps(
+            answer, budget, exchange = yield from self._exchange_steps(
                 QueryStep(current), trace, budget
             )
             if answer is None:
@@ -341,6 +377,17 @@ class LookupEngine:
             assert isinstance(answer, QueryAnswer)
             trace.interactions += 1
             trace.visited.append((answer.node, current.key()))
+            if self.tracer is not None:
+                self.tracer.index_step(
+                    trace.span_id,
+                    exchange,
+                    node=answer.node,
+                    query=current.key(),
+                    cache_hit=target_msd_key in answer.shortcuts,
+                    entries=len(answer.entries),
+                    shortcuts=len(answer.shortcuts),
+                    file_found=target_msd_key in answer.entries,
+                )
 
             if target_msd_key in answer.shortcuts:
                 trace.cache_hit = True
@@ -392,19 +439,34 @@ class LookupEngine:
         is retried up to ``max_retries`` times; each retry first burns
         its deterministic backoff from the budget (and yields a
         :class:`BackoffStep` so time-aware drivers let it elapse).
-        Returns ``(result, budget_left)`` -- ``result`` is ``None`` when
-        the exchange was abandoned, in which case the trace is marked
-        ``gave_up``.
+        Returns ``(result, budget_left, exchange_id)`` -- ``result`` is
+        ``None`` when the exchange was abandoned, in which case the trace
+        is marked ``gave_up``; ``exchange_id`` is the trace child-span id
+        of the exchange (``None`` when untraced), covering the original
+        transmission and every retry of it.
         """
         attempt = 0
+        tracer = self.tracer
+        exchange = None
+        if tracer is not None and trace.span_id is not None:
+            exchange = tracer.open_exchange(trace.span_id)
         while budget > 0:
             budget -= 1  # the exchange itself consumes one budget unit
+            if exchange is not None:
+                tracer.set_context(trace.span_id, exchange)
             try:
                 result = yield step
-                return result, budget
-            except DeliveryError:
+                return result, budget, exchange
+            except DeliveryError as error:
                 trace.failed_sends += 1
                 counters.engine_failed_sends += 1
+                if exchange is not None:
+                    tracer.delivery_error(
+                        trace.span_id,
+                        exchange,
+                        reason=error.reason,
+                        destination=error.destination,
+                    )
                 if attempt >= self.max_retries or budget <= 0:
                     break
                 backoff = self.retry_backoff[
@@ -414,10 +476,21 @@ class LookupEngine:
                 attempt += 1
                 trace.retries += 1
                 counters.engine_retries += 1
+                if exchange is not None:
+                    tracer.retry(
+                        trace.span_id,
+                        exchange,
+                        attempt=attempt,
+                        backoff_units=backoff,
+                    )
+                    # The DeliveryError arrived via a kernel continuation,
+                    # so the current-span pointer is stale: re-point it at
+                    # this exchange before handing the driver the backoff.
+                    tracer.set_context(trace.span_id, exchange)
                 yield BackoffStep(backoff)
         trace.gave_up = True
         counters.engine_gave_up += 1
-        return None, budget
+        return None, budget, exchange
 
     def _select_entry(
         self, entries: list[str], target: Record
@@ -470,4 +543,11 @@ class LookupEngine:
         else:
             steps = index_steps[:1]
         for node, query_key in steps:
+            if self.tracer is not None and trace.span_id is not None:
+                # Shortcut legs are lookup-level (no exchange child span):
+                # re-point attribution at the bare lookup before sending.
+                self.tracer.set_context(trace.span_id, None)
+                self.tracer.cache_insert(
+                    node=node, query=query_key, msd=target_msd_key
+                )
             yield ShortcutStep(node, query_key, target_msd_key)

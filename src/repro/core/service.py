@@ -232,10 +232,16 @@ class IndexService:
         logic, since the same node will answer a retransmission.
         """
         counters.service_queries += 1
+        tracer = self.transport.tracer
         last_error: Optional[DeliveryError] = None
         for attempt, node in enumerate(self._replica_order(self.index_store, key)):
             if attempt:
                 counters.service_failovers += 1
+                if tracer is not None:
+                    tracer.failover(
+                        key=key, node=node, attempt=attempt,
+                        level="service", use_current=True,
+                    )
             request = Message(
                 kind=MessageKind.QUERY_REQUEST,
                 source=user,
@@ -300,11 +306,17 @@ class IndexService:
         :meth:`query_key`; transient drops propagate for retry.
         """
         counters.service_file_fetches += 1
+        tracer = self.transport.tracer
         key = msd.key()
         last_error: Optional[DeliveryError] = None
         for attempt, node in enumerate(self._replica_order(self.file_store, key)):
             if attempt:
                 counters.service_failovers += 1
+                if tracer is not None:
+                    tracer.failover(
+                        key=key, node=node, attempt=attempt,
+                        level="service", use_current=True,
+                    )
             request = Message(
                 kind=MessageKind.FILE_REQUEST,
                 source=user,
@@ -383,11 +395,21 @@ class IndexService:
         counters.service_queries += 1
         order = self._replica_order(self.index_store, key)
         hops = self._route_hops(self.index_store, key)
+        tracer = self.transport.tracer
+        # Failover attempts fire from kernel continuations, long after
+        # other lookups moved the tracer's current-span pointer: capture
+        # the requesting span now and re-activate it per attempt.
+        span = tracer.current if tracer is not None else None
 
         def attempt(index: int) -> None:
+            node = order[index]
             if index:
                 counters.service_failovers += 1
-            node = order[index]
+                if tracer is not None:
+                    tracer.failover(
+                        key=key, node=node, attempt=index,
+                        level="service", ref=span,
+                    )
             request = Message(
                 kind=MessageKind.QUERY_REQUEST,
                 source=user,
@@ -406,7 +428,11 @@ class IndexService:
                 else:
                     on_error(error)
 
-            self.transport.send_async(request, on_result, on_fail)
+            if tracer is not None:
+                with tracer.activated(span):
+                    self.transport.send_async(request, on_result, on_fail)
+            else:
+                self.transport.send_async(request, on_result, on_fail)
 
         attempt(0)
 
@@ -422,11 +448,18 @@ class IndexService:
         key = msd.key()
         order = self._replica_order(self.file_store, key)
         hops = self._route_hops(self.file_store, key)
+        tracer = self.transport.tracer
+        span = tracer.current if tracer is not None else None
 
         def attempt(index: int) -> None:
+            node = order[index]
             if index:
                 counters.service_failovers += 1
-            node = order[index]
+                if tracer is not None:
+                    tracer.failover(
+                        key=key, node=node, attempt=index,
+                        level="service", ref=span,
+                    )
             request = Message(
                 kind=MessageKind.FILE_REQUEST,
                 source=user,
@@ -445,7 +478,11 @@ class IndexService:
                 else:
                     on_error(error)
 
-            self.transport.send_async(request, on_result, on_fail)
+            if tracer is not None:
+                with tracer.activated(span):
+                    self.transport.send_async(request, on_result, on_fail)
+            else:
+                self.transport.send_async(request, on_result, on_fail)
 
         attempt(0)
 

@@ -48,6 +48,7 @@ from repro.perf import counters
 
 if TYPE_CHECKING:
     from repro.net.latency import LatencyModel
+    from repro.obs.tracer import Tracer
     from repro.sim.kernel import EventKernel
 
 #: Conversion rate of the deprecated unit-less latency "ticks" to virtual
@@ -167,6 +168,14 @@ class FaultyTransport:
     def meter(self) -> TrafficMeter:
         return self.inner.meter
 
+    @property
+    def tracer(self) -> Optional["Tracer"]:
+        return self.inner.tracer
+
+    def bind_tracer(self, tracer: Optional["Tracer"]) -> None:
+        """Attach the lookup tracer on the wrapped transport."""
+        self.inner.bind_tracer(tracer)
+
     def register(self, name: str, endpoint: Endpoint) -> None:
         """Attach an endpoint on the wrapped transport."""
         self.inner.register(name, endpoint)
@@ -242,7 +251,13 @@ class FaultyTransport:
             and self._rng.random() < plan.duplicate_probability
         ):
             counters.fault_duplicates += 1
-            self.inner.send(message)
+            # Duplicate legs are unattributed, matching the async path.
+            tracer = self.inner.tracer
+            if tracer is not None:
+                with tracer.activated(None):
+                    self.inner.send(message)
+            else:
+                self.inner.send(message)
         if (
             response is not None
             and plan.drop_probability
@@ -302,6 +317,12 @@ class FaultyTransport:
             counters.fault_crashed_sends += 1
             self.inner.meter.record(message)
             delay = self.inner._hop_delay(message)
+            # The failed request leg still takes its one-way delay before
+            # the sender learns of the loss; traced as a waited leg.
+            if self.inner.tracer is not None:
+                self.inner._trace_hop(
+                    message, "request", delay, use_current=True
+                )
             kernel.schedule(
                 delay,
                 lambda: on_error(
@@ -316,6 +337,10 @@ class FaultyTransport:
             counters.fault_drops += 1
             self.inner.meter.record(message)
             delay = self.inner._hop_delay(message)
+            if self.inner.tracer is not None:
+                self.inner._trace_hop(
+                    message, "request", delay, use_current=True
+                )
             kernel.schedule(
                 delay,
                 lambda: on_error(
@@ -351,12 +376,25 @@ class FaultyTransport:
         )
         if duplicated:
             counters.fault_duplicates += 1
-            self.inner.send_async(
-                message,
-                lambda response: None,
-                lambda error: None,
-                extra_delay_ms=extra_ms,
-            )
+            # The duplicate delivery is not on any lookup's critical path
+            # (its response is discarded), so its legs are recorded
+            # unattributed -- the latency-sum trace invariant holds.
+            tracer = self.inner.tracer
+            if tracer is not None:
+                with tracer.activated(None):
+                    self.inner.send_async(
+                        message,
+                        lambda response: None,
+                        lambda error: None,
+                        extra_delay_ms=extra_ms,
+                    )
+            else:
+                self.inner.send_async(
+                    message,
+                    lambda response: None,
+                    lambda error: None,
+                    extra_delay_ms=extra_ms,
+                )
 
     def _advance_schedule(self) -> None:
         """Fire crash/recovery events scheduled at the current send."""

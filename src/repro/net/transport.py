@@ -27,6 +27,7 @@ from repro.net.traffic import TrafficMeter
 
 if TYPE_CHECKING:  # import cycle guard: sim.kernel is typing-only here
     from repro.net.latency import LatencyModel
+    from repro.obs.tracer import SpanRef, Tracer
     from repro.sim.kernel import EventKernel
 
 
@@ -88,6 +89,8 @@ class SimulatedTransport:
         # Virtual-time mode (bind_clock): unset means synchronous-only.
         self.kernel: Optional["EventKernel"] = None
         self.latency: Optional["LatencyModel"] = None
+        # Observability (bind_tracer): unset means zero-overhead untraced.
+        self.tracer: Optional["Tracer"] = None
 
     def register(self, name: str, endpoint: Endpoint) -> None:
         """Attach an endpoint under a unique name."""
@@ -130,9 +133,13 @@ class SimulatedTransport:
                 )
             raise TransportError(f"no such endpoint: {message.destination!r}")
         self.meter.record(message)
+        if self.tracer is not None:
+            self._trace_hop(message, "request", 0.0, use_current=True)
         response = handler(message)
         if response is not None:
             self.meter.record(response)
+            if self.tracer is not None:
+                self._trace_hop(response, "response", 0.0, use_current=True)
         return response
 
     # -- virtual-time delivery ---------------------------------------------
@@ -143,6 +150,38 @@ class SimulatedTransport:
         """Attach the event kernel and latency model for scheduled sends."""
         self.kernel = kernel
         self.latency = latency
+
+    # -- observability ------------------------------------------------------
+
+    def bind_tracer(self, tracer: Optional["Tracer"]) -> None:
+        """Attach (or detach, with ``None``) the lookup tracer.
+
+        Tracing is pure observation: it reads message facts the transport
+        already computed, so bound or not, delivery behaviour, metering,
+        and random-draw sequences are identical.
+        """
+        self.tracer = tracer
+
+    def _trace_hop(
+        self,
+        message: Message,
+        leg: str,
+        latency_ms: float,
+        use_current: bool = False,
+        ref: Optional["SpanRef"] = None,
+    ) -> None:
+        """Record one route-hop event for a metered message."""
+        assert self.tracer is not None
+        self.tracer.route_hop(
+            src=message.source,
+            dst=message.destination,
+            message=message.kind.value,
+            legs=max(1, message.route_hops),
+            latency_ms=latency_ms,
+            leg=leg,
+            ref=ref,
+            use_current=use_current,
+        )
 
     def _hop_delay(self, message: Message) -> float:
         """One-way delay of a message: per-hop latency times route legs.
@@ -188,8 +227,15 @@ class SimulatedTransport:
         # The sender spends the request bytes now, delivered or not.
         self.meter.record(message)
         delay = self._hop_delay(message) + extra_delay_ms
+        # Attribution for the response leg is captured now: by the time
+        # the arrival event fires, other lookups' sends will have moved
+        # the tracer's current-span pointer.
+        span = self.tracer.current if self.tracer is not None else None
+        if self.tracer is not None:
+            self._trace_hop(message, "request", delay, ref=span)
         self.kernel.schedule(
-            delay, lambda: self._deliver_scheduled(message, on_result, on_error)
+            delay,
+            lambda: self._deliver_scheduled(message, on_result, on_error, span),
         )
 
     def _deliver_scheduled(
@@ -197,6 +243,7 @@ class SimulatedTransport:
         message: Message,
         on_result: ResponseCallback,
         on_error: ErrorCallback,
+        span: Optional["SpanRef"] = None,
     ) -> None:
         """Arrival event: run the handler, schedule the response leg.
 
@@ -215,4 +262,6 @@ class SimulatedTransport:
             return
         self.meter.record(response)
         response_delay = self._hop_delay(response)
+        if self.tracer is not None:
+            self._trace_hop(response, "response", response_delay, ref=span)
         self.kernel.schedule(response_delay, lambda: on_result(response))

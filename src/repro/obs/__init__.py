@@ -1,0 +1,38 @@
+"""Structured lookup tracing: span-level observability for the stack.
+
+The paper's evaluation (Sections V-VI, Figs 13-15) reasons about
+*per-lookup* behaviour -- index-chain length, hops per step, cache
+shortcuts taken, nodes visited -- but aggregate counters cannot
+attribute latency or traffic to individual queries once the virtual-time
+kernel interleaves concurrent lookups.  This package supplies the
+missing layer:
+
+- :class:`repro.obs.tracer.Tracer` records typed events
+  (``lookup_start``, ``index_step``, ``dht_route_hop``, ``retry``,
+  ``failover``, ``cache_insert``, ``lookup_end``, ...) into per-lookup
+  spans, timestamped on the same virtual clock the event kernel runs;
+- :mod:`repro.obs.reader` reloads an exported JSONL trace for analysis;
+- :mod:`repro.obs.summarize` reconstructs Fig-13/15-style per-lookup
+  tables (chain-length distribution, hops per chain step, latency
+  breakdown by leg), also available as
+  ``python -m repro.obs summarize trace.jsonl``.
+
+Tracing is strictly read-only over the simulation: it draws no random
+numbers and touches no metric, so a traced run produces bit-identical
+aggregates to an untraced one, and a same-seed traced run produces a
+byte-identical JSONL file (both pinned by tests).  Every instrumentation
+site is guarded by an ``is None`` check on an optional tracer reference,
+so the layer costs nothing when off.
+"""
+
+from repro.obs.reader import LookupTrace, TraceEvent, TraceFile, load_trace
+from repro.obs.tracer import SpanRef, Tracer
+
+__all__ = [
+    "LookupTrace",
+    "SpanRef",
+    "TraceEvent",
+    "TraceFile",
+    "Tracer",
+    "load_trace",
+]

@@ -1,0 +1,55 @@
+"""Trace-analysis command line: ``python -m repro.obs <command>``.
+
+Currently one subcommand::
+
+    python -m repro.obs summarize trace.jsonl
+
+reconstructs the per-lookup anatomy tables (chain-length distribution,
+hops per chain step, latency breakdown by leg) from a JSONL trace
+exported with ``python -m repro.sim ... --trace-out trace.jsonl``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.reader import TraceReadError
+from repro.obs.summarize import summarize_file
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Analyze lookup traces exported by repro.sim.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    summarize = commands.add_parser(
+        "summarize",
+        help="print per-lookup anatomy tables from a JSONL trace",
+    )
+    summarize.add_argument("trace", help="path to the JSONL trace file")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "summarize":
+        try:
+            print(summarize_file(args.trace))
+        except FileNotFoundError:
+            print(f"error: no such trace file: {args.trace}", file=sys.stderr)
+            return 2
+        except TraceReadError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:
+        # Downstream closed early (e.g. `... | head`): exit quietly.
+        sys.stderr.close()
+        raise SystemExit(0) from None

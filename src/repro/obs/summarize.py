@@ -1,0 +1,172 @@
+"""Per-lookup anatomy tables reconstructed from a trace file.
+
+Turns one exported JSONL trace into the per-lookup view the paper's
+Figures 13 and 15 reason about but aggregates cannot show:
+
+- the **index-chain length distribution** (how many index interactions
+  each lookup needed, and how cache shortcuts shorten chains);
+- **hops and latency per chain step** (what each step of the resolution
+  chain costs on the DHT substrate);
+- the **latency breakdown by leg** (where a lookup's response time goes:
+  request routing, direct responses, retry backoff);
+- per-lookup **response-time percentiles**, which must agree with the
+  ``ExperimentResult`` percentiles of the run that produced the trace
+  (pinned by tests).
+
+Exposed as ``python -m repro.obs summarize trace.jsonl``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional
+
+from repro.analysis.stats import percentile
+from repro.analysis.tables import format_table
+from repro.obs.reader import LookupTrace, TraceFile, load_trace
+
+#: Message kinds whose legs sit on a lookup's critical path.
+_WAITED_MESSAGES = ("query_request", "query_response", "file_request",
+                    "file_response")
+
+
+def chain_length_table(lookups: list[LookupTrace]) -> str:
+    """Distribution of index-chain lengths across all lookups."""
+    by_length: dict[int, list[LookupTrace]] = {}
+    for span in lookups:
+        by_length.setdefault(span.chain_length, []).append(span)
+    total = len(lookups)
+    rows = []
+    for length in sorted(by_length):
+        bucket = by_length[length]
+        rows.append([
+            length,
+            len(bucket),
+            f"{100.0 * len(bucket) / total:.1f}%",
+            sum(span.hops for span in bucket) / len(bucket),
+            sum(span.elapsed_ms for span in bucket) / len(bucket),
+            f"{100.0 * sum(span.found for span in bucket) / len(bucket):.1f}%",
+        ])
+    return format_table(
+        ["chain length", "lookups", "share", "hop events", "mean ms", "found"],
+        rows,
+        title="index-chain length distribution",
+    )
+
+
+def hops_per_step_table(lookups: list[LookupTrace]) -> str:
+    """Routing cost of each successive chain step, averaged over lookups."""
+    legs_at: dict[int, list[int]] = {}
+    latency_at: dict[int, list[float]] = {}
+    for span in lookups:
+        position = 0
+        for event in span.of_kind("dht_route_hop"):
+            if event.data["leg"] != "request":
+                continue
+            if event.data["message"] not in ("query_request", "file_request"):
+                continue
+            position += 1
+            legs_at.setdefault(position, []).append(event.data["legs"])
+            latency_at.setdefault(position, []).append(
+                event.data["latency_ms"]
+            )
+    rows = []
+    for position in sorted(legs_at):
+        legs = legs_at[position]
+        latencies = latency_at[position]
+        rows.append([
+            position,
+            len(legs),
+            sum(legs) / len(legs),
+            sum(latencies) / len(latencies),
+        ])
+    return format_table(
+        ["chain step", "requests", "mean DHT legs", "mean request ms"],
+        rows,
+        title="hops per chain step",
+    )
+
+
+def latency_breakdown_table(lookups: list[LookupTrace]) -> str:
+    """Where lookup response time goes, split by leg type."""
+    totals: Counter[str] = Counter()
+    counts: Counter[str] = Counter()
+    for span in lookups:
+        for event in span.events:
+            if event.kind == "dht_route_hop":
+                message = event.data["message"]
+                if message not in _WAITED_MESSAGES:
+                    continue
+                label = f"{event.data['leg']} legs"
+                totals[label] += event.data["latency_ms"]
+                counts[label] += 1
+            elif event.kind == "backoff":
+                totals["retry backoff"] += event.data["wait_ms"]
+                counts["retry backoff"] += 1
+    grand_total = sum(totals.values())
+    rows = []
+    for label in sorted(totals, key=lambda name: -totals[name]):
+        share = 100.0 * totals[label] / grand_total if grand_total else 0.0
+        rows.append([
+            label,
+            counts[label],
+            totals[label],
+            totals[label] / counts[label],
+            f"{share:.1f}%",
+        ])
+    return format_table(
+        ["leg", "events", "total ms", "mean ms", "share"],
+        rows,
+        title="latency breakdown by leg",
+    )
+
+
+def response_time_table(lookups: list[LookupTrace]) -> str:
+    """Per-lookup outcome and latency summary of the whole trace."""
+    elapsed = [span.elapsed_ms for span in lookups]
+    found = sum(1 for span in lookups if span.found)
+    rows = [
+        ["lookups", len(lookups)],
+        ["found", f"{found} ({100.0 * found / len(lookups):.1f}%)"],
+        ["mean chain length",
+         sum(span.chain_length for span in lookups) / len(lookups)],
+        ["response time p50", percentile(elapsed, 0.50)],
+        ["response time p95", percentile(elapsed, 0.95)],
+        ["response time p99", percentile(elapsed, 0.99)],
+        ["response time mean", sum(elapsed) / len(elapsed)],
+    ]
+    return format_table(
+        ["per-lookup metric", "value"], rows, title="lookup outcomes"
+    )
+
+
+def summarize_trace(trace: TraceFile) -> str:
+    """The full per-lookup anatomy report of one parsed trace."""
+    header = trace.header
+    label = "/".join(
+        str(header[key])
+        for key in ("scheme", "cache", "substrate")
+        if key in header
+    )
+    intro = (
+        f"trace: {label or 'unlabelled'} -- "
+        f"{len(trace.lookups)} lookups, {len(trace.events)} events"
+    )
+    if not trace.lookups:
+        return intro + "\n(no lookup spans in trace)"
+    sections = [
+        intro,
+        response_time_table(trace.lookups),
+        chain_length_table(trace.lookups),
+        hops_per_step_table(trace.lookups),
+        latency_breakdown_table(trace.lookups),
+    ]
+    return "\n\n".join(sections)
+
+
+def summarize_file(path: str, out: Optional[list[str]] = None) -> str:
+    """Load ``path`` and produce the anatomy report (CLI entry point)."""
+    report = summarize_trace(load_trace(path))
+    if out is not None:
+        out.append(report)
+    return report

@@ -161,6 +161,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="seed of the single RNG driving churn, crashes, and faults",
     )
+    observability = parser.add_argument_group("observability")
+    observability.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "record a per-lookup trace and export it as JSONL to PATH "
+            "(analyze with `python -m repro.obs summarize PATH`)"
+        ),
+    )
     return parser
 
 
@@ -195,6 +205,7 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         "crash_events": args.crash_events,
         "crash_downtime_queries": args.crash_downtime,
         "churn_seed": args.churn_seed,
+        "trace": True if args.trace_out else None,
     }
     set_overrides = {key: value for key, value in overrides.items()
                      if value is not None}
@@ -216,7 +227,11 @@ def main(argv: list[str] | None = None) -> int:
         f"{config.num_queries:,} queries ...",
         flush=True,
     )
-    result = Experiment(config).run()
+    experiment = Experiment(config)
+    result = experiment.run()
+    if args.trace_out:
+        events = experiment.write_trace(args.trace_out)
+        print(f"trace: {events:,} events written to {args.trace_out}")
     rows = [
         ["interactions / query", round(result.avg_interactions, 3)],
         ["normal traffic / query", f"{result.normal_bytes_per_query:,.0f} B"],

@@ -45,6 +45,7 @@ from repro.dht.ring import IdealRing
 from repro.net.faults import MS_PER_TICK, FaultPlan, FaultyTransport
 from repro.net.latency import parse_latency_model
 from repro.net.transport import SimulatedTransport
+from repro.obs.tracer import Tracer
 from repro.sim.kernel import EventKernel
 from repro.sim.metrics import ExperimentResult
 from repro.storage.store import DHTStorage
@@ -128,6 +129,11 @@ class ExperimentConfig:
     #: queries, then it recovers with its stored state intact.
     crash_events: int = 0
     crash_downtime_queries: int = 200
+    #: Structured per-lookup tracing (see :mod:`repro.obs`).  Off by
+    #: default -- an untraced run constructs no tracer and pays zero
+    #: overhead; a traced run records every lookup span but changes no
+    #: aggregate (tracing is read-only observation).
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.scheme not in _SCHEME_BUILDERS:
@@ -233,12 +239,33 @@ class Experiment:
         self.transport = FaultyTransport(
             SimulatedTransport(), config.fault_plan(), rng=self._chaos_rng
         )
+        #: The lookup tracer, or None when ``config.trace`` is off.
+        self.tracer: Optional[Tracer] = None
+        if config.trace:
+            self.tracer = Tracer(
+                meta={
+                    "scheme": config.scheme,
+                    "cache": config.cache,
+                    "substrate": config.substrate,
+                    "num_nodes": config.num_nodes,
+                    "num_articles": config.num_articles,
+                    "num_queries": config.num_queries,
+                    "concurrency": config.concurrency,
+                    "latency_model": config.latency_model,
+                    "corpus_seed": config.corpus_seed,
+                    "query_seed": config.query_seed,
+                    "churn_seed": config.churn_seed,
+                }
+            )
+            self.transport.bind_tracer(self.tracer)
         self.index_store = DHTStorage(
             self.protocol, replication=config.replication
         )
         self.file_store = DHTStorage(
             self.protocol, replication=config.replication
         )
+        self.index_store.tracer = self.tracer
+        self.file_store.tracer = self.tracer
         policy, capacity = CachePolicy.parse(config.cache)
         self.service = IndexService(
             ARTICLE_SCHEMA,
@@ -249,7 +276,7 @@ class Experiment:
             cache_policy=policy,
             cache_capacity=capacity,
         )
-        self.engine = LookupEngine(self.service, user="user:0")
+        self.engine = LookupEngine(self.service, user="user:0", tracer=self.tracer)
         self._populated = False
         self._dht_hops_total = 0
         self._dht_lookups = 0
@@ -350,6 +377,16 @@ class Experiment:
         result.runtime_seconds = time.monotonic() - started
         return result
 
+    def write_trace(self, path: str) -> int:
+        """Export the recorded lookup trace as JSONL; returns the event
+        count.  Requires the experiment to be configured with
+        ``trace=True``."""
+        if self.tracer is None:
+            raise RuntimeError(
+                "no trace recorded: configure the experiment with trace=True"
+            )
+        return self.tracer.write_jsonl(path)
+
     def _run_sequential(
         self,
         result: ExperimentResult,
@@ -387,8 +424,10 @@ class Experiment:
             config.latency_model, seed=config.churn_seed
         )
         self.transport.bind_clock(kernel, latency)
+        if self.tracer is not None:
+            self.tracer.bind_clock(kernel)
         engines = [self.engine] + [
-            LookupEngine(self.service, user=f"user:{index}")
+            LookupEngine(self.service, user=f"user:{index}", tracer=self.tracer)
             for index in range(1, config.concurrency)
         ]
         meter = self.transport.meter

@@ -25,11 +25,14 @@ The layer supports:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.dht.base import DHTProtocol, NodeId
 from repro.dht.idspace import hash_key
 from repro.perf import counters
+
+if TYPE_CHECKING:
+    from repro.obs.tracer import Tracer
 
 
 class StorageError(KeyError):
@@ -100,6 +103,8 @@ class DHTStorage:
         self.protocol = protocol
         self.replication = replication
         self._hash = hash_function or (lambda text: hash_key(text, protocol.bits))
+        # Optional observability hook (see repro.obs): None = untraced.
+        self.tracer: Optional["Tracer"] = None
         # Node-local stores: what each peer physically holds.
         self._node_stores: dict[NodeId, dict[str, list[str]]] = {}
         # Authoritative catalog used for rebalancing after churn.
@@ -161,9 +166,16 @@ class DHTStorage:
         numeric = self.numeric_key(key)
         result = self.protocol.lookup(numeric)
         hops = result.hops
+        failovers = 0
         for node in self.responsible_nodes(key):
             if not self.protocol.is_alive(node):
                 counters.storage_failovers += 1
+                failovers += 1
+                if self.tracer is not None:
+                    self.tracer.failover(
+                        key=key, node=node, attempt=failovers,
+                        level="storage", use_current=True,
+                    )
                 hops += 1
                 continue
             values = self._node_stores.get(node, {}).get(key)

@@ -3,8 +3,13 @@
 Every combination of the paper's three indexing schemes, its six cache
 configurations, and every indexed query shape must locate every record.
 This is the search-totality guarantee the evaluation relies on, pinned
-as an explicit matrix on the Figure 1 corpus.
+as an explicit matrix on the Figure 1 corpus.  The matrix also
+cross-checks the observability layer: the per-lookup node touches
+reconstructed from a trace must equal the TrafficMeter's Figure 15
+aggregates, independently accumulated.
 """
+
+from collections import Counter
 
 import pytest
 
@@ -17,6 +22,9 @@ from repro.core.service import IndexService
 from repro.dht.idspace import hash_key
 from repro.dht.ring import IdealRing
 from repro.net.transport import SimulatedTransport
+from repro.obs.reader import TraceEvent, group_lookups
+from repro.obs.tracer import Tracer
+from repro.sim.experiment import Experiment, ExperimentConfig
 from repro.storage.store import DHTStorage
 
 SCHEMES = {
@@ -68,6 +76,96 @@ def test_matrix_cell(scheme_name, policy_name, paper_records):
                 # Bounded work: deepest chain (4) + one generalization
                 # detour (1) + never more.
                 assert trace.interactions <= 5
+
+
+@pytest.mark.parametrize("scheme_name", SCHEMES)
+@pytest.mark.parametrize("policy_name", ["none", "single", "multi"])
+def test_trace_reconstructs_traffic_meter_counts(
+    scheme_name, policy_name, paper_records
+):
+    """Per-lookup node touches from the trace == TrafficMeter aggregates.
+
+    The meter accumulates Figure 15's queries-touched counts message by
+    message; the trace records the resolution chain lookup by lookup.
+    Reconstructing the meter's view from the trace (and vice versa: the
+    trace's interaction count from the meter-backed SearchTrace) must
+    agree exactly -- two independent accounting paths, one truth.
+    """
+    ring = IdealRing(64)
+    for index in range(16):
+        ring.add_node(hash_key(f"peer-{index}", 64))
+    policy, capacity = CachePolicy.parse(policy_name)
+    transport = SimulatedTransport()
+    service = IndexService(
+        ARTICLE_SCHEMA,
+        SCHEMES[scheme_name](),
+        DHTStorage(ring),
+        DHTStorage(ring),
+        transport,
+        cache_policy=policy,
+        cache_capacity=capacity,
+    )
+    for record in paper_records:
+        service.insert_record(record)
+    tracer = Tracer()
+    transport.bind_tracer(tracer)
+    engine = LookupEngine(service, user="user:xcheck", tracer=tracer)
+
+    searches = 0
+    for repetition in range(2):
+        for record in paper_records:
+            for shape in SHAPES:
+                query = FieldQuery.of_record(record, shape)
+                trace = engine.search(query, record)
+                transport.meter.end_query()
+                assert trace.found
+                searches += 1
+
+    spans = group_lookups(
+        TraceEvent.from_line(line) for line in tracer.jsonl_lines()
+    )
+    assert len(spans) == searches
+
+    reconstructed: Counter[str] = Counter()
+    for span in spans:
+        for node in span.visited_nodes():
+            reconstructed[service.endpoint_name(node)] += 1
+    assert dict(reconstructed) == transport.meter.query_counts_by_node()
+
+
+def test_trace_reconstructs_traffic_in_kernel_mode():
+    """The cross-check holds with overlapping lookups on the kernel.
+
+    Concurrent mode feeds Figure 15 through ``count_query`` with each
+    SearchTrace's own visited set; reconstructing those sets from the
+    exported trace events must land on the same aggregate counts.
+    """
+    config = ExperimentConfig(
+        cache="single",
+        num_nodes=16,
+        num_articles=80,
+        num_queries=150,
+        num_authors=32,
+        concurrency=4,
+        latency_model="uniform:5:50",
+        trace=True,
+    )
+    experiment = Experiment(config)
+    result = experiment.run()
+    spans = group_lookups(
+        TraceEvent.from_line(line)
+        for line in experiment.tracer.jsonl_lines()
+    )
+    assert len(spans) == result.searches
+
+    reconstructed: Counter[str] = Counter()
+    for span in spans:
+        for node in span.visited_nodes():
+            reconstructed[experiment.service.endpoint_name(node)] += 1
+    assert (
+        dict(reconstructed)
+        == experiment.transport.meter.query_counts_by_node()
+    )
 
 
 def test_matrix_interactions_never_increase_with_cache(paper_records):

@@ -1,0 +1,115 @@
+"""Tests for ``python -m repro.obs summarize`` and its tables."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.stats import percentile
+from repro.obs.__main__ import main
+from repro.obs.reader import load_trace
+from repro.obs.summarize import summarize_file, summarize_trace
+from repro.sim.experiment import Experiment, ExperimentConfig
+
+TRACED_KERNEL = ExperimentConfig(
+    cache="single",
+    num_nodes=20,
+    num_articles=120,
+    num_queries=300,
+    num_authors=48,
+    concurrency=8,
+    latency_model="uniform:10:100",
+    fault_drop_probability=0.03,
+    replication=3,
+    trace=True,
+)
+
+
+@pytest.fixture(scope="module")
+def traced_run(tmp_path_factory):
+    experiment = Experiment(TRACED_KERNEL)
+    result = experiment.run()
+    path = tmp_path_factory.mktemp("traces") / "kernel.jsonl"
+    experiment.write_trace(str(path))
+    return result, str(path)
+
+
+class TestSummarizeReport:
+    def test_report_has_all_sections(self, traced_run):
+        _, path = traced_run
+        report = summarize_file(path)
+        assert "lookup outcomes" in report
+        assert "index-chain length distribution" in report
+        assert "hops per chain step" in report
+        assert "latency breakdown by leg" in report
+
+    def test_intro_names_the_configuration(self, traced_run):
+        _, path = traced_run
+        report = summarize_file(path)
+        assert report.startswith("trace: simple/single/ideal")
+        assert f"{TRACED_KERNEL.num_queries} lookups" in report
+
+    def test_percentiles_match_experiment_result(self, traced_run):
+        """The table's response times must agree with the run's own
+        percentiles -- the trace is a faithful per-lookup decomposition
+        of exactly what the experiment measured."""
+        result, path = traced_run
+        trace = load_trace(path)
+        elapsed = [span.elapsed_ms for span in trace.lookups]
+        assert len(elapsed) == result.searches
+        assert percentile(elapsed, 0.50) == pytest.approx(
+            result.response_time_ms_p50
+        )
+        assert percentile(elapsed, 0.95) == pytest.approx(
+            result.response_time_ms_p95
+        )
+        assert percentile(elapsed, 0.99) == pytest.approx(
+            result.response_time_ms_p99
+        )
+        assert sum(elapsed) / len(elapsed) == pytest.approx(
+            result.response_time_ms_mean
+        )
+
+    def test_chain_length_shares_sum_to_all_lookups(self, traced_run):
+        result, path = traced_run
+        trace = load_trace(path)
+        by_length = {}
+        for span in trace.lookups:
+            by_length[span.chain_length] = (
+                by_length.get(span.chain_length, 0) + 1
+            )
+        assert sum(by_length.values()) == result.searches
+
+    def test_empty_trace_summarizes_without_tables(self, tmp_path):
+        config = replace(TRACED_KERNEL, num_queries=0)
+        experiment = Experiment(config)
+        experiment.run()
+        path = tmp_path / "empty.jsonl"
+        experiment.write_trace(str(path))
+        report = summarize_trace(load_trace(str(path)))
+        assert "(no lookup spans in trace)" in report
+
+
+class TestObsCli:
+    def test_summarize_prints_report(self, traced_run, capsys):
+        _, path = traced_run
+        assert main(["summarize", path]) == 0
+        output = capsys.readouterr().out
+        assert "lookup outcomes" in output
+        assert "latency breakdown by leg" in output
+
+    def test_missing_file_exits_nonzero(self, tmp_path, capsys):
+        code = main(["summarize", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert "no such trace file" in capsys.readouterr().err
+
+    def test_corrupt_file_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("this is not json\n", encoding="utf-8")
+        assert main(["summarize", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_command_is_required(self):
+        with pytest.raises(SystemExit):
+            main([])

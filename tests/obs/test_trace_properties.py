@@ -1,0 +1,159 @@
+"""Property tests: structural trace invariants under arbitrary chaos.
+
+Hypothesis drives small experiments across the configuration space --
+concurrency, latency models, message faults, crashes, churn, replication
+-- and every produced trace must satisfy the span grammar and the
+accounting invariants the observability layer promises:
+
+- spans are well-nested: one ``lookup_start`` first, one ``lookup_end``
+  last, every other attributed event in between;
+- timestamps are monotone (globally, and within every span);
+- ``lookup_end.hops`` equals the number of ``dht_route_hop`` events
+  attributed to the span;
+- every ``retry`` is preceded by a ``delivery_error`` of the same
+  exchange;
+- the waited leg latencies plus backoff sum to ``elapsed_ms``, and the
+  per-lookup elapsed times reproduce the run's response-time
+  percentiles.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import percentile
+from repro.obs.reader import TraceEvent, group_lookups
+from repro.obs.tracer import TRACE_VERSION
+from repro.sim.experiment import Experiment, ExperimentConfig
+
+configs = st.fixed_dictionaries(
+    {
+        "concurrency": st.sampled_from([1, 2, 8]),
+        "latency_model": st.sampled_from(
+            ["zero", "constant:20", "uniform:5:50"]
+        ),
+        "fault_drop_probability": st.sampled_from([0.0, 0.08]),
+        "fault_duplicate_probability": st.sampled_from([0.0, 0.05]),
+        "replication": st.sampled_from([1, 3]),
+        "churn_events": st.sampled_from([0, 2]),
+        "crash_events": st.sampled_from([0, 1]),
+        "query_seed": st.integers(min_value=0, max_value=10_000),
+        "churn_seed": st.integers(min_value=0, max_value=10_000),
+    }
+).map(
+    lambda draw: ExperimentConfig(
+        cache="single",
+        num_nodes=12,
+        num_articles=60,
+        num_queries=60,
+        num_authors=24,
+        crash_downtime_queries=20,
+        trace=True,
+        **draw,
+    )
+)
+
+
+def run_and_parse(config):
+    experiment = Experiment(config)
+    result = experiment.run()
+    events = [
+        TraceEvent.from_line(line)
+        for line in experiment.tracer.jsonl_lines()
+    ]
+    return result, events, group_lookups(events)
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(config=configs)
+def test_trace_invariants(config):
+    result, events, spans = run_and_parse(config)
+
+    # Envelope: a single leading header, dense sequence numbers, globally
+    # monotone timestamps.
+    assert events[0].kind == "trace_header"
+    assert events[0].data["version"] == TRACE_VERSION
+    assert sum(1 for event in events if event.kind == "trace_header") == 1
+    assert [event.seq for event in events] == list(range(len(events)))
+    assert all(
+        later.t >= earlier.t for earlier, later in zip(events, events[1:])
+    )
+
+    # One span per issued query, ids dense from zero.
+    assert len(spans) == result.searches == config.num_queries
+    assert sorted(span.lookup_id for span in spans) == list(
+        range(len(spans))
+    )
+
+    retries = failed_sends = found = cache_hits = 0
+    for span in spans:
+        kinds = [event.kind for event in span.events]
+
+        # Well-nested: start opens, end closes, neither repeats.
+        assert kinds[0] == "lookup_start"
+        assert kinds[-1] == "lookup_end"
+        assert kinds.count("lookup_start") == 1
+        assert kinds.count("lookup_end") == 1
+
+        # Monotone within the span.
+        times = [event.t for event in span.events]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+        # Hop accounting: the derived field equals the event count.
+        end = span.end
+        assert end.data["hops"] == span.hops
+
+        # Interactions: one index/fetch step per completed exchange.
+        assert end.data["interactions"] == span.chain_length + len(
+            span.of_kind("fetch_step")
+        )
+
+        # Every retry is preceded by a delivery error on its exchange.
+        errored_exchanges = set()
+        for event in span.events:
+            if event.kind == "delivery_error":
+                errored_exchanges.add(event.exchange)
+            elif event.kind == "retry":
+                assert event.exchange in errored_exchanges, (
+                    "retry without a prior delivery_error"
+                )
+
+        # Latency decomposition: waited legs + backoff == elapsed.
+        assert span.waited_latency_ms() == pytest.approx(
+            span.elapsed_ms, abs=1e-6
+        )
+
+        # Span outcome fields agree with the engine's bookkeeping.
+        assert end.data["retries"] == len(span.of_kind("retry"))
+        assert end.data["failed_sends"] == len(
+            span.of_kind("delivery_error")
+        )
+        retries += end.data["retries"]
+        failed_sends += end.data["failed_sends"]
+        found += bool(end.data["found"])
+        cache_hits += bool(end.data["cache_hit"])
+
+    # Aggregates reconstructed from the trace match the result exactly.
+    assert retries == result.total_retries
+    assert failed_sends == result.total_failed_sends
+    assert found == result.found
+    assert cache_hits == result.cache_hits
+
+    # Kernel runs: per-lookup elapsed times reproduce the percentiles.
+    if config.uses_kernel:
+        elapsed = [span.elapsed_ms for span in spans]
+        assert percentile(elapsed, 0.50) == pytest.approx(
+            result.response_time_ms_p50
+        )
+        assert percentile(elapsed, 0.95) == pytest.approx(
+            result.response_time_ms_p95
+        )
+        assert percentile(elapsed, 0.99) == pytest.approx(
+            result.response_time_ms_p99
+        )

@@ -211,3 +211,55 @@ class TestMain:
         output = capsys.readouterr().out
         assert "response time" not in output
         assert "virtual-time kernel" not in output
+
+
+class TestTraceFlag:
+    def test_trace_out_enables_tracing(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert parse(["--trace-out", str(path)]).trace is True
+
+    def test_tracing_off_by_default(self):
+        assert parse([]).trace is False
+
+    def test_preset_trace_survives_without_flag(self):
+        # --trace-out absent must leave a preset's trace field alone.
+        assert parse(["--preset", "churn"]).trace is False
+
+    def test_main_writes_trace_file(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "--scale", "0.01",
+                "--cache", "single",
+                "--queries", "200",
+                "--trace-out", str(path),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "events written to" in output
+        assert path.exists()
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert '"kind":"trace_header"' in lines[0]
+        assert sum('"kind":"lookup_end"' in line for line in lines) == 200
+
+    def test_cli_round_trip_through_summarize(self, tmp_path, capsys):
+        """python -m repro.sim --trace-out then python -m repro.obs
+        summarize: the acceptance round trip of the trace format."""
+        from repro.obs.__main__ import main as obs_main
+
+        path = tmp_path / "round.jsonl"
+        assert main(
+            [
+                "--scale", "0.01",
+                "--queries", "200",
+                "--concurrency", "4",
+                "--latency-model", "constant:20",
+                "--trace-out", str(path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert obs_main(["summarize", str(path)]) == 0
+        report = capsys.readouterr().out
+        assert "lookup outcomes" in report
+        assert "200 lookups" in report
