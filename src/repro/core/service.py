@@ -19,7 +19,7 @@ are measured, not estimated.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.core.cache import CachePolicy, NodeCache
 from repro.core.fields import Record, Schema
@@ -67,11 +67,22 @@ class IndexService:
         transport: SimulatedTransport,
         cache_policy: CachePolicy = CachePolicy.NONE,
         cache_capacity: Optional[int] = None,
+        local_nodes: Optional[Iterable[int]] = None,
     ) -> None:
+        """``local_nodes`` restricts which substrate nodes this service
+        instance *hosts* (registers endpoints and caches for).  ``None``
+        -- the simulation default -- hosts every node in the overlay; a
+        networked daemon passes its own node id(s) so remote node names
+        resolve over the wire instead of to local handlers, and a pure
+        client passes an empty set to host none at all.
+        """
         if index_store.protocol is not file_store.protocol:
             raise IndexServiceError(
                 "index and file stores must share one DHT substrate"
             )
+        self.local_nodes = (
+            None if local_nodes is None else frozenset(local_nodes)
+        )
         self.schema = schema
         self.scheme = scheme
         self.index_store = index_store
@@ -96,8 +107,14 @@ class IndexService:
         return f"node:{node:x}"
 
     def register_nodes(self) -> None:
-        """Create caches and transport endpoints for all substrate nodes."""
+        """Create caches and transport endpoints for the hosted nodes.
+
+        Hosts every substrate node unless ``local_nodes`` narrowed the
+        set (networked daemons host only their own node).
+        """
         for node in self.index_store.protocol.node_ids:
+            if self.local_nodes is not None and node not in self.local_nodes:
+                continue
             name = self.endpoint_name(node)
             if name in self._registered:
                 continue

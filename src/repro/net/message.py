@@ -93,7 +93,15 @@ class Message:
 
     @property
     def size_bytes(self) -> int:
-        """Deterministic wire size of this message."""
+        """Deterministic wire-size *estimate* of this message.
+
+        This is the payload-derived model Figure 12's traffic accounting
+        uses.  The real wire codec (:mod:`repro.rpc.codec`) produces a
+        *measured* size that exceeds this estimate by exactly the
+        endpoint-name bytes plus a fixed framing delta (see
+        ``repro.rpc.codec.estimate_delta``); a tier-1 test pins the
+        relation, so the estimate stays an honest lower bound.
+        """
         if self.explicit_size is not None:
             return self.explicit_size
         payload_bytes = sum(

@@ -54,6 +54,13 @@ class DeliveryError(TransportError):
     CRASHED = "crashed"
     #: The destination unregistered after having existed (node departed).
     UNREGISTERED = "unregistered"
+    #: No response arrived within the request deadline (real transports
+    #: only: the simulated transport's failure detector is instantaneous,
+    #: a socket's is a timer).  Transient, exactly like ``dropped`` -- a
+    #: retransmission to the same node is expected to get through -- so
+    #: the engine's retry logic and the service's failover policy treat
+    #: the two reasons identically.
+    TIMEOUT = "timeout"
 
     def __init__(self, reason: str, destination: str) -> None:
         super().__init__(f"delivery failed ({reason}): {destination!r}")

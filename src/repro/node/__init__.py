@@ -1,0 +1,6 @@
+"""``python -m repro.node``: run one index node as a socket daemon.
+
+The command-line entry point around :class:`repro.rpc.daemon.NodeDaemon`
+-- see :mod:`repro.node.__main__` for the flags and the README's
+"Running real nodes" quickstart for a two-terminal walkthrough.
+"""

@@ -83,6 +83,17 @@ class PerfCounters:
         "storage_failovers",
         "storage_repair_keys",
         "storage_repair_bytes",
+        # real wire transport (repro.rpc)
+        "rpc_requests",
+        "rpc_responses",
+        "rpc_retries",
+        "rpc_timeouts",
+        "rpc_udp_frames",
+        "rpc_tcp_frames",
+        "rpc_oversized_fallbacks",
+        "rpc_codec_errors",
+        "rpc_bytes_sent",
+        "rpc_bytes_received",
     )
 
     def __init__(self) -> None:

@@ -1,0 +1,335 @@
+"""Loopback cluster harness: N daemons + a wire client in one loop.
+
+:class:`LocalCluster` spawns ``num_nodes`` :class:`NodeDaemon` instances
+on ephemeral loopback ports inside one background asyncio loop --
+daemon 0 seeds the overlay, the rest join it over the wire -- and
+:class:`ClusterClient` is the user's side: it discovers the membership
+with a ``members`` control exchange, builds a local *routing mirror* of
+the substrate (routing state only; it stores no data and hosts no
+endpoints), and then runs the ordinary
+:class:`~repro.core.engine.LookupEngine` against the cluster, every
+exchange travelling through real UDP/TCP sockets.
+
+The mirror is what makes the client thin: ``responsible_nodes`` answers
+placement questions locally (exactly the knowledge a DHT client library
+has), while every data operation -- inserts, queries, file fetches,
+shortcut creation -- is a message to a daemon.  Inserts are one message
+per replica placement (``INDEX_INSERT`` / ``store_file`` to the owning
+daemon's control endpoint); lookups go straight to ``node:`` endpoints
+and reuse the engine's covering-chain walk unchanged.
+
+Everything runs in-process, so tests and the
+``examples/real_cluster.py`` demo get real-socket behaviour with
+deterministic membership (seeded node ids) and no orphaned processes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.cache import CachePolicy
+from repro.core.engine import LookupEngine, SearchTrace
+from repro.core.fields import ARTICLE_SCHEMA, Record, Schema
+from repro.core.query import FieldQuery
+from repro.core.service import FILE_MARK, IndexService
+from repro.dht import DEFAULT_BITS, hash_key
+from repro.net.message import Message, MessageKind
+from repro.net.transport import TransportError
+from repro.rpc.daemon import (
+    NodeDaemon,
+    build_scheme,
+    build_substrate,
+    parse_member,
+)
+from repro.rpc.transport import (
+    Address,
+    AsyncioTransport,
+    daemon_endpoint_name,
+)
+from repro.storage.store import DHTStorage
+
+if TYPE_CHECKING:
+    from repro.obs.tracer import Tracer
+
+
+class ClusterClient:
+    """A lookup client speaking to a daemon overlay over real sockets."""
+
+    def __init__(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        bootstrap: Address,
+        *,
+        substrate: str = "chord",
+        scheme: str = "simple",
+        cache: str = "none",
+        replication: int = 1,
+        bits: int = DEFAULT_BITS,
+        user: str = "user:0",
+        schema: Optional[Schema] = None,
+        tracer: Optional["Tracer"] = None,
+        request_timeout_ms: float = 250.0,
+        max_retries: int = 3,
+    ) -> None:
+        """Connect, discover the membership, and build the mirror.
+
+        Must be called from a thread *other than* the loop's -- the
+        client surface is blocking (it drives the sequential engine).
+        """
+        self._loop = loop
+        self.schema = schema if schema is not None else ARTICLE_SCHEMA
+        self.scheme = build_scheme(scheme, self.schema)
+        self.transport = AsyncioTransport(
+            request_timeout_ms=request_timeout_ms, max_retries=max_retries
+        )
+        asyncio.run_coroutine_threadsafe(self.transport.start(), loop).result()
+        if tracer is not None:
+            tracer.bind_clock(self.transport.clock)
+            self.transport.bind_tracer(tracer)
+        #: Discovered membership: node id -> daemon address.
+        self.members = self._discover(bootstrap)
+        if not self.members:
+            raise TransportError("bootstrap daemon reported no members")
+        for node_id, address in self.members.items():
+            self.transport.add_route(
+                IndexService.endpoint_name(node_id), address
+            )
+            self.transport.add_route(daemon_endpoint_name(*address), address)
+        protocol = build_substrate(
+            substrate, sorted(self.members), bits=bits
+        )
+        self.index_store = DHTStorage(protocol, replication=replication)
+        self.file_store = DHTStorage(protocol, replication=replication)
+        cache_policy, cache_capacity = CachePolicy.parse(cache)
+        # local_nodes=() -> the client hosts no node endpoints: the
+        # mirror answers placement only, data lives in the daemons.
+        # The cache policy matters client-side too: it decides whether
+        # successful lookups send CACHE_INSERT shortcuts to the daemons.
+        self.service = IndexService(
+            self.schema,
+            self.scheme,
+            self.index_store,
+            self.file_store,
+            self.transport,
+            cache_policy=cache_policy,
+            cache_capacity=cache_capacity,
+            local_nodes=(),
+        )
+        self.engine = LookupEngine(self.service, user=user, tracer=tracer)
+
+    def _discover(self, bootstrap: Address) -> dict[int, Address]:
+        response = self.transport.send(
+            Message(
+                kind=MessageKind.CONTROL,
+                source="client",
+                destination=daemon_endpoint_name(*bootstrap),
+                payload=("members",),
+            )
+        )
+        assert response is not None and response.payload[0] == "members"
+        return dict(parse_member(entry) for entry in response.payload[1:])
+
+    # -- data plane ---------------------------------------------------------
+
+    def _daemon_name(self, node_id: int) -> str:
+        return daemon_endpoint_name(*self.members[node_id])
+
+    def insert_record(self, record: Record) -> FieldQuery:
+        """Publish a record into the cluster; returns its MSD.
+
+        Mirrors :meth:`IndexService.insert_record`, but every replica
+        placement is one wire message to the owning daemon.
+        """
+        msd = FieldQuery.msd_of(record)
+        msd_key = msd.key()
+        for node in self.file_store.responsible_nodes(msd_key):
+            self.transport.send(
+                Message(
+                    kind=MessageKind.CONTROL,
+                    source=self.engine.user,
+                    destination=self._daemon_name(node),
+                    payload=("store_file", msd_key, FILE_MARK),
+                )
+            )
+        for source, target in self.scheme.mappings_for(record):
+            for node in self.index_store.responsible_nodes(source.key()):
+                self.transport.send(
+                    Message(
+                        kind=MessageKind.INDEX_INSERT,
+                        source=self.engine.user,
+                        destination=self._daemon_name(node),
+                        payload=(source.key(), target.key()),
+                    )
+                )
+        return msd
+
+    def search(self, query: FieldQuery, target: Record) -> SearchTrace:
+        """Covering-chain lookup over the wire (see LookupEngine.search)."""
+        return self.engine.search(query, target)
+
+    def ping(self, node_id: int) -> bool:
+        """Probe one daemon's control endpoint."""
+        response = self.transport.send(
+            Message(
+                kind=MessageKind.CONTROL,
+                source=self.engine.user,
+                destination=self._daemon_name(node_id),
+                payload=("ping",),
+            )
+        )
+        return response is not None and response.payload[0] == "pong"
+
+    def shutdown_daemon(self, node_id: int) -> None:
+        """Ask one daemon to stop (used by the CLI demo and tests)."""
+        self.transport.send(
+            Message(
+                kind=MessageKind.CONTROL,
+                source=self.engine.user,
+                destination=self._daemon_name(node_id),
+                payload=("shutdown",),
+            )
+        )
+
+    def close(self) -> None:
+        """Release the client's socket."""
+        asyncio.run_coroutine_threadsafe(
+            self.transport.close(), self._loop
+        ).result()
+
+
+class LocalCluster:
+    """N node daemons on loopback ports inside one background loop.
+
+    Usable as a context manager::
+
+        with LocalCluster(5, substrate="chord") as cluster:
+            client = cluster.client()
+            client.insert_record(record)
+            trace = client.search(query, record)
+
+    Node ids are seeded deterministically (``cluster-node-<i>``), so the
+    overlay layout -- hence replica placement and covering chains -- is
+    reproducible across runs; only socket ports and wall-clock latencies
+    vary.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        *,
+        substrate: str = "chord",
+        scheme: str = "simple",
+        cache: str = "none",
+        replication: int = 1,
+        bits: int = DEFAULT_BITS,
+        host: str = "127.0.0.1",
+        request_timeout_ms: float = 250.0,
+        max_retries: int = 3,
+    ) -> None:
+        if num_nodes < 1:
+            raise ValueError("a cluster needs at least one node")
+        self.num_nodes = num_nodes
+        self.substrate = substrate
+        self.scheme = scheme
+        self.cache = cache
+        self.replication = replication
+        self.bits = bits
+        self.host = host
+        self.request_timeout_ms = request_timeout_ms
+        self.max_retries = max_retries
+        self.daemons: list[NodeDaemon] = []
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._serving: list = []
+
+    @property
+    def node_ids(self) -> list[int]:
+        """Deterministic node ids, one per daemon index."""
+        ids = sorted(
+            {
+                hash_key(f"cluster-node-{i}", self.bits)
+                for i in range(self.num_nodes)
+            }
+        )
+        if len(ids) != self.num_nodes:
+            raise RuntimeError("node id collision; increase bits")
+        return ids
+
+    def start(self, converge_timeout_s: float = 15.0) -> "LocalCluster":
+        """Boot every daemon and wait for full membership convergence."""
+        if self._loop is not None:
+            raise RuntimeError("cluster already started")
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="local-cluster", daemon=True
+        )
+        self._thread.start()
+        bootstrap: Optional[Address] = None
+        for node_id in self.node_ids:
+            daemon = NodeDaemon(
+                self.host,
+                0,
+                substrate=self.substrate,
+                scheme=self.scheme,
+                cache=self.cache,
+                replication=self.replication,
+                bits=self.bits,
+                node_id=node_id,
+                request_timeout_ms=self.request_timeout_ms,
+                max_retries=self.max_retries,
+            )
+            asyncio.run_coroutine_threadsafe(
+                daemon.start(bootstrap), self._loop
+            ).result()
+            self._serving.append(
+                asyncio.run_coroutine_threadsafe(daemon.serve(), self._loop)
+            )
+            self.daemons.append(daemon)
+            if bootstrap is None:
+                bootstrap = daemon.address
+        deadline = time.monotonic() + converge_timeout_s
+        while any(len(d.peers) < self.num_nodes for d in self.daemons):
+            if time.monotonic() > deadline:
+                raise RuntimeError("cluster membership did not converge")
+            time.sleep(0.01)
+        return self
+
+    def client(self, **overrides) -> ClusterClient:
+        """A wire client bootstrapped off daemon 0."""
+        assert self._loop is not None and self.daemons
+        options = dict(
+            substrate=self.substrate,
+            scheme=self.scheme,
+            cache=self.cache,
+            replication=self.replication,
+            bits=self.bits,
+            request_timeout_ms=self.request_timeout_ms,
+            max_retries=self.max_retries,
+        )
+        options.update(overrides)
+        return ClusterClient(self._loop, self.daemons[0].address, **options)
+
+    def stop(self) -> None:
+        """Stop every daemon, then tear the loop down (idempotent)."""
+        if self._loop is None:
+            return
+        for daemon in self.daemons:
+            self._loop.call_soon_threadsafe(daemon.stop)
+        for handle in self._serving:
+            handle.result(timeout=10.0)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        assert self._thread is not None
+        self._thread.join(timeout=10.0)
+        self._loop.close()
+        self._loop = None
+        self._thread = None
+        self._serving = []
+
+    def __enter__(self) -> "LocalCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,334 @@
+"""One index node as a long-running socket daemon.
+
+A :class:`NodeDaemon` hosts a single substrate node -- its DHT routing
+state, its slice of the index and file stores, and its shortcut cache --
+behind an :class:`~repro.rpc.transport.AsyncioTransport` listening on one
+UDP+TCP port.  A population of daemons (one process each, or many in one
+loop via :class:`repro.rpc.cluster.LocalCluster`) is the networked
+counterpart of the simulation's single-process overlay: the same
+:class:`~repro.core.service.IndexService` code answers the same
+:class:`~repro.net.message.Message` kinds, only now they arrive off the
+wire.
+
+Each daemon exposes two endpoints:
+
+- ``node:<id:x>`` -- the index node itself, registered by the service
+  (QUERY_REQUEST / FILE_REQUEST / CACHE_INSERT), exactly as in the
+  simulation;
+- ``daemon@host:port`` -- the *control* endpoint this module adds, which
+  carries data placement and membership:
+
+  ========================  =============================================
+  message                   effect
+  ========================  =============================================
+  INDEX_INSERT (k, v)       store one index-mapping replica locally
+  CONTROL (store_file,k,v)  store one file replica locally
+  CONTROL (ping,)           liveness probe; replies (pong, <id:x>)
+  CONTROL (members,)        replies (members, <id:x>@host:port, ...)
+  CONTROL (join,id,addr)    admit a node; reply members; notify peers
+  CONTROL (joined,id,addr)  peer notification of an admission
+  CONTROL (stats,)          index/file entry counts and peer count
+  CONTROL (shutdown,)       replies (bye,) and stops the daemon
+  ========================  =============================================
+
+Placement stays a *sender-side* decision: an insert arrives as one
+message per replica, addressed to the daemon that must hold it, and is
+applied with :meth:`repro.storage.store.DHTStorage.put_local`.  Lookups
+need no daemon-side logic at all -- they are addressed to the ``node:``
+endpoint and served by the unmodified service handlers.
+
+Membership is deliberately minimal (a full-mesh member list seeded
+through one bootstrap daemon): enough to run real multi-process
+overlays and exercise over-the-wire joins, while the churn/stabilization
+machinery stays the simulation's domain.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from repro.core.cache import CachePolicy
+from repro.core.fields import ARTICLE_SCHEMA, Schema
+from repro.core.scheme import (
+    IndexScheme,
+    complex_scheme,
+    flat_scheme,
+    simple_scheme,
+)
+from repro.core.service import IndexService
+from repro.dht import (
+    DEFAULT_BITS,
+    CANNetwork,
+    ChordNetwork,
+    DHTProtocol,
+    IdealRing,
+    KademliaNetwork,
+    PastryNetwork,
+    hash_key,
+)
+from repro.net.message import Message, MessageKind
+from repro.rpc.transport import (
+    Address,
+    AsyncioTransport,
+    daemon_endpoint_name,
+)
+from repro.storage.store import DHTStorage
+
+#: Names accepted by ``--substrate`` / :func:`build_substrate`.
+SUBSTRATES = ("ideal", "chord", "kademlia", "pastry", "can")
+#: Names accepted by ``--scheme`` / :func:`build_scheme`.
+SCHEMES = ("simple", "flat", "complex")
+
+
+def build_substrate(
+    name: str, node_ids: list[int], bits: int = DEFAULT_BITS
+) -> DHTProtocol:
+    """One overlay instance of the named substrate over ``node_ids``."""
+    if name == "ideal":
+        ring = IdealRing(bits)
+        for node_id in node_ids:
+            ring.add_node(node_id)
+        return ring
+    if name == "chord":
+        return ChordNetwork.bulk_build(node_ids, bits=bits)
+    if name == "kademlia":
+        return KademliaNetwork.bulk_build(node_ids, bits=bits)
+    if name == "pastry":
+        return PastryNetwork.bulk_build(node_ids, bits=bits)
+    if name == "can":
+        return CANNetwork.bulk_build(node_ids, bits=bits)
+    raise ValueError(f"unknown substrate: {name!r}")
+
+
+def build_scheme(name: str, schema: Schema) -> IndexScheme:
+    """The named index scheme from the paper's evaluation."""
+    if name == "simple":
+        return simple_scheme(schema)
+    if name == "flat":
+        return flat_scheme(schema)
+    if name == "complex":
+        return complex_scheme(schema)
+    raise ValueError(f"unknown scheme: {name!r}")
+
+
+def format_member(node_id: int, address: Address) -> str:
+    """Wire form of one membership entry: ``<id:x>@host:port``."""
+    return f"{node_id:x}@{address[0]}:{address[1]}"
+
+
+def parse_member(entry: str) -> tuple[int, Address]:
+    """Inverse of :func:`format_member`."""
+    id_text, _, location = entry.partition("@")
+    host, _, port_text = location.rpartition(":")
+    return int(id_text, 16), (host, int(port_text))
+
+
+class NodeDaemon:
+    """One substrate node served over real sockets.
+
+    Construct, then ``await start()`` on the event loop that should own
+    the sockets; ``await serve()`` blocks until :meth:`stop` (or an
+    over-the-wire shutdown) fires.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        substrate: str = "chord",
+        scheme: str = "simple",
+        cache: str = "none",
+        replication: int = 1,
+        bits: int = DEFAULT_BITS,
+        node_id: Optional[int] = None,
+        schema: Optional[Schema] = None,
+        request_timeout_ms: float = 250.0,
+        max_retries: int = 3,
+    ) -> None:
+        self.host = host
+        self.requested_port = port
+        self.substrate_name = substrate
+        self.scheme_name = scheme
+        self.bits = bits
+        self.replication = replication
+        self.schema = schema if schema is not None else ARTICLE_SCHEMA
+        self.cache_policy, self.cache_capacity = CachePolicy.parse(cache)
+        self._explicit_node_id = node_id
+        self.node_id: int = 0
+        self.transport = AsyncioTransport(
+            request_timeout_ms=request_timeout_ms, max_retries=max_retries
+        )
+        #: Known members, self included: node id -> daemon address.
+        self.peers: dict[int, Address] = {}
+        self.protocol: Optional[DHTProtocol] = None
+        self.index_store: Optional[DHTStorage] = None
+        self.file_store: Optional[DHTStorage] = None
+        self.service: Optional[IndexService] = None
+        self._stopping = asyncio.Event()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def address(self) -> Address:
+        """The bound listen address (valid after :meth:`start`)."""
+        assert self.transport.listen_address is not None
+        return self.transport.listen_address
+
+    @property
+    def control_name(self) -> str:
+        """This daemon's control endpoint name."""
+        return daemon_endpoint_name(*self.address)
+
+    async def start(self, bootstrap: Optional[Address] = None) -> Address:
+        """Bind the sockets, build the node, and (optionally) join.
+
+        With a ``bootstrap`` address, membership is fetched over the
+        wire from that daemon and the join is broadcast to the overlay;
+        without one, this daemon seeds a new single-node overlay.
+        Returns the bound address.
+        """
+        address = await self.transport.start(self.host, self.requested_port)
+        assert address is not None
+        host, port = address
+        self.node_id = (
+            self._explicit_node_id
+            if self._explicit_node_id is not None
+            else hash_key(f"{host}:{port}", self.bits)
+        )
+        self.protocol = build_substrate(
+            self.substrate_name, [self.node_id], self.bits
+        )
+        self.index_store = DHTStorage(self.protocol, replication=self.replication)
+        self.file_store = DHTStorage(self.protocol, replication=self.replication)
+        self.service = IndexService(
+            self.schema,
+            build_scheme(self.scheme_name, self.schema),
+            self.index_store,
+            self.file_store,
+            self.transport,
+            cache_policy=self.cache_policy,
+            cache_capacity=self.cache_capacity,
+            local_nodes={self.node_id},
+        )
+        self.peers[self.node_id] = address
+        self.transport.register(self.control_name, self._handle_control)
+        if bootstrap is not None:
+            await self._join(bootstrap)
+        return address
+
+    async def serve(self) -> None:
+        """Block until the daemon is asked to stop, then shut down."""
+        await self._stopping.wait()
+        await self.transport.close()
+
+    def stop(self) -> None:
+        """Request a graceful shutdown (idempotent, loop-thread safe)."""
+        self._stopping.set()
+
+    async def _join(self, bootstrap: Address) -> None:
+        """Fetch membership from the bootstrap daemon and announce us."""
+        request = Message(
+            kind=MessageKind.CONTROL,
+            source=self.control_name,
+            destination=daemon_endpoint_name(*bootstrap),
+            payload=(
+                "join",
+                f"{self.node_id:x}",
+                f"{self.address[0]}:{self.address[1]}",
+            ),
+        )
+        response = await self.transport.request(request)
+        assert response is not None and response.payload[0] == "members"
+        for entry in response.payload[1:]:
+            self._apply_member(*parse_member(entry))
+
+    # -- membership ---------------------------------------------------------
+
+    def _apply_member(self, node_id: int, address: Address) -> None:
+        """Admit one member into the local overlay view (idempotent)."""
+        if node_id == self.node_id or node_id in self.peers:
+            return
+        assert self.protocol is not None and self.service is not None
+        self.peers[node_id] = address
+        self.protocol.add_node(node_id)
+        self.transport.add_route(IndexService.endpoint_name(node_id), address)
+        self.transport.add_route(daemon_endpoint_name(*address), address)
+        # register_nodes is restricted to local_nodes, so this only
+        # refreshes bookkeeping -- remote node names stay routed.
+        self.service.register_nodes()
+
+    def _members_payload(self) -> tuple[str, ...]:
+        return ("members",) + tuple(
+            format_member(node_id, address)
+            for node_id, address in sorted(self.peers.items())
+        )
+
+    def _broadcast_joined(self, node_id: int, address: Address) -> None:
+        """Fire-and-forget join notification to every other peer."""
+        entry_id, entry_address = node_id, address
+        for peer_id, peer_address in list(self.peers.items()):
+            if peer_id in (self.node_id, entry_id):
+                continue
+            notice = Message(
+                kind=MessageKind.CONTROL,
+                source=self.control_name,
+                destination=daemon_endpoint_name(*peer_address),
+                payload=(
+                    "joined",
+                    f"{entry_id:x}",
+                    f"{entry_address[0]}:{entry_address[1]}",
+                ),
+            )
+            self.transport.send_async(
+                notice, lambda response: None, lambda error: None
+            )
+
+    # -- control endpoint ---------------------------------------------------
+
+    def _handle_control(self, message: Message) -> Optional[Message]:
+        if message.kind is MessageKind.INDEX_INSERT:
+            assert self.index_store is not None
+            key, value = message.payload
+            self.index_store.put_local(self.node_id, key, value)
+            return None
+        if message.kind is not MessageKind.CONTROL or not message.payload:
+            return message.reply(MessageKind.CONTROL, ("error", "bad-request"))
+        verb, *rest = message.payload
+        if verb == "store_file":
+            assert self.file_store is not None
+            key, value = rest
+            self.file_store.put_local(self.node_id, key, value)
+            return None
+        if verb == "ping":
+            return message.reply(
+                MessageKind.CONTROL, ("pong", f"{self.node_id:x}")
+            )
+        if verb == "members":
+            return message.reply(MessageKind.CONTROL, self._members_payload())
+        if verb == "join":
+            node_id, address = parse_member(f"{rest[0]}@{rest[1]}")
+            self._broadcast_joined(node_id, address)
+            self._apply_member(node_id, address)
+            return message.reply(MessageKind.CONTROL, self._members_payload())
+        if verb == "joined":
+            node_id, address = parse_member(f"{rest[0]}@{rest[1]}")
+            self._apply_member(node_id, address)
+            return None
+        if verb == "stats":
+            assert self.index_store is not None and self.file_store is not None
+            return message.reply(
+                MessageKind.CONTROL,
+                (
+                    "stats",
+                    str(self.index_store.entries_on_node(self.node_id)),
+                    str(self.file_store.entries_on_node(self.node_id)),
+                    str(len(self.peers)),
+                ),
+            )
+        if verb == "shutdown":
+            loop = asyncio.get_running_loop()
+            loop.call_soon(self.stop)
+            return message.reply(MessageKind.CONTROL, ("bye",))
+        return message.reply(MessageKind.CONTROL, ("error", f"unknown:{verb}"))

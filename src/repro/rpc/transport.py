@@ -1,0 +1,578 @@
+"""Real-socket transport with the `SimulatedTransport` surface.
+
+:class:`AsyncioTransport` carries :class:`repro.net.message.Message`
+frames over UDP datagrams (with a transparent TCP fallback for frames
+too large for a datagram) between named endpoints, exposing the same
+``register`` / ``send`` / ``send_async`` surface the in-process
+:class:`repro.net.transport.SimulatedTransport` gives the index stack --
+so :class:`repro.core.service.IndexService` and
+:class:`repro.core.engine.LookupEngine` run over real sockets unchanged.
+
+Differences from the simulated transport, all deliberate:
+
+- **Names resolve to addresses.**  Local handlers are registered as
+  usual; every other endpoint name maps to a ``(host, port)`` socket
+  address via :meth:`add_route` (daemon control names of the shape
+  ``daemon@host:port`` self-resolve).  Sending to a name with neither a
+  handler nor a route raises :class:`TransportError`, mirroring the
+  simulation's "never existed" misuse error.
+- **Failure detection is a timer.**  A request that gets no reply within
+  its deadline is retried with capped exponential backoff; exhausting
+  the retries raises the typed
+  :class:`~repro.net.transport.DeliveryError` with the ``timeout``
+  reason -- transient like ``dropped``, so the engine's retry logic and
+  the service's failover policy apply unchanged.  A peer that answers
+  with an ERROR frame (unknown endpoint, crashed node) surfaces as a
+  ``DeliveryError`` with that reason.
+- **Time is wall-clock behind the kernel's clock protocol.**  The
+  transport owns a :class:`WallClock` exposing ``now`` in milliseconds
+  exactly like :class:`repro.sim.kernel.EventKernel`, so the tracer's
+  ``bind_clock`` works on either and trace timestamps stay in one unit.
+
+Every frame movement is counted in :mod:`repro.perf`
+(``rpc_*`` counters, including real byte counts on both directions) and
+-- when a tracer is bound -- recorded as the same ``dht_route_hop`` span
+events the simulated transport emits, with the measured round-trip time
+on the response leg.
+
+Threading model: the transport lives on one asyncio event loop.
+:meth:`send` is the blocking surface for code running on *another*
+thread (the sequential lookup engine, tests, the cluster harness); it
+marshals onto the loop and waits.  Calling it from the loop thread is
+refused -- use :meth:`send_async` (continuation-passing, callbacks fire
+on the loop thread) or the native :meth:`request` coroutine there.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Optional
+
+from repro.net.message import Message
+from repro.net.traffic import TrafficMeter
+from repro.net.transport import (
+    DeliveryError,
+    Endpoint,
+    ErrorCallback,
+    ResponseCallback,
+    TransportError,
+)
+from repro.perf import counters
+from repro.rpc.codec import (
+    ENVELOPE_BYTES,
+    FRAME_ACK,
+    FRAME_ERROR,
+    FRAME_REQUEST,
+    FRAME_RESPONSE,
+    OVERSIZED_REASON,
+    STREAM_PREFIX_BYTES,
+    CodecError,
+    decode_error,
+    decode_frame,
+    decode_message,
+    encode_error,
+    encode_frame,
+    encode_message,
+    encode_stream,
+)
+
+if TYPE_CHECKING:
+    from repro.obs.tracer import Tracer
+
+#: Address of one peer daemon.
+Address = tuple[str, int]
+
+#: Prefix of self-resolving daemon control endpoint names.
+DAEMON_NAME_PREFIX = "daemon@"
+
+
+def daemon_endpoint_name(host: str, port: int) -> str:
+    """Control endpoint name of the daemon listening at ``host:port``."""
+    return f"{DAEMON_NAME_PREFIX}{host}:{port}"
+
+
+def parse_daemon_name(name: str) -> Optional[Address]:
+    """The address a ``daemon@host:port`` name self-resolves to."""
+    if not name.startswith(DAEMON_NAME_PREFIX):
+        return None
+    host, _, port_text = name[len(DAEMON_NAME_PREFIX):].rpartition(":")
+    if not host or not port_text.isdigit():
+        return None
+    return host, int(port_text)
+
+
+class WallClock:
+    """Monotonic wall time in milliseconds, behind the kernel's protocol.
+
+    Exposes the same ``now`` property as
+    :class:`repro.sim.kernel.EventKernel`, so everything written against
+    the virtual clock (the tracer, latency bookkeeping) runs unchanged
+    on real time.  The epoch is the instant of construction.
+    """
+
+    __slots__ = ("_t0",)
+
+    def __init__(self) -> None:
+        self._t0 = time.monotonic()
+
+    @property
+    def now(self) -> float:
+        """Milliseconds since this clock was created."""
+        return (time.monotonic() - self._t0) * 1000.0
+
+
+class _DatagramEndpoint(asyncio.DatagramProtocol):
+    """Glue between asyncio's datagram callbacks and the transport."""
+
+    def __init__(self, owner: "AsyncioTransport") -> None:
+        self._owner = owner
+
+    def datagram_received(self, data: bytes, addr: Address) -> None:
+        self._owner._on_datagram(data, addr)
+
+    def error_received(self, exc: Exception) -> None:
+        # ICMP unreachable etc.; the request timeout handles the loss.
+        pass
+
+
+class AsyncioTransport:
+    """UDP+TCP message transport with the simulated-transport surface."""
+
+    def __init__(
+        self,
+        *,
+        meter: Optional[TrafficMeter] = None,
+        clock: Optional[WallClock] = None,
+        request_timeout_ms: float = 250.0,
+        max_retries: int = 3,
+        backoff_cap_ms: float = 2000.0,
+        udp_max_bytes: int = 1400,
+    ) -> None:
+        """``request_timeout_ms`` is the first attempt's deadline; each
+        retry doubles it up to ``backoff_cap_ms`` (capped exponential
+        backoff).  Frames larger than ``udp_max_bytes`` travel over TCP.
+        """
+        if request_timeout_ms <= 0 or backoff_cap_ms <= 0:
+            raise ValueError("timeouts must be positive milliseconds")
+        if max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+        self.meter = meter if meter is not None else TrafficMeter()
+        self.clock = clock if clock is not None else WallClock()
+        self.request_timeout_ms = request_timeout_ms
+        self.max_retries = max_retries
+        self.backoff_cap_ms = backoff_cap_ms
+        self.udp_max_bytes = udp_max_bytes
+        self.tracer: Optional["Tracer"] = None
+        self._endpoints: dict[str, Endpoint] = {}
+        self._ever_registered: set[str] = set()
+        self._routes: dict[str, Address] = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._loop_thread: Optional[int] = None
+        self._udp: Optional[asyncio.DatagramTransport] = None
+        self._tcp_server: Optional[asyncio.base_events.Server] = None
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_request_id = 1
+        #: (peer address, request id) -> cached reply frame, so a UDP
+        #: retransmission of an already-served request re-sends the same
+        #: reply instead of re-running the handler.
+        self._served: OrderedDict[tuple[Address, int], bytes] = OrderedDict()
+        self._served_cap = 1024
+        self.listen_address: Optional[Address] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(
+        self, host: Optional[str] = None, port: int = 0
+    ) -> Optional[Address]:
+        """Bring the sockets up on the running loop.
+
+        With a ``host``, binds a UDP endpoint *and* a TCP server on the
+        same port (``port=0`` lets the OS choose; the chosen port is in
+        :attr:`listen_address`) -- the daemon mode.  Without a host,
+        binds only an ephemeral loopback UDP socket for replies -- the
+        client mode (TCP requests use outgoing connections and need no
+        server).
+        """
+        if self._loop is not None:
+            raise TransportError("transport already started")
+        self._loop = asyncio.get_running_loop()
+        self._loop_thread = threading.get_ident()
+        if host is None:
+            await self._bind_udp("127.0.0.1", 0)
+            return None
+        self._tcp_server = await asyncio.start_server(
+            self._serve_tcp_connection, host=host, port=port
+        )
+        bound_port = self._tcp_server.sockets[0].getsockname()[1]
+        await self._bind_udp(host, bound_port)
+        self.listen_address = (host, bound_port)
+        return self.listen_address
+
+    async def _bind_udp(self, host: str, port: int) -> None:
+        assert self._loop is not None
+        self._udp, _ = await self._loop.create_datagram_endpoint(
+            lambda: _DatagramEndpoint(self), local_addr=(host, port)
+        )
+
+    async def close(self) -> None:
+        """Tear the sockets down and fail every in-flight request."""
+        if self._udp is not None:
+            self._udp.close()
+            self._udp = None
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+            self._tcp_server = None
+        for future in self._pending.values():
+            if not future.done():
+                future.cancel()
+        self._pending.clear()
+
+    # -- endpoint protocol (parity with SimulatedTransport) -----------------
+
+    def register(self, name: str, endpoint: Endpoint) -> None:
+        """Attach a local endpoint under a unique name."""
+        if name in self._endpoints:
+            raise TransportError(f"endpoint already registered: {name!r}")
+        self._endpoints[name] = endpoint
+        self._ever_registered.add(name)
+
+    def unregister(self, name: str) -> None:
+        """Detach a local endpoint."""
+        if name not in self._endpoints:
+            raise TransportError(f"no such endpoint: {name!r}")
+        del self._endpoints[name]
+
+    def is_registered(self, name: str) -> bool:
+        """True for local endpoints and routed (remote) names alike."""
+        return name in self._endpoints or name in self._routes
+
+    @property
+    def endpoint_names(self) -> list[str]:
+        """Names of the locally hosted endpoints."""
+        return list(self._endpoints)
+
+    def bind_tracer(self, tracer: Optional["Tracer"]) -> None:
+        """Attach (or detach) the lookup tracer (see SimulatedTransport)."""
+        self.tracer = tracer
+
+    # -- routing ------------------------------------------------------------
+
+    def add_route(self, name: str, address: Address) -> None:
+        """Map a remote endpoint name to its daemon's socket address."""
+        self._routes[name] = address
+
+    def remove_route(self, name: str) -> None:
+        """Forget a remote endpoint (e.g. a departed daemon's names)."""
+        self._routes.pop(name, None)
+
+    def _resolve(self, name: str) -> Address:
+        address = self._routes.get(name)
+        if address is None:
+            address = parse_daemon_name(name)
+        if address is None:
+            raise TransportError(f"no route to endpoint: {name!r}")
+        return address
+
+    # -- request path (coroutine core) --------------------------------------
+
+    async def request(self, message: Message) -> Optional[Message]:
+        """Send one message and await its reply (None for an ACK).
+
+        Retries timeouts with capped exponential backoff; raises
+        :class:`DeliveryError` (``timeout`` after retry exhaustion, or
+        the peer-reported reason) for runtime failures and
+        :class:`TransportError` for misuse (unroutable name, transport
+        not started).
+        """
+        if self._loop is None:
+            raise TransportError("transport not started")
+        handler = self._endpoints.get(message.destination)
+        if handler is not None:
+            return self._deliver_local(handler, message)
+        address = self._resolve(message.destination)
+        body = encode_message(message)
+        self.meter.record(message)
+        counters.rpc_requests += 1
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        use_tcp = ENVELOPE_BYTES + len(body) > self.udp_max_bytes
+        frame_type, reply_body = await self._exchange(
+            request_id, body, address, message.destination, use_tcp
+        )
+        if frame_type == FRAME_ERROR:
+            reason = decode_error(reply_body)
+            if reason == OVERSIZED_REASON:
+                # The response did not fit a datagram: repeat the request
+                # over TCP (fresh id -- the reply cache must not replay
+                # the oversized error) and take the streamed reply.
+                counters.rpc_oversized_fallbacks += 1
+                retry_id = self._next_request_id
+                self._next_request_id += 1
+                frame_type, reply_body = await self._exchange(
+                    retry_id, body, address, message.destination, True
+                )
+                if frame_type == FRAME_ERROR:
+                    raise DeliveryError(
+                        decode_error(reply_body), message.destination
+                    )
+            else:
+                raise DeliveryError(reason, message.destination)
+        if frame_type == FRAME_ACK:
+            return None
+        response = decode_message(reply_body)
+        self.meter.record(response)
+        counters.rpc_responses += 1
+        return response
+
+    async def _exchange(
+        self,
+        request_id: int,
+        body: bytes,
+        address: Address,
+        destination: str,
+        use_tcp: bool,
+    ) -> tuple[int, bytes]:
+        """One request with its timeout/retry loop; returns the reply."""
+        timeout_ms = self.request_timeout_ms
+        for attempt in range(self.max_retries + 1):
+            if attempt:
+                counters.rpc_retries += 1
+            try:
+                if use_tcp:
+                    return await asyncio.wait_for(
+                        self._exchange_tcp(request_id, body, address),
+                        timeout_ms / 1000.0,
+                    )
+                return await asyncio.wait_for(
+                    self._exchange_udp(request_id, body, address),
+                    timeout_ms / 1000.0,
+                )
+            except asyncio.TimeoutError:
+                counters.rpc_timeouts += 1
+                timeout_ms = min(timeout_ms * 2.0, self.backoff_cap_ms)
+            except ConnectionRefusedError:
+                # The daemon's TCP port is gone: the node departed.
+                raise DeliveryError(DeliveryError.UNREGISTERED, destination)
+            except OSError:
+                counters.rpc_timeouts += 1
+                timeout_ms = min(timeout_ms * 2.0, self.backoff_cap_ms)
+            finally:
+                self._pending.pop(request_id, None)
+        raise DeliveryError(DeliveryError.TIMEOUT, destination)
+
+    async def _exchange_udp(
+        self, request_id: int, body: bytes, address: Address
+    ) -> tuple[int, bytes]:
+        assert self._loop is not None and self._udp is not None
+        future: asyncio.Future = self._loop.create_future()
+        self._pending[request_id] = future
+        frame = encode_frame(FRAME_REQUEST, request_id, body)
+        self._udp.sendto(frame, address)
+        counters.rpc_udp_frames += 1
+        counters.rpc_bytes_sent += len(frame)
+        return await future
+
+    async def _exchange_tcp(
+        self, request_id: int, body: bytes, address: Address
+    ) -> tuple[int, bytes]:
+        reader, writer = await asyncio.open_connection(*address)
+        try:
+            frame = encode_frame(FRAME_REQUEST, request_id, body)
+            writer.write(encode_stream(frame))
+            await writer.drain()
+            counters.rpc_tcp_frames += 1
+            counters.rpc_bytes_sent += len(frame) + STREAM_PREFIX_BYTES
+            prefix = await reader.readexactly(STREAM_PREFIX_BYTES)
+            reply = await reader.readexactly(int.from_bytes(prefix, "big"))
+        finally:
+            writer.close()
+        counters.rpc_bytes_received += len(reply) + STREAM_PREFIX_BYTES
+        frame_type, reply_id, reply_body = decode_frame(reply)
+        if reply_id != request_id:
+            raise CodecError(
+                f"reply correlates to {reply_id}, expected {request_id}"
+            )
+        return frame_type, reply_body
+
+    def _deliver_local(
+        self, handler: Endpoint, message: Message
+    ) -> Optional[Message]:
+        """Serve a locally hosted destination without touching sockets.
+
+        The message still round-trips through the codec, so local and
+        remote delivery exercise identical wire semantics and metering.
+        """
+        delivered = decode_message(encode_message(message))
+        self.meter.record(delivered)
+        response = handler(delivered)
+        if response is None:
+            return None
+        returned = decode_message(encode_message(response))
+        self.meter.record(returned)
+        return returned
+
+    # -- blocking / continuation surfaces ------------------------------------
+
+    def send(self, message: Message) -> Optional[Message]:
+        """Blocking request from a non-loop thread (engine surface).
+
+        Semantics match ``SimulatedTransport.send``: the response
+        message or ``None``, with :class:`DeliveryError` for runtime
+        failures.  When a tracer is bound, the request and response legs
+        are recorded as ``dht_route_hop`` events -- the response leg
+        carries the measured round-trip in ``latency_ms``.
+        """
+        if self._loop is None:
+            raise TransportError("transport not started")
+        if threading.get_ident() == self._loop_thread:
+            raise TransportError(
+                "blocking send from the event-loop thread; use send_async"
+            )
+        started = self.clock.now
+        if self.tracer is not None:
+            self._trace_hop(message, "request", 0.0)
+        handle = asyncio.run_coroutine_threadsafe(
+            self.request(message), self._loop
+        )
+        response = handle.result()
+        if response is not None and self.tracer is not None:
+            self._trace_hop(response, "response", self.clock.now - started)
+        return response
+
+    def send_async(
+        self,
+        message: Message,
+        on_result: ResponseCallback,
+        on_error: ErrorCallback,
+    ) -> None:
+        """Continuation-passing request (callbacks on the loop thread)."""
+        if self._loop is None:
+            raise TransportError("transport not started")
+
+        async def run() -> None:
+            try:
+                result = await self.request(message)
+            except DeliveryError as error:
+                on_error(error)
+            else:
+                on_result(result)
+
+        if threading.get_ident() == self._loop_thread:
+            self._loop.create_task(run())
+        else:
+            asyncio.run_coroutine_threadsafe(run(), self._loop)
+
+    def _trace_hop(self, message: Message, leg: str, latency_ms: float) -> None:
+        assert self.tracer is not None
+        self.tracer.route_hop(
+            src=message.source,
+            dst=message.destination,
+            message=message.kind.value,
+            legs=max(1, message.route_hops),
+            latency_ms=latency_ms,
+            leg=leg,
+            use_current=True,
+        )
+
+    # -- serving ------------------------------------------------------------
+
+    def _on_datagram(self, data: bytes, addr: Address) -> None:
+        counters.rpc_bytes_received += len(data)
+        try:
+            frame_type, request_id, body = decode_frame(data)
+        except CodecError:
+            counters.rpc_codec_errors += 1
+            return
+        if frame_type == FRAME_REQUEST:
+            reply = self._serve_request(request_id, body, addr, via_udp=True)
+            if self._udp is not None:
+                self._udp.sendto(reply, addr)
+                counters.rpc_udp_frames += 1
+                counters.rpc_bytes_sent += len(reply)
+            return
+        future = self._pending.pop(request_id, None)
+        if future is not None and not future.done():
+            future.set_result((frame_type, body))
+
+    def _serve_request(
+        self, request_id: int, body: bytes, addr: Address, via_udp: bool
+    ) -> bytes:
+        """Handle one incoming REQUEST; returns the reply frame."""
+        cache_key = (addr, request_id)
+        cached = self._served.get(cache_key)
+        if cached is not None:
+            return cached
+        try:
+            message = decode_message(body)
+        except CodecError:
+            counters.rpc_codec_errors += 1
+            return encode_frame(FRAME_ERROR, request_id, encode_error("codec"))
+        handler = self._endpoints.get(message.destination)
+        if handler is None:
+            # Over the wire every unknown name is a runtime condition
+            # (the peer cannot distinguish "never existed" from
+            # "departed"), so it maps to the departed reason.
+            reply = encode_frame(
+                FRAME_ERROR,
+                request_id,
+                encode_error(DeliveryError.UNREGISTERED),
+            )
+            self._remember_reply(cache_key, reply)
+            return reply
+        self.meter.record(message)
+        response = handler(message)
+        if response is None:
+            reply = encode_frame(FRAME_ACK, request_id)
+        else:
+            self.meter.record(response)
+            response_body = encode_message(response)
+            if via_udp and ENVELOPE_BYTES + len(response_body) > self.udp_max_bytes:
+                # Do not cache: the sender repeats over TCP with a fresh
+                # id and must get the real response there.
+                return encode_frame(
+                    FRAME_ERROR, request_id, encode_error(OVERSIZED_REASON)
+                )
+            reply = encode_frame(FRAME_RESPONSE, request_id, response_body)
+        self._remember_reply(cache_key, reply)
+        return reply
+
+    def _remember_reply(self, key: tuple[Address, int], reply: bytes) -> None:
+        self._served[key] = reply
+        while len(self._served) > self._served_cap:
+            self._served.popitem(last=False)
+
+    async def _serve_tcp_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = writer.get_extra_info("peername") or ("?", 0)
+        addr: Address = (str(peer[0]), int(peer[1]))
+        try:
+            while True:
+                try:
+                    prefix = await reader.readexactly(STREAM_PREFIX_BYTES)
+                except asyncio.IncompleteReadError:
+                    break
+                frame = await reader.readexactly(
+                    int.from_bytes(prefix, "big")
+                )
+                counters.rpc_bytes_received += len(frame) + STREAM_PREFIX_BYTES
+                try:
+                    frame_type, request_id, body = decode_frame(frame)
+                except CodecError:
+                    counters.rpc_codec_errors += 1
+                    break
+                if frame_type != FRAME_REQUEST:
+                    break
+                reply = self._serve_request(
+                    request_id, body, addr, via_udp=False
+                )
+                writer.write(encode_stream(reply))
+                await writer.drain()
+                counters.rpc_tcp_frames += 1
+                counters.rpc_bytes_sent += len(reply) + STREAM_PREFIX_BYTES
+        finally:
+            writer.close()

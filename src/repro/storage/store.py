@@ -153,6 +153,25 @@ class DHTStorage:
             key=key, numeric_key=numeric, nodes=tuple(nodes), hops=result.hops
         )
 
+    def put_local(
+        self, node: NodeId, key: str, value: str, allow_duplicate: bool = False
+    ) -> None:
+        """Store one replica of ``value`` under ``key`` on ``node`` only.
+
+        This is the wire-facing write: a networked daemon owns exactly one
+        node's physical store, and each replica placement arrives as its
+        own message, so the placement decision (``responsible_nodes``) is
+        made by the *sender*, not here.  The catalog still learns the key
+        so local reads (``values``, ``__contains__``) and statistics stay
+        truthful for the daemon's slice of the data.
+        """
+        bucket = self._node_stores.setdefault(node, {}).setdefault(key, [])
+        if allow_duplicate or value not in bucket:
+            bucket.append(value)
+        catalog_bucket = self._catalog.setdefault(key, [])
+        if allow_duplicate or value not in catalog_bucket:
+            catalog_bucket.append(value)
+
     def get(self, key: str) -> GetResult:
         """Fetch every value stored under ``key``.
 

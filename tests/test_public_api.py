@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.sim",
     "repro.analysis",
     "repro.baselines",
+    "repro.rpc",
 ]
 
 
