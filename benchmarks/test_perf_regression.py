@@ -28,6 +28,7 @@ from repro.dht.idspace import hash_key
 from repro.dht.ring import IdealRing
 from repro.net.transport import SimulatedTransport
 from repro.sim.experiment import Experiment, ExperimentConfig
+from repro.sim.kernel import EventKernel
 from repro.storage.store import DHTStorage
 from repro.workload.corpus import CorpusConfig, SyntheticCorpus
 from repro.workload.querygen import QueryGenerator
@@ -183,6 +184,79 @@ class TestEndToEndCounters:
         # field queries decide covering by constraint subset, and any
         # text-level covers calls hit the memo.
         assert increments["homomorphism_node_visits"] <= 10_000
+
+
+class TestKernelSchedulerCounters:
+    """Counter-based guards on the event-kernel schedulers.
+
+    The timing wheel's asymptotics live in three internal counters --
+    entries moved by adaptive resizes (must stay O(n) amortized), empty
+    buckets probed by the forward scan (must stay O(1) per pop), and
+    min() fallbacks (must stay rare) -- and the heap's cancel-churn
+    bound lives in its compaction counter.  These are deterministic on
+    any machine, unlike wall-clock ratios.
+    """
+
+    @staticmethod
+    def _lcg_delays(count: int, horizon: float) -> list[float]:
+        state = 0x9E3779B9
+        scale = horizon / 0xFFFFFFFF
+        delays = []
+        for _ in range(count):
+            state = (state * 1103515245 + 12345) & 0xFFFFFFFF
+            delays.append(state * scale)
+        return delays
+
+    def test_wheel_dense_counters_stay_amortized(self):
+        n = 200_000
+        kernel = EventKernel(scheduler="wheel")
+        noop = lambda: None  # noqa: E731
+        for delay in self._lcg_delays(n, 400.0):
+            kernel.post(delay, noop)
+        kernel.run()
+        stats = kernel.stats()
+        assert kernel.events_run == n
+        assert stats["rebuilds"] >= 1, "dense load must trigger a resize"
+        assert stats["entries_moved"] <= 2 * n, (
+            f"resize churn regressed: {stats['entries_moved']} moves for "
+            f"{n} events (amortized bound is ~4n/3)"
+        )
+        assert stats["scan_probes"] <= n, (
+            f"forward scan regressed: {stats['scan_probes']} empty probes "
+            f"for {n} events"
+        )
+        assert stats["scan_fallbacks"] <= 5
+
+    def test_wheel_sparse_counters_stay_amortized(self):
+        n = 50_000
+        kernel = EventKernel(scheduler="wheel")
+        noop = lambda: None  # noqa: E731
+        for delay in self._lcg_delays(n, 2_500_000.0):
+            kernel.post(delay, noop)
+        kernel.run()
+        stats = kernel.stats()
+        assert kernel.events_run == n
+        # Without the symmetric bucket widening, a 1ms-wide wheel pays
+        # ~50 empty probes per pop here (2.5M indices / 50k events).
+        assert stats["scan_probes"] <= 2 * n, (
+            f"sparse scan regressed: {stats['scan_probes']} empty probes "
+            f"for {n} events -- did adaptive widening break?"
+        )
+        assert stats["scan_fallbacks"] <= 50
+
+    def test_heap_cancel_churn_compacts(self):
+        kernel = EventKernel(scheduler="heap")
+        noop = lambda: None  # noqa: E731
+        for _ in range(200):
+            kernel.schedule(500.0, noop)
+        for index in range(50_000):
+            kernel.schedule(float(index % 100), noop).cancel()
+        stats = kernel.stats()
+        assert stats["compactions"] >= 1
+        assert stats["heap_len"] <= 2 * 200 + kernel._COMPACT_MIN + 2, (
+            f"cancelled entries accumulating: heap_len={stats['heap_len']} "
+            "for 200 live events"
+        )
 
 
 class TestTracingOverhead:

@@ -1,4 +1,16 @@
-"""Distribution helpers: CCDFs, rank curves, and summary statistics."""
+"""Distribution helpers: CCDFs, rank curves, and summary statistics.
+
+Two streaming quantile collectors back the experiment driver's
+response-time percentiles:
+
+- :class:`ExactQuantiles` accumulates every sample and reproduces
+  :func:`percentile` (nearest-rank) and the arithmetic mean bit-for-bit
+  -- the default at paper scale, where 50,000 floats are cheap;
+- :class:`LogBucketQuantiles` is a DDSketch-style sketch with
+  geometrically spaced buckets: constant memory regardless of sample
+  count, with a documented relative error bound, for web-scale runs
+  where holding 10^6+ samples per metric is the memory bottleneck.
+"""
 
 from __future__ import annotations
 
@@ -42,6 +54,152 @@ def percentile(values: Sequence[float], fraction: float) -> float:
     ordered = sorted(values)
     rank = math.ceil(fraction * len(ordered))
     return ordered[max(0, rank - 1)]
+
+
+class ExactQuantiles:
+    """Streaming collector with exact nearest-rank percentiles.
+
+    Memory is O(n) -- it keeps every sample -- but ``mean`` and
+    ``percentile`` match ``sum(xs)/len(xs)`` and :func:`percentile`
+    bit-for-bit, so swapping accumulation lists for this collector
+    changes no measured number.
+    """
+
+    __slots__ = ("_values",)
+
+    #: Worst-case relative error of ``percentile`` (exact).
+    relative_error = 0.0
+
+    def __init__(self) -> None:
+        self._values: list[float] = []
+
+    def add(self, value: float) -> None:
+        self._values.append(value)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def mean(self) -> float:
+        values = self._values
+        if not values:
+            raise ValueError("no values")
+        return sum(values) / len(values)
+
+    def percentile(self, fraction: float) -> float:
+        return percentile(self._values, fraction)
+
+
+class LogBucketQuantiles:
+    """DDSketch-style quantile sketch over geometric buckets.
+
+    A sample ``x > 0`` lands in bucket ``ceil(log_gamma(x))``; the
+    bucket covering quantile ``q`` (by nearest rank over the counts) is
+    reported as the bucket midpoint ``2 * gamma^i / (gamma + 1)``.  A
+    bucket spans ``(gamma^(i-1), gamma^i]``, so the estimate is within a
+    **relative error of (gamma - 1) / (gamma + 1)** of the true
+    nearest-rank value -- just under 1% at the default ``gamma = 1.02``.
+    Estimates are additionally clamped to the observed [min, max], and
+    the 0.0 / 1.0 fractions return the exactly-tracked min / max.
+
+    Memory is O(number of distinct buckets): bounded by
+    ``log_gamma(max/min)`` regardless of sample count (about 1,200
+    buckets across nine decades at the default gamma), versus O(n) for
+    the accumulation list it replaces.  The mean is tracked exactly via
+    a running sum.
+    """
+
+    __slots__ = (
+        "_gamma",
+        "_log_gamma",
+        "_buckets",
+        "_zero_count",
+        "_count",
+        "_sum",
+        "_min",
+        "_max",
+    )
+
+    #: Samples at or below this are counted in the zero bucket.
+    _ZERO_THRESHOLD = 1e-9
+
+    def __init__(self, gamma: float = 1.02) -> None:
+        if gamma <= 1.0:
+            raise ValueError("gamma must be > 1")
+        self._gamma = gamma
+        self._log_gamma = math.log(gamma)
+        self._buckets: dict[int, int] = {}
+        self._zero_count = 0
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    @property
+    def relative_error(self) -> float:
+        """Worst-case relative error of ``percentile`` estimates."""
+        return (self._gamma - 1.0) / (self._gamma + 1.0)
+
+    def add(self, value: float) -> None:
+        if value < 0:
+            raise ValueError("sketch accepts non-negative samples only")
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if value <= self._ZERO_THRESHOLD:
+            self._zero_count += 1
+            return
+        index = math.ceil(math.log(value) / self._log_gamma)
+        buckets = self._buckets
+        buckets[index] = buckets.get(index, 0) + 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def bucket_count(self) -> int:
+        """Number of occupied buckets (the memory footprint probe)."""
+        return len(self._buckets) + (1 if self._zero_count else 0)
+
+    @property
+    def mean(self) -> float:
+        if not self._count:
+            raise ValueError("no values")
+        return self._sum / self._count
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile estimate, ``fraction`` in [0, 1]."""
+        if not self._count:
+            raise ValueError("no values")
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction outside [0, 1]")
+        if fraction == 0.0:
+            return self._min
+        if fraction == 1.0:
+            return self._max
+        rank = max(1, math.ceil(fraction * self._count))
+        if rank <= self._zero_count:
+            return 0.0
+        remaining = rank - self._zero_count
+        for index in sorted(self._buckets):
+            remaining -= self._buckets[index]
+            if remaining <= 0:
+                estimate = (
+                    2.0 * self._gamma**index / (self._gamma + 1.0)
+                )
+                return min(max(estimate, self._min), self._max)
+        return self._max  # numeric safety; unreachable when counts agree
 
 
 def ccdf_points(values: Sequence[float]) -> list[tuple[float, float]]:

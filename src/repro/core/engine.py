@@ -279,7 +279,7 @@ class LookupEngine:
                 wait_ms = step.units * self.backoff_unit_ms
                 if self.tracer is not None and self.tracer.current is not None:
                     self.tracer.backoff(*self.tracer.current, wait_ms=wait_ms)
-                kernel.schedule(wait_ms, lambda: advance(True, None))
+                kernel.post(wait_ms, lambda: advance(True, None))
 
         advance(True, None)
         return trace

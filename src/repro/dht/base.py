@@ -95,12 +95,33 @@ class DHTProtocol(abc.ABC):
             return set()
         return crashed & set(self.node_ids)
 
+    # -- membership versioning ----------------------------------------------
+    #
+    # Layers above the substrate (storage replica placement, service
+    # registration) cache derived views of the membership -- the sorted
+    # ring, node -> position maps -- that are only invalidated by joins
+    # and leaves, never by lookups.  Every substrate bumps this counter
+    # from ``add_node``/``remove_node`` so those caches can key on it
+    # instead of re-deriving O(N) state per operation.
+
+    @property
+    def membership_version(self) -> int:
+        """Counter incremented by every join or leave."""
+        return self.__dict__.get("_membership_version", 0)
+
+    def _bump_membership(self) -> None:
+        self.__dict__["_membership_version"] = self.membership_version + 1
+
     # -- common helpers ------------------------------------------------------
 
     def __len__(self) -> int:
         return len(self.node_ids)
 
     def __contains__(self, node: NodeId) -> bool:
+        # Fallback only: every substrate overrides this with an O(1) or
+        # O(log N) check against its own membership structure (this copy
+        # plus set build is O(N) per call and sits under ``is_alive``,
+        # which storage reads invoke per replica probe).
         return node in set(self.node_ids)
 
     def lookup_many(self, keys: list[int]) -> list[LookupResult]:

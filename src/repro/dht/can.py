@@ -113,6 +113,8 @@ class CANNetwork(DHTProtocol):
         # Split genealogy: node -> (parent node it split from, dimension).
         self._split_of: dict[NodeId, tuple[NodeId, int]] = {}
         self._next_split_dimension: dict[NodeId, int] = {}
+        #: Memoized sorted membership (invalidated on join/leave).
+        self._ids_cache: Optional[list[NodeId]] = None
 
     @classmethod
     def bulk_build(
@@ -156,7 +158,16 @@ class CANNetwork(DHTProtocol):
 
     @property
     def node_ids(self) -> list[NodeId]:
-        return sorted(self._zones)
+        if self._ids_cache is None:
+            self._ids_cache = sorted(self._zones)
+        return list(self._ids_cache)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._zones
+
+    def _note_membership_change(self) -> None:
+        self._ids_cache = None
+        self._bump_membership()
 
     def zone_of(self, node: NodeId) -> Zone:
         """The zone currently owned by a node."""
@@ -178,6 +189,7 @@ class CANNetwork(DHTProtocol):
             )
             self._neighbors[node] = set()
             self._next_split_dimension[node] = 0
+            self._note_membership_change()
             return
         # Join: random point -> owning zone -> split it in half.
         point = tuple(self._rng.random() for _ in range(self.dimensions))
@@ -189,6 +201,7 @@ class CANNetwork(DHTProtocol):
         self._split_of[node] = (owner, dimension)
         self._next_split_dimension[owner] = (dimension + 1) % self.dimensions
         self._next_split_dimension[node] = (dimension + 1) % self.dimensions
+        self._note_membership_change()
         self._rewire_neighbors_around(node, owner)
 
     def remove_node(self, node: NodeId) -> None:
@@ -198,6 +211,7 @@ class CANNetwork(DHTProtocol):
         if len(self._zones) == 1:
             del self._zones[node]
             del self._neighbors[node]
+            self._note_membership_change()
             return
         # Takeover: rebuild the partition without the departed node by
         # replaying the split history (equivalent to the zone-merge
@@ -212,6 +226,7 @@ class CANNetwork(DHTProtocol):
         self._neighbors = rebuilt._neighbors
         self._split_of = rebuilt._split_of
         self._next_split_dimension = rebuilt._next_split_dimension
+        self._note_membership_change()
 
     def responsible_node(self, key: int) -> NodeId:
         """Ground truth: the node whose zone contains the key's point."""

@@ -78,6 +78,8 @@ class ChordNetwork(DHTProtocol):
         self.successor_list_size = successor_list_size
         self.max_stabilize_rounds = max_stabilize_rounds
         self._nodes: dict[NodeId, ChordNode] = {}
+        #: Memoized sorted membership (invalidated on join/leave).
+        self._ids_cache: Optional[list[NodeId]] = None
 
     @classmethod
     def bulk_build(
@@ -116,6 +118,7 @@ class ChordNetwork(DHTProtocol):
                 start = network.space.finger_start(node_id, index)
                 at = bisect.bisect_left(ordered, start)
                 peer.fingers[index] = ordered[at % count]
+        network._note_membership_change()
         return network
 
     # -- DHTProtocol surface -------------------------------------------------
@@ -126,7 +129,16 @@ class ChordNetwork(DHTProtocol):
 
     @property
     def node_ids(self) -> list[NodeId]:
-        return sorted(self._nodes)
+        if self._ids_cache is None:
+            self._ids_cache = sorted(self._nodes)
+        return list(self._ids_cache)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._nodes
+
+    def _note_membership_change(self) -> None:
+        self._ids_cache = None
+        self._bump_membership()
 
     def node(self, node_id: NodeId) -> ChordNode:
         """The peer object for a node id."""
@@ -143,12 +155,14 @@ class ChordNetwork(DHTProtocol):
             peer.set_successor(node)
             peer.predecessor = node
             self._nodes[node] = peer
+            self._note_membership_change()
             self._refresh_fingers(peer)
             return
         bootstrap = next(iter(self._nodes.values()))
         successor = self._find_successor_internal(bootstrap, node)
         peer.set_successor(successor)
         self._nodes[node] = peer
+        self._note_membership_change()
         self.stabilize_until_quiescent()
 
     def remove_node(self, node: NodeId) -> None:
@@ -156,6 +170,7 @@ class ChordNetwork(DHTProtocol):
         if node not in self._nodes:
             raise KeyError(f"node id {node} not present")
         del self._nodes[node]
+        self._note_membership_change()
         if not self._nodes:
             return
         for peer in self._nodes.values():

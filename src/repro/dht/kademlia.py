@@ -78,6 +78,8 @@ class KademliaNetwork(DHTProtocol):
         self.space = IdSpace(bits)
         self.k = k
         self._nodes: dict[NodeId, KademliaNode] = {}
+        #: Memoized sorted membership (invalidated on join/leave).
+        self._ids_cache: Optional[list[NodeId]] = None
 
     @classmethod
     def bulk_build(
@@ -89,7 +91,18 @@ class KademliaNetwork(DHTProtocol):
         populated distance range -- the steady state periodic refresh
         maintains -- without paying one iterative lookup per bucket per
         join.  The incremental protocol remains available for churn.
+
+        Bucket ``i`` of node ``n`` holds peers whose XOR distance to
+        ``n`` has bit length ``i + 1``: exactly the ids agreeing with
+        ``n`` above bit ``i`` and differing at bit ``i``, which is the
+        contiguous range ``[base, base + 2^i)`` with ``base = (n ^ 2^i)
+        & ~(2^i - 1)``.  Taking the first ``k`` of the sorted membership
+        in that range (two bisects) reproduces the naive
+        scan-all-pairs fill -- which appended candidates in ascending id
+        order -- in O(N * bits * log N) instead of O(N^2).
         """
+        import bisect
+
         network = cls(bits=bits, k=k)
         unique = sorted(set(node_ids))
         if len(unique) != len(node_ids):
@@ -98,17 +111,18 @@ class KademliaNetwork(DHTProtocol):
             if not network.space.contains(node_id):
                 raise ValueError(f"node id {node_id} outside the identifier space")
             network._nodes[node_id] = KademliaNode(node_id, bits, k)
+        bisect_left = bisect.bisect_left
         for node_id, peer in network._nodes.items():
-            ranges: dict[int, list[NodeId]] = {}
-            for other in unique:
-                if other == node_id:
-                    continue
-                index = peer.bucket_index(other)
-                bucket = ranges.setdefault(index, [])
-                if len(bucket) < k:
-                    bucket.append(other)
-            for index, contacts in ranges.items():
-                peer.buckets[index] = contacts
+            buckets = peer.buckets
+            for index in range(bits):
+                width = 1 << index
+                base = (node_id ^ width) & ~(width - 1)
+                low = bisect_left(unique, base)
+                high = bisect_left(unique, base + width, low)
+                contacts = unique[low : min(low + k, high)]
+                if contacts:
+                    buckets[index] = contacts
+        network._note_membership_change()
         return network
 
     @property
@@ -117,7 +131,16 @@ class KademliaNetwork(DHTProtocol):
 
     @property
     def node_ids(self) -> list[NodeId]:
-        return sorted(self._nodes)
+        if self._ids_cache is None:
+            self._ids_cache = sorted(self._nodes)
+        return list(self._ids_cache)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._nodes
+
+    def _note_membership_change(self) -> None:
+        self._ids_cache = None
+        self._bump_membership()
 
     def node(self, node_id: NodeId) -> KademliaNode:
         """The peer object for a node id."""
@@ -131,6 +154,7 @@ class KademliaNetwork(DHTProtocol):
             raise ValueError(f"node id {node} already present")
         peer = KademliaNode(node, self.bits, self.k)
         self._nodes[node] = peer
+        self._note_membership_change()
         others = [n for n in self._nodes if n != node]
         if not others:
             return
@@ -152,6 +176,7 @@ class KademliaNetwork(DHTProtocol):
         if node not in self._nodes:
             raise KeyError(f"node id {node} not present")
         del self._nodes[node]
+        self._note_membership_change()
         affected = []
         for peer in self._nodes.values():
             bucket = peer.buckets[peer.bucket_index(node)]

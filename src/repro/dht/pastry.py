@@ -108,6 +108,8 @@ class PastryNetwork(DHTProtocol):
         self.digit_bits = digit_bits
         self.leaf_size = leaf_size
         self._nodes: dict[NodeId, PastryNode] = {}
+        #: Memoized sorted membership (invalidated on join/leave).
+        self._ids_cache: Optional[list[NodeId]] = None
 
     @classmethod
     def bulk_build(
@@ -117,7 +119,19 @@ class PastryNetwork(DHTProtocol):
         digit_bits: int = 4,
         leaf_size: int = 8,
     ) -> "PastryNetwork":
-        """Construct a converged overlay directly from global knowledge."""
+        """Construct a converged overlay directly from global knowledge.
+
+        Routing entry (row ``r``, column ``c``) of a node must point at
+        a peer sharing the node's first ``r`` digits and having digit
+        ``c`` at position ``r`` -- the ids in one contiguous range of
+        the sorted membership.  The naive fill ``observe``d every pair
+        (O(N^2) with an O(rows) digit scan each), installing the
+        *smallest* id per slot (first-come over the ascending scan);
+        one bisect per slot finds that same smallest id directly, in
+        O(N * rows * 2^digit_bits * log N).
+        """
+        import bisect
+
         network = cls(bits=bits, digit_bits=digit_bits, leaf_size=leaf_size)
         unique = sorted(set(node_ids))
         if len(unique) != len(node_ids):
@@ -128,13 +142,27 @@ class PastryNetwork(DHTProtocol):
             network._nodes[node_id] = PastryNode(
                 node_id, bits, digit_bits, leaf_size
             )
+        bisect_left = bisect.bisect_left
+        count = len(unique)
+        columns = 1 << digit_bits
+        half = leaf_size // 2
         for position, node_id in enumerate(unique):
             peer = network._nodes[node_id]
-            half = leaf_size // 2
             peer.leaf_below = unique[max(0, position - half) : position]
             peer.leaf_above = unique[position + 1 : position + 1 + half]
-            for other in unique:
-                peer.observe(other)
+            for row in range(peer.rows):
+                shift = bits - (row + 1) * digit_bits
+                own_digit = (node_id >> shift) & (columns - 1)
+                prefix = (node_id >> (shift + digit_bits)) << (shift + digit_bits)
+                table_row = peer.routing_table[row]
+                for column in range(columns):
+                    if column == own_digit:
+                        continue  # a longer shared prefix: deeper row's slot
+                    base = prefix | (column << shift)
+                    low = bisect_left(unique, base)
+                    if low < count and unique[low] < base + (1 << shift):
+                        table_row[column] = unique[low]
+        network._note_membership_change()
         return network
 
     # -- DHTProtocol surface ---------------------------------------------------
@@ -145,7 +173,16 @@ class PastryNetwork(DHTProtocol):
 
     @property
     def node_ids(self) -> list[NodeId]:
-        return sorted(self._nodes)
+        if self._ids_cache is None:
+            self._ids_cache = sorted(self._nodes)
+        return list(self._ids_cache)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._nodes
+
+    def _note_membership_change(self) -> None:
+        self._ids_cache = None
+        self._bump_membership()
 
     def node(self, node_id: NodeId) -> PastryNode:
         """The peer object for a node id."""
@@ -169,18 +206,22 @@ class PastryNetwork(DHTProtocol):
             leaf_size=self.leaf_size,
         )
         self._nodes = rebuilt._nodes
+        self._note_membership_change()
 
     def remove_node(self, node: NodeId) -> None:
         """Depart a node; peers repair routing entries and leaf sets."""
         if node not in self._nodes:
             raise KeyError(f"node id {node} not present")
         del self._nodes[node]
-        ordered = sorted(self._nodes)
+        self._note_membership_change()
+        ordered = self.node_ids
+        import bisect
+
         for peer in self._nodes.values():
             peer.forget(node)
             # Leaf-set repair: refill from the live membership around us
             # (real Pastry asks the farthest leaf for its leaf set).
-            position = ordered.index(peer.id)
+            position = bisect.bisect_left(ordered, peer.id)
             half = peer.leaf_size // 2
             peer.leaf_below = ordered[max(0, position - half) : position]
             peer.leaf_above = ordered[position + 1 : position + 1 + half]

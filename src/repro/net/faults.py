@@ -323,7 +323,7 @@ class FaultyTransport:
                 self.inner._trace_hop(
                     message, "request", delay, use_current=True
                 )
-            kernel.schedule(
+            kernel.post(
                 delay,
                 lambda: on_error(
                     DeliveryError(DeliveryError.CRASHED, message.destination)
@@ -341,7 +341,7 @@ class FaultyTransport:
                 self.inner._trace_hop(
                     message, "request", delay, use_current=True
                 )
-            kernel.schedule(
+            kernel.post(
                 delay,
                 lambda: on_error(
                     DeliveryError(DeliveryError.DROPPED, message.destination)

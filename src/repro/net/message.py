@@ -101,13 +101,23 @@ class Message:
         endpoint-name bytes plus a fixed framing delta (see
         ``repro.rpc.codec.estimate_delta``); a tier-1 test pins the
         relation, so the estimate stays an honest lower bound.
+
+        The value is computed once per message: traffic metering reads
+        it several times (bytes by category, bytes in, bytes out), and
+        the payload of a frozen message cannot change.
         """
+        cached = self.__dict__.get("_size_bytes")
+        if cached is not None:
+            return cached
         if self.explicit_size is not None:
-            return self.explicit_size
-        payload_bytes = sum(
-            len(entry.encode("utf-8")) + PER_ENTRY_BYTES for entry in self.payload
-        )
-        return HEADER_BYTES + payload_bytes
+            size = self.explicit_size
+        else:
+            size = HEADER_BYTES + sum(
+                len(entry.encode("utf-8")) + PER_ENTRY_BYTES
+                for entry in self.payload
+            )
+        object.__setattr__(self, "_size_bytes", size)
+        return size
 
     def reply(
         self,

@@ -46,14 +46,26 @@ class TrafficMeter:
     # -- byte accounting ---------------------------------------------------
 
     def record(self, message: Message) -> None:
-        """Account one message's bytes to its traffic category."""
-        self._bytes[message.category] += message.size_bytes
-        self._messages[message.category] += 1
-        destination = self._node_loads.setdefault(message.destination, NodeLoad())
+        """Account one message's bytes to its traffic category.
+
+        Called once per message -- millions of times in a large run --
+        so it avoids the throwaway ``NodeLoad()`` that ``setdefault``
+        would construct on every call for already-known endpoints.
+        """
+        size = message.size_bytes
+        category = message.category
+        self._bytes[category] += size
+        self._messages[category] += 1
+        loads = self._node_loads
+        destination = loads.get(message.destination)
+        if destination is None:
+            destination = loads[message.destination] = NodeLoad()
         destination.messages += 1
-        destination.bytes_in += message.size_bytes
-        source = self._node_loads.setdefault(message.source, NodeLoad())
-        source.bytes_out += message.size_bytes
+        destination.bytes_in += size
+        source = loads.get(message.source)
+        if source is None:
+            source = loads[message.source] = NodeLoad()
+        source.bytes_out += size
 
     def bytes_for(self, category: TrafficCategory) -> int:
         """Total bytes recorded in one category."""
@@ -93,8 +105,12 @@ class TrafficMeter:
         shared ``touch_node`` scratch set cannot tell overlapping
         queries apart), and flush it here when the lookup completes.
         """
+        loads = self._node_loads
         for node in nodes:
-            self._node_loads.setdefault(node, NodeLoad()).queries_touched += 1
+            load = loads.get(node)
+            if load is None:
+                load = loads[node] = NodeLoad()
+            load.queries_touched += 1
 
     def node_load(self, node: str) -> NodeLoad:
         """The per-node counters for one endpoint."""

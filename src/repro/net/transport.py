@@ -240,7 +240,10 @@ class SimulatedTransport:
         span = self.tracer.current if self.tracer is not None else None
         if self.tracer is not None:
             self._trace_hop(message, "request", delay, ref=span)
-        self.kernel.schedule(
+        # post, not schedule: nothing cancels an in-flight message, so
+        # the cancellable handle would be a dead allocation per send.
+        # Both book from the same seq counter, so ordering is unchanged.
+        self.kernel.post(
             delay,
             lambda: self._deliver_scheduled(message, on_result, on_error, span),
         )
@@ -271,4 +274,4 @@ class SimulatedTransport:
         response_delay = self._hop_delay(response)
         if self.tracer is not None:
             self._trace_hop(response, "response", response_delay, ref=span)
-        self.kernel.schedule(response_delay, lambda: on_result(response))
+        self.kernel.post(response_delay, lambda: on_result(response))

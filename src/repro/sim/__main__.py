@@ -32,6 +32,8 @@ from repro.sim.presets import (
     CONCURRENT_CONFIG,
     PAPER_CONFIG,
     SMOKE_CONFIG,
+    WEB_SCALE_CONFIG,
+    WEB_SCALE_SMOKE_CONFIG,
 )
 
 _PRESETS = {
@@ -39,6 +41,8 @@ _PRESETS = {
     "smoke": SMOKE_CONFIG,
     "churn": CHURN_CONFIG,
     "concurrent": CONCURRENT_CONFIG,
+    "web-scale": WEB_SCALE_CONFIG,
+    "web-scale-smoke": WEB_SCALE_SMOKE_CONFIG,
 }
 
 
@@ -105,6 +109,26 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="open-loop Poisson mean inter-arrival gap (0 = closed loop)",
+    )
+    kernel.add_argument(
+        "--scheduler",
+        choices=("auto", "heap", "wheel"),
+        default=None,
+        help=(
+            "event-kernel scheduler: binary heap or calendar-queue "
+            "timing wheel (auto: wheel at web scale); the choice "
+            "changes throughput only, never any measured number"
+        ),
+    )
+    kernel.add_argument(
+        "--metrics",
+        choices=("auto", "exact", "sketch"),
+        default=None,
+        help=(
+            "response-time collector: exact percentiles or a "
+            "constant-memory <1%%-error sketch (auto: sketch at "
+            "web scale)"
+        ),
     )
     chaos = parser.add_argument_group("failure model")
     chaos.add_argument(
@@ -196,6 +220,8 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         "concurrency": args.concurrency,
         "latency_model": args.latency_model,
         "arrival_interval_ms": args.arrival_interval_ms,
+        "scheduler": args.scheduler,
+        "metrics": args.metrics,
         "fault_drop_probability": args.drop_probability,
         "fault_duplicate_probability": args.duplicate_probability,
         "fault_latency_ms": args.latency_ms,
@@ -249,11 +275,15 @@ def main(argv: list[str] | None = None) -> int:
         ["runtime", f"{result.runtime_seconds:.1f} s"],
     ]
     if config.uses_kernel:
+        events = result.perf_counters.get("kernel_events_run", 0)
         rows[-1:-1] = [
             ["response time p50 / p95 / p99",
              f"{result.response_time_ms_p50:,.1f} / "
              f"{result.response_time_ms_p95:,.1f} / "
              f"{result.response_time_ms_p99:,.1f} ms"],
+            ["kernel events",
+             f"{events:,} ({config.resolved_scheduler} scheduler, "
+             f"{events / max(result.runtime_seconds, 1e-9):,.0f}/s)"],
         ]
     print(format_table(["metric", "value"], rows, title=result.label()))
     if config.uses_kernel:

@@ -24,12 +24,11 @@ from __future__ import annotations
 import random
 import time
 import warnings
-from collections import deque
 from dataclasses import dataclass, replace
 from typing import Callable, Iterable, Optional
 
 from repro import perf
-from repro.analysis.stats import percentile
+from repro.analysis.stats import ExactQuantiles, LogBucketQuantiles
 from repro.core.cache import CachePolicy
 from repro.core.engine import LookupEngine, SearchTrace
 from repro.core.fields import ARTICLE_SCHEMA
@@ -58,6 +57,12 @@ _SCHEME_BUILDERS = {
     "flat": flat_scheme,
     "complex": complex_scheme,
 }
+
+#: Query count at which "auto" flips from the paper-scale machinery
+#: (binary-heap kernel, exact percentiles) to the web-scale machinery
+#: (timing-wheel kernel, log-bucket quantile sketch).  Every paper
+#: preset sits well below this, so paper-scale numbers never change.
+_WEB_SCALE_QUERIES = 200_000
 
 
 @dataclass(frozen=True)
@@ -134,6 +139,19 @@ class ExperimentConfig:
     #: overhead; a traced run records every lookup span but changes no
     #: aggregate (tracing is read-only observation).
     trace: bool = False
+    #: Event-kernel scheduler for kernel-mode runs: "heap" (the seed
+    #: binary heap), "wheel" (the calendar-queue timing wheel), or
+    #: "auto" (heap below ``_WEB_SCALE_QUERIES`` queries, wheel at or
+    #: above).  Both schedulers honour the same (time, seq) ordering
+    #: contract, so the choice changes throughput only, never any
+    #: measured number.
+    scheduler: str = "auto"
+    #: Response-time collector: "exact" (every sample kept; percentiles
+    #: bit-identical to the seed accumulation list), "sketch" (constant
+    #: memory, <1% relative error -- see
+    #: :class:`repro.analysis.stats.LogBucketQuantiles`), or "auto"
+    #: (exact below ``_WEB_SCALE_QUERIES`` queries, sketch at or above).
+    metrics: str = "auto"
 
     def __post_init__(self) -> None:
         if self.scheme not in _SCHEME_BUILDERS:
@@ -152,6 +170,10 @@ class ExperimentConfig:
             raise ValueError(f"unknown churn mode {self.churn_mode!r}")
         if self.crash_events < 0 or self.crash_downtime_queries < 1:
             raise ValueError("crash schedule must be non-negative")
+        if self.scheduler not in ("auto", "heap", "wheel"):
+            raise ValueError(f"unknown scheduler {self.scheduler!r}")
+        if self.metrics not in ("auto", "exact", "sketch"):
+            raise ValueError(f"unknown metrics mode {self.metrics!r}")
         if self.fault_latency_ticks:
             if self.fault_latency_ms:
                 raise ValueError(
@@ -197,6 +219,20 @@ class ExperimentConfig:
             or self.latency_model != "zero"
             or self.arrival_interval_ms > 0
         )
+
+    @property
+    def resolved_scheduler(self) -> str:
+        """The concrete kernel scheduler ("auto" resolved by scale)."""
+        if self.scheduler != "auto":
+            return self.scheduler
+        return "wheel" if self.num_queries >= _WEB_SCALE_QUERIES else "heap"
+
+    @property
+    def resolved_metrics(self) -> str:
+        """The concrete collector mode ("auto" resolved by scale)."""
+        if self.metrics != "auto":
+            return self.metrics
+        return "sketch" if self.num_queries >= _WEB_SCALE_QUERIES else "exact"
 
     def scaled(self, factor: float) -> "ExperimentConfig":
         """A proportionally smaller/larger copy (for quick tests)."""
@@ -290,6 +326,10 @@ class Experiment:
         #: Optional observer called with every SearchTrace as the feed
         #: runs (determinism and zero-fault-identity tests use this).
         self.trace_sink: Optional[Callable[[SearchTrace], None]] = None
+        #: Kernel scheduler statistics from the last kernel-mode run
+        #: (merged into ``result.perf_counters`` with a ``kernel_``
+        #: prefix; empty for sequential runs).
+        self._kernel_stats: dict[str, int] = {}
 
     def _build_substrate(self) -> DHTProtocol:
         config = self.config
@@ -299,10 +339,7 @@ class Experiment:
         if len(node_ids) != config.num_nodes:
             raise RuntimeError("node id collision; increase bits")
         if config.substrate == "ideal":
-            ring = IdealRing(config.bits)
-            for node_id in node_ids:
-                ring.add_node(node_id)
-            return ring
+            return IdealRing.bulk_build(node_ids, bits=config.bits)
         if config.substrate == "chord":
             return ChordNetwork.bulk_build(node_ids, bits=config.bits)
         if config.substrate == "kademlia":
@@ -363,6 +400,8 @@ class Experiment:
         self._process_recoveries(config.num_queries)
         self._collect(result)
         result.perf_counters = perf.delta(perf_before, perf.snapshot())
+        for name, value in self._kernel_stats.items():
+            result.perf_counters[f"kernel_{name}"] = value
         for counter in (
             "fault_drops",
             "fault_duplicates",
@@ -419,7 +458,7 @@ class Experiment:
         when the query at that position is dispatched.
         """
         config = self.config
-        kernel = EventKernel()
+        kernel = EventKernel(scheduler=config.resolved_scheduler)
         latency = parse_latency_model(
             config.latency_model, seed=config.churn_seed
         )
@@ -431,11 +470,20 @@ class Experiment:
             for index in range(1, config.concurrency)
         ]
         meter = self.transport.meter
-        response_times: list[float] = []
-        items = deque(enumerate(feed))
+        # Exact mode keeps every sample (bit-identical to the seed's
+        # accumulation list); sketch mode is constant-memory for feeds
+        # where 10^6+ floats per metric would dominate the footprint.
+        if config.resolved_metrics == "sketch":
+            response_times = LogBucketQuantiles()
+        else:
+            response_times = ExactQuantiles()
+        # The feed is a generator: closed-loop mode pulls queries one at
+        # a time as users free up, so the 10^6-query web-scale workload
+        # never materializes in memory.
+        items = enumerate(feed)
 
         def finish(trace: SearchTrace, started_at: float) -> None:
-            response_times.append(kernel.now - started_at)
+            response_times.add(kernel.now - started_at)
             # Overlapping lookups cannot share the meter's scratch set;
             # each trace carries its own visited nodes (Fig 15).
             meter.count_query(
@@ -462,9 +510,10 @@ class Experiment:
             )
 
         def begin_next(engine: LookupEngine) -> None:
-            if not items:
+            item = next(items, None)
+            if item is None:
                 return
-            position, workload_query = items.popleft()
+            position, workload_query = item
             begin(
                 engine,
                 position,
@@ -474,39 +523,40 @@ class Experiment:
 
         if config.arrival_interval_ms > 0:
             # Open loop: arrival times are drawn up front from their own
-            # seeded RNG, independent of chaos and completion order.
+            # seeded RNG, independent of chaos and completion order (the
+            # whole feed must be pre-booked, so this mode stays eager).
             arrival_rng = random.Random(config.query_seed ^ 0x5EED)
             arrival_at = 0.0
-            for index, (position, workload_query) in enumerate(items):
+            for position, workload_query in items:
                 arrival_at += arrival_rng.expovariate(
                     1.0 / config.arrival_interval_ms
                 )
-                kernel.schedule(
+                kernel.post(
                     arrival_at,
-                    lambda engine=engines[index % len(engines)],
+                    lambda engine=engines[position % len(engines)],
                     position=position,
                     workload_query=workload_query: begin(
                         engine, position, workload_query
                     ),
                 )
-            items.clear()
         else:
             for engine in engines:
                 begin_next(engine)
 
         kernel.run()
+        self._kernel_stats = {"events_run": kernel.events_run}
+        self._kernel_stats.update(kernel.stats())
         if result.searches != config.num_queries:
             raise RuntimeError(
                 f"kernel drained with {result.searches} of "
                 f"{config.num_queries} lookups completed"
             )
         result.virtual_time_ms = kernel.now
-        if response_times:
-            count = len(response_times)
-            result.response_time_ms_mean = sum(response_times) / count
-            result.response_time_ms_p50 = percentile(response_times, 0.50)
-            result.response_time_ms_p95 = percentile(response_times, 0.95)
-            result.response_time_ms_p99 = percentile(response_times, 0.99)
+        if len(response_times):
+            result.response_time_ms_mean = response_times.mean
+            result.response_time_ms_p50 = response_times.percentile(0.50)
+            result.response_time_ms_p95 = response_times.percentile(0.95)
+            result.response_time_ms_p99 = response_times.percentile(0.99)
 
     def _dispatch_chaos(
         self,

@@ -10,12 +10,13 @@ notion of *when* every message arrives, independent of wall-clock time.
 :class:`EventKernel` supplies that notion.  It is a classic
 discrete-event scheduler:
 
-- events live in a heap keyed by ``(time, seq)`` where ``seq`` is a
-  monotonically increasing tie-breaker, so two events scheduled for the
-  same virtual instant fire in scheduling order -- the whole simulation
-  is a deterministic function of its inputs;
+- events are ordered by ``(time, seq)`` where ``seq`` is a monotonically
+  increasing tie-breaker, so two events scheduled for the same virtual
+  instant fire in scheduling order -- the whole simulation is a
+  deterministic function of its inputs;
 - ``schedule(delay_ms, callback)`` books a callback at ``now +
-  delay_ms`` and returns a cancellable handle;
+  delay_ms`` and returns a cancellable handle; ``post(delay_ms,
+  callback)`` books one without a handle (the fire-and-forget hot path);
 - ``run()`` pops events in order, advancing ``now`` to each event's
   timestamp before invoking it.
 
@@ -25,37 +26,79 @@ device, which is exactly what latency measurements need -- hop delays
 (from :mod:`repro.net.latency`) order deliveries, overlapping lookups
 contend for the same nodes in a reproducible interleaving, and the
 response-time percentiles of a run are bit-stable across repetitions.
+
+Two interchangeable schedulers implement that contract:
+
+- ``EventKernel(scheduler="heap")`` (the default) keeps the original
+  binary heap of :class:`ScheduledEvent` objects.  Every pop costs
+  O(log n) Python-level comparisons, which is fine at the paper's scale
+  but dominates wall-clock once millions of events are in flight.
+- ``EventKernel(scheduler="wheel")`` is a calendar queue (an adaptive
+  timing wheel): events land in buckets keyed by ``int(time / width)``,
+  the next non-empty bucket is found by scanning forward from the
+  current one, and a bucket is sorted once -- with C-level tuple
+  comparisons -- when the clock reaches it.  The bucket width adapts in
+  both directions (shrinking as density grows, widening as it falls) so
+  buckets stay near a small target occupancy, giving amortized O(1)
+  pops at dense horizons.  Events
+  booked *into* the bucket currently being drained go to a small side
+  heap that is merged on the fly, preserving exact ``(time, seq)``
+  order.
+
+Both schedulers run callbacks in the identical order for the identical
+``schedule``/``post``/``cancel`` call sequence (a property-test suite
+pins this), so switching schedulers never changes a measured number --
+only how fast it is produced.
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
 from typing import Callable, Optional
 
+#: Scheduler names accepted by :class:`EventKernel`.
+SCHEDULERS: tuple[str, ...] = ("heap", "wheel")
+
 
 class KernelError(RuntimeError):
-    """Raised on kernel misuse (negative delays, re-running, ...)."""
+    """Raised on kernel misuse (negative delays, bad scheduler names, ...)."""
 
 
 class ScheduledEvent:
     """Handle to one booked callback; ``cancel()`` unbooks it.
 
-    Cancellation is lazy: the entry stays in the heap and is skipped
-    when popped, which keeps ``cancel`` O(1).
+    Cancellation is lazy: the entry stays queued and is skipped when
+    popped, which keeps ``cancel`` O(1).  The owning kernel keeps a live
+    count so cancellation (and firing) never requires a queue scan.
     """
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("time", "seq", "callback", "cancelled", "_kernel")
 
-    def __init__(self, time: float, seq: int, callback: Callable[[], None]) -> None:
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], None],
+        kernel: "Optional[EventKernel]" = None,
+    ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        self._kernel = kernel
 
     def cancel(self) -> None:
         """Unbook the event; a no-op if it already fired."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        callback = self.callback
         self.callback = None  # release references early
+        kernel = self._kernel
+        self._kernel = None
+        if kernel is not None and callback is not None:
+            kernel._note_cancel()
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -66,14 +109,25 @@ class EventKernel:
 
     ``now`` is in virtual milliseconds and starts at 0.0.  All state is
     local to the instance, so independent simulations never interact.
+    ``EventKernel(scheduler="heap"|"wheel")`` picks the implementation;
+    both obey the same ``(time, seq)`` FIFO-within-timestamp contract.
     """
 
-    def __init__(self) -> None:
-        self._now = 0.0
-        self._seq = 0
-        self._heap: list[ScheduledEvent] = []
-        #: Events executed so far (a cheap progress/determinism probe).
-        self.events_run = 0
+    __slots__ = ("_now", "_seq", "_live", "events_run")
+
+    #: Implementation name, overridden per subclass.
+    scheduler_name = "heap"
+
+    def __new__(cls, scheduler: str = "heap", **kwargs):
+        if cls is EventKernel:
+            try:
+                cls = _IMPLEMENTATIONS[scheduler]
+            except KeyError:
+                raise KernelError(
+                    f"unknown scheduler {scheduler!r}; expected one of "
+                    f"{SCHEDULERS}"
+                ) from None
+        return object.__new__(cls)
 
     @property
     def now(self) -> float:
@@ -82,8 +136,47 @@ class EventKernel:
 
     @property
     def pending(self) -> int:
-        """Number of booked (non-cancelled) events still in the queue."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of booked (non-cancelled) events still in the queue.
+
+        O(1): a live counter maintained by schedule/cancel/pop, never a
+        queue traversal.
+        """
+        return self._live
+
+    def _note_cancel(self) -> None:
+        self._live -= 1
+
+    # Subclasses implement: schedule, post, step, run, stats.
+
+
+class _HeapKernel(EventKernel):
+    """The original binary-heap scheduler, plus O(1) ``pending`` and
+    compaction of lazily-cancelled entries.
+
+    Cancelled events used to stay heap-resident until popped, so a
+    schedule/cancel churn loop grew the heap without bound.  The heap is
+    now rebuilt (dropping cancelled entries) whenever they outnumber the
+    live ones, keeping peak memory within 2x the live event count while
+    preserving pop order exactly -- ``(time, seq)`` is a total order, so
+    re-heapifying the surviving events cannot reorder anything.
+    """
+
+    __slots__ = ("_heap", "_cancelled_in_heap", "_compactions")
+
+    scheduler_name = "heap"
+
+    #: Never bother compacting heaps smaller than this.
+    _COMPACT_MIN = 64
+
+    def __init__(self, scheduler: str = "heap", **kwargs) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._live = 0
+        #: Events executed so far (a cheap progress/determinism probe).
+        self.events_run = 0
+        self._heap: list[ScheduledEvent] = []
+        self._cancelled_in_heap = 0
+        self._compactions = 0
 
     def schedule(
         self, delay_ms: float, callback: Callable[[], None]
@@ -95,23 +188,49 @@ class EventKernel:
         """
         if delay_ms < 0:
             raise KernelError(f"cannot schedule into the past: {delay_ms}")
-        event = ScheduledEvent(self._now + delay_ms, self._seq, callback)
+        event = ScheduledEvent(self._now + delay_ms, self._seq, callback, self)
         self._seq += 1
+        self._live += 1
         heapq.heappush(self._heap, event)
         return event
 
+    def post(self, delay_ms: float, callback: Callable[[], None]) -> None:
+        """``schedule`` without returning a cancellable handle."""
+        self.schedule(delay_ms, callback)
+
+    def _note_cancel(self) -> None:
+        self._live -= 1
+        self._cancelled_in_heap += 1
+        heap = self._heap
+        if (
+            self._cancelled_in_heap > len(heap) // 2
+            and len(heap) >= self._COMPACT_MIN
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify the survivors."""
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
+        self._compactions += 1
+
     def step(self) -> bool:
         """Run the next event; returns False when the queue is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)
             if event.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
             if event.time < self._now:
                 raise KernelError("event queue went back in time")
             self._now = event.time
             self.events_run += 1
+            self._live -= 1
             callback = event.callback
             event.callback = None
+            event._kernel = None
             callback()
             return True
         return False
@@ -128,3 +247,367 @@ class EventKernel:
             if not self.step():
                 break
         return self._now
+
+    def stats(self) -> dict[str, int]:
+        """Scheduler-internal operation counts (regression-guard probes)."""
+        return {
+            "scheduler": 0,  # 0 = heap, 1 = wheel (kept numeric for JSON)
+            "heap_len": len(self._heap),
+            "cancelled_in_heap": self._cancelled_in_heap,
+            "compactions": self._compactions,
+        }
+
+
+class _WheelKernel(EventKernel):
+    """Calendar-queue scheduler: adaptive-width buckets of event tuples.
+
+    Entries are ``(time, seq, x)`` tuples -- ``x`` is a bare callback
+    (from :meth:`post`) or a :class:`ScheduledEvent` handle (from
+    :meth:`schedule`) -- so all ordering comparisons happen at C level.
+    ``seq`` is unique, so a comparison never reaches ``x``.
+
+    The bucket width rescales to the target occupancy whenever average
+    occupancy drifts 4x past it in either direction: total entries moved
+    by all rebuilds is O(n) amortized, buckets stay small enough that
+    the one-time sort per bucket costs O(log target) comparisons per
+    event, and sparse horizons stop paying ~1/occupancy empty forward
+    probes per pop.  The next
+    non-empty bucket is found by scanning forward (near-certain hit at
+    target occupancy); a scan that exhausts its probe budget falls back
+    to ``min()`` over the remaining bucket indices, which only happens
+    in sparse tails where that set is small or time jumps are huge.
+    """
+
+    __slots__ = (
+        "_inv",
+        "_buckets",
+        "_active",
+        "_ai",
+        "_alen",
+        "_aidx",
+        "_side",
+        "_target",
+        "_rebuilds",
+        "_entries_moved",
+        "_scan_probes",
+        "_scan_fallbacks",
+        "_side_pushes",
+    )
+
+    scheduler_name = "wheel"
+
+    #: Probes budgeted per forward scan before falling back to min().
+    _SCAN_LIMIT = 256
+    #: Posts between occupancy checks (must be a power of two minus one).
+    _RESIZE_MASK = 4095
+
+    def __init__(
+        self,
+        scheduler: str = "wheel",
+        width_ms: float = 1.0,
+        target_occupancy: int = 8,
+        **kwargs,
+    ) -> None:
+        if width_ms <= 0:
+            raise KernelError(f"bucket width must be positive: {width_ms}")
+        if target_occupancy < 1:
+            raise KernelError("target occupancy must be >= 1")
+        self._now = 0.0
+        self._seq = 0
+        self._live = 0
+        self.events_run = 0
+        self._inv = 1.0 / width_ms
+        self._buckets: dict[int, list] = {}
+        self._active: list = []
+        self._ai = 0
+        self._alen = 0
+        self._aidx = -1
+        self._side: list = []
+        self._target = target_occupancy
+        self._rebuilds = 0
+        self._entries_moved = 0
+        self._scan_probes = 0
+        self._scan_fallbacks = 0
+        self._side_pushes = 0
+
+    # -- booking -----------------------------------------------------------
+
+    def _book(self, delay_ms: float, x) -> tuple:
+        if delay_ms < 0:
+            raise KernelError(f"cannot schedule into the past: {delay_ms}")
+        t = self._now + delay_ms
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        entry = (t, seq, x)
+        idx = int(t * self._inv)
+        # The side heap holds everything booked at or behind the bucket
+        # currently being drained (idx can be *behind* it when the clock
+        # has not yet advanced into the acquired bucket); the drain
+        # merges it entry-by-entry, so ordering stays exact.
+        if idx <= self._aidx:
+            heapq.heappush(self._side, entry)
+            self._side_pushes += 1
+        else:
+            bucket = self._buckets.get(idx)
+            if bucket is None:
+                self._buckets[idx] = [entry]
+            else:
+                bucket.append(entry)
+        if not (seq & self._RESIZE_MASK):
+            self._maybe_resize()
+        return entry
+
+    def post(self, delay_ms: float, callback: Callable[[], None]) -> None:
+        """Book a fire-and-forget callback (no cancellable handle).
+
+        This is the hot path: one tuple and one list append per event,
+        no per-event handle object.
+        """
+        self._book(delay_ms, callback)
+
+    def schedule(
+        self, delay_ms: float, callback: Callable[[], None]
+    ) -> ScheduledEvent:
+        """Book ``callback`` and return a cancellable handle."""
+        event = ScheduledEvent(0.0, 0, callback, self)
+        entry = self._book(delay_ms, event)
+        event.time = entry[0]
+        event.seq = entry[1]
+        return event
+
+    # -- adaptive width ----------------------------------------------------
+
+    def _maybe_resize(self) -> None:
+        # Only resize between bucket drains: the active bucket and side
+        # heap are index-relative, so a width change mid-drain would
+        # strand them.
+        if self._ai < self._alen or self._side:
+            return
+        buckets = len(self._buckets)
+        if buckets < 32:
+            return
+        occupancy = self._live / buckets
+        target = self._target
+        if occupancy > 4 * target:
+            # Too dense: shrink buckets so the per-bucket sort stays small.
+            self._rebuild(self._inv * (occupancy / target))
+        elif occupancy < target / 4 and self._live >= 4096:
+            # Too sparse: widen buckets so the forward scan stops paying
+            # ~1/occupancy empty probes per acquire.  Both directions
+            # rescale to the target, so a rebuild fires only when
+            # occupancy drifts 4x past it -- the population must quadruple
+            # (or quarter) between rebuilds, keeping total entry moves
+            # O(n) amortized.
+            self._rebuild(self._inv * (occupancy / target))
+
+    def _rebuild(self, new_inv: float) -> None:
+        """Re-bucket every pending entry under a new width.
+
+        GC is paused for the duration: the rebuild allocates one new
+        bucket list per index while millions of event tuples are live,
+        and generational collections during that burst would rescan them
+        all for nothing (nothing becomes garbage until the old dict is
+        dropped at the end).
+        """
+        self._inv = new_inv
+        self._rebuilds += 1
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            rebucketed: dict[int, list] = {}
+            get = rebucketed.get
+            for bucket in self._buckets.values():
+                self._entries_moved += len(bucket)
+                for entry in bucket:
+                    idx = int(entry[0] * new_inv)
+                    new_bucket = get(idx)
+                    if new_bucket is None:
+                        rebucketed[idx] = [entry]
+                    else:
+                        new_bucket.append(entry)
+            self._buckets = rebucketed
+            self._aidx = -1
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    # -- draining ----------------------------------------------------------
+
+    def _acquire(self) -> Optional[list]:
+        """Pop, sort, and activate the next non-empty bucket."""
+        buckets = self._buckets
+        if not buckets:
+            return None
+        base = int(self._now * self._inv)
+        idx = self._aidx + 1 if self._aidx >= base else base
+        get = buckets.get
+        limit = idx + self._SCAN_LIMIT
+        probes = 0
+        while idx <= limit:
+            bucket = get(idx)
+            if bucket is not None:
+                break
+            idx += 1
+            probes += 1
+        else:
+            idx = min(buckets)
+            bucket = buckets[idx]
+            self._scan_fallbacks += 1
+        self._scan_probes += probes
+        del buckets[idx]
+        bucket.sort()
+        self._active = bucket
+        self._aidx = idx
+        self._alen = len(bucket)
+        self._ai = 0
+        return bucket
+
+    def step(self) -> bool:
+        """Run the next event; returns False when the queue is empty."""
+        heappop = heapq.heappop
+        while True:
+            side = self._side
+            if self._ai < self._alen:
+                entry = self._active[self._ai]
+                if side and side[0] < entry:
+                    entry = heappop(side)
+                else:
+                    self._ai += 1
+            elif side:
+                entry = heappop(side)
+            elif self._acquire() is None:
+                return False
+            else:
+                continue
+            x = entry[2]
+            if x.__class__ is ScheduledEvent:
+                if x.cancelled:
+                    continue
+                callback = x.callback
+                x.callback = None
+                x._kernel = None
+            else:
+                callback = x
+            self._now = entry[0]
+            self.events_run += 1
+            self._live -= 1
+            callback()
+            return True
+
+    def run(self, until: Optional[Callable[[], bool]] = None) -> float:
+        """Drain the queue; returns the final virtual time.
+
+        With no ``until`` predicate the drain runs a tight loop over
+        each sorted bucket (the web-scale fast path); with one, it falls
+        back to per-event stepping so the predicate is checked before
+        every event, matching the heap scheduler's semantics.
+        """
+        if until is not None:
+            while self._live or self._has_entries():
+                if until():
+                    break
+                if not self.step():
+                    break
+            return self._now
+        heappop = heapq.heappop
+        side = self._side
+        nrun = 0
+        live_drop = 0
+        ai = self._ai
+        try:
+            while True:
+                active = self._active
+                alen = self._alen
+                if ai >= alen:
+                    if side:
+                        entry = heappop(side)
+                        x = entry[2]
+                        if x.__class__ is ScheduledEvent:
+                            if x.cancelled:
+                                continue
+                            callback = x.callback
+                            x.callback = None
+                            x._kernel = None
+                        else:
+                            callback = x
+                        self._now = entry[0]
+                        nrun += 1
+                        live_drop += 1
+                        callback()
+                        continue
+                    if self._acquire() is None:
+                        return self._now
+                    ai = 0
+                    continue
+                while ai < alen:
+                    if side:
+                        entry = active[ai]
+                        if side[0] < entry:
+                            entry = heappop(side)
+                        else:
+                            ai += 1
+                        x = entry[2]
+                        if x.__class__ is ScheduledEvent:
+                            if x.cancelled:
+                                continue
+                            callback = x.callback
+                            x.callback = None
+                            x._kernel = None
+                        else:
+                            callback = x
+                        self._now = entry[0]
+                        nrun += 1
+                        live_drop += 1
+                        callback()
+                    else:
+                        i = ai
+                        for entry in active[i:]:
+                            x = entry[2]
+                            if x.__class__ is ScheduledEvent:
+                                if x.cancelled:
+                                    i += 1
+                                    if side:
+                                        break
+                                    continue
+                                callback = x.callback
+                                x.callback = None
+                                x._kernel = None
+                            else:
+                                callback = x
+                            self._now = entry[0]
+                            i += 1
+                            nrun += 1
+                            live_drop += 1
+                            callback()
+                            if side:
+                                break
+                        ai = i
+        finally:
+            self._ai = ai
+            self.events_run += nrun
+            self._live -= live_drop
+
+    def _has_entries(self) -> bool:
+        """Whether any entries (live or cancelled) remain queued."""
+        return (
+            self._ai < self._alen or bool(self._side) or bool(self._buckets)
+        )
+
+    def stats(self) -> dict[str, int]:
+        """Scheduler-internal operation counts (regression-guard probes)."""
+        return {
+            "scheduler": 1,
+            "buckets": len(self._buckets),
+            "rebuilds": self._rebuilds,
+            "entries_moved": self._entries_moved,
+            "scan_probes": self._scan_probes,
+            "scan_fallbacks": self._scan_fallbacks,
+            "side_pushes": self._side_pushes,
+        }
+
+
+_IMPLEMENTATIONS: dict[str, type] = {
+    "heap": _HeapKernel,
+    "wheel": _WheelKernel,
+}

@@ -76,6 +76,39 @@ CONCURRENT_CONFIG = replace(
     latency_model="uniform:10:100",
 )
 
+#: The web-scale stress cell: 10^5 nodes and 10^6 queries -- two orders
+#: of magnitude past the paper -- driven closed-loop by 10,000 users on
+#: the virtual clock.  "auto" resolves to the timing-wheel scheduler and
+#: the constant-memory quantile sketch at this query count, which is
+#: what makes the run finish in minutes with bounded memory.  Fewer
+#: authors per article and a fatter corpus keep the index realistic at
+#: scale; replication stays 1 (the routing and indexing layers are the
+#: subject, not durability).
+WEB_SCALE_CONFIG = ExperimentConfig(
+    num_nodes=100_000,
+    num_articles=20_000,
+    num_queries=1_000_000,
+    num_authors=8_000,
+    concurrency=10_000,
+    latency_model="uniform:10:100",
+)
+
+#: A proportionally reduced web-scale cell for CI: same machinery
+#: (wheel scheduler, sketch metrics, 100 concurrent users) at a size
+#: that finishes in seconds.  scheduler/metrics are forced because the
+#: reduced query count would resolve "auto" back to the paper-scale
+#: machinery.
+WEB_SCALE_SMOKE_CONFIG = ExperimentConfig(
+    num_nodes=2_000,
+    num_articles=1_000,
+    num_queries=5_000,
+    num_authors=400,
+    concurrency=100,
+    latency_model="uniform:10:100",
+    scheduler="wheel",
+    metrics="sketch",
+)
+
 #: A proportionally reduced chaos cell for fast tests.
 CHURN_SMOKE_CONFIG = replace(
     CHURN_CONFIG,

@@ -109,6 +109,12 @@ class DHTStorage:
         self._node_stores: dict[NodeId, dict[str, list[str]]] = {}
         # Authoritative catalog used for rebalancing after churn.
         self._catalog: dict[str, list[str]] = {}
+        # Replica-placement cache: the sorted ring and node -> position
+        # map only change on membership events, so they are rebuilt at
+        # most once per protocol.membership_version instead of per key.
+        self._ring_version = -1
+        self._ring: list[NodeId] = []
+        self._ring_index: dict[NodeId, int] = {}
 
     # -- placement -----------------------------------------------------------
 
@@ -124,10 +130,17 @@ class DHTStorage:
             return [primary]
         # Take the next closest nodes in identifier order after the
         # primary (successor-list placement, as in DHash/PAST).
-        ordered = sorted(self.protocol.node_ids)
+        version = self.protocol.membership_version
+        if version != self._ring_version:
+            self._ring = sorted(self.protocol.node_ids)
+            self._ring_index = {
+                node: position for position, node in enumerate(self._ring)
+            }
+            self._ring_version = version
+        ordered = self._ring
         if not ordered:
             return [primary]
-        start = ordered.index(primary)
+        start = self._ring_index[primary]
         count = min(self.replication, len(ordered))
         return [ordered[(start + offset) % len(ordered)] for offset in range(count)]
 

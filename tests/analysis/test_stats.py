@@ -1,8 +1,12 @@
-"""Unit tests for distribution helpers."""
+"""Unit tests for distribution helpers and streaming quantile collectors."""
+
+import random
 
 import pytest
 
 from repro.analysis.stats import (
+    ExactQuantiles,
+    LogBucketQuantiles,
     ccdf_points,
     lorenz_skew,
     percentile,
@@ -73,6 +77,90 @@ class TestCCDF:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             ccdf_points([])
+
+
+class TestExactQuantiles:
+    def test_matches_batch_percentile_bit_for_bit(self):
+        rng = random.Random(11)
+        samples = [rng.expovariate(0.01) for _ in range(5_000)]
+        collector = ExactQuantiles()
+        for sample in samples:
+            collector.add(sample)
+        assert collector.mean == sum(samples) / len(samples)
+        for fraction in (0.0, 0.25, 0.50, 0.95, 0.99, 1.0):
+            assert collector.percentile(fraction) == percentile(
+                samples, fraction
+            )
+
+    def test_len_and_count(self):
+        collector = ExactQuantiles()
+        assert len(collector) == 0
+        collector.add(1.0)
+        collector.add(2.0)
+        assert len(collector) == collector.count == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ExactQuantiles().percentile(0.5)
+        with pytest.raises(ValueError):
+            ExactQuantiles().mean
+
+
+class TestLogBucketQuantiles:
+    def test_percentiles_within_relative_error(self):
+        rng = random.Random(23)
+        samples = [rng.expovariate(0.005) for _ in range(50_000)]
+        sketch = LogBucketQuantiles()
+        for sample in samples:
+            sketch.add(sample)
+        bound = sketch.relative_error
+        assert bound < 0.01  # just under 1% at the default gamma
+        for fraction in (0.25, 0.50, 0.90, 0.95, 0.99):
+            exact = percentile(samples, fraction)
+            estimate = sketch.percentile(fraction)
+            assert abs(estimate - exact) <= bound * exact
+
+    def test_mean_is_exact(self):
+        samples = [1.5, 2.5, 100.0, 0.25]
+        sketch = LogBucketQuantiles()
+        for sample in samples:
+            sketch.add(sample)
+        assert sketch.mean == sum(samples) / len(samples)
+
+    def test_extremes_are_exact(self):
+        sketch = LogBucketQuantiles()
+        for sample in (3.0, 7.0, 19.0):
+            sketch.add(sample)
+        assert sketch.percentile(0.0) == 3.0
+        assert sketch.percentile(1.0) == 19.0
+
+    def test_memory_is_sample_count_independent(self):
+        rng = random.Random(5)
+        sketch = LogBucketQuantiles()
+        for _ in range(200_000):
+            sketch.add(rng.uniform(0.1, 10_000.0))
+        # Nine decades fit in ~1,200 buckets; five decades in far fewer.
+        assert sketch.bucket_count < 1_000
+        assert len(sketch) == 200_000
+
+    def test_zero_samples_counted(self):
+        sketch = LogBucketQuantiles()
+        for sample in (0.0, 0.0, 0.0, 5.0):
+            sketch.add(sample)
+        assert sketch.percentile(0.5) == 0.0
+        assert sketch.percentile(1.0) == 5.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LogBucketQuantiles().add(-1.0)
+
+    def test_bad_gamma_rejected(self):
+        with pytest.raises(ValueError):
+            LogBucketQuantiles(gamma=1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LogBucketQuantiles().percentile(0.5)
 
 
 class TestRankOrderedAndSkew:

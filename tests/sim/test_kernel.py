@@ -1,16 +1,29 @@
-"""Unit tests for the discrete-event kernel (repro.sim.kernel)."""
+"""Unit tests for the discrete-event kernel (repro.sim.kernel).
+
+Every test runs against both schedulers (binary heap and timing wheel):
+the ordering contract -- (time, seq), FIFO within a timestamp -- is the
+kernel's public behaviour, so the two implementations must be
+indistinguishable through it.
+"""
 
 import pytest
 
-from repro.sim.kernel import EventKernel, KernelError
+from repro.sim.kernel import SCHEDULERS, EventKernel, KernelError
+
+
+@pytest.fixture(params=SCHEDULERS)
+def make_kernel(request):
+    """Factory building a kernel on the parametrized scheduler."""
+    scheduler = request.param
+    return lambda: EventKernel(scheduler=scheduler)
 
 
 class TestScheduling:
-    def test_clock_starts_at_zero(self):
-        assert EventKernel().now == 0.0
+    def test_clock_starts_at_zero(self, make_kernel):
+        assert make_kernel().now == 0.0
 
-    def test_events_fire_in_time_order(self):
-        kernel = EventKernel()
+    def test_events_fire_in_time_order(self, make_kernel):
+        kernel = make_kernel()
         fired = []
         kernel.schedule(30.0, lambda: fired.append("c"))
         kernel.schedule(10.0, lambda: fired.append("a"))
@@ -18,16 +31,16 @@ class TestScheduling:
         kernel.run()
         assert fired == ["a", "b", "c"]
 
-    def test_ties_fire_in_scheduling_order(self):
-        kernel = EventKernel()
+    def test_ties_fire_in_scheduling_order(self, make_kernel):
+        kernel = make_kernel()
         fired = []
         for label in ("first", "second", "third"):
             kernel.schedule(5.0, lambda label=label: fired.append(label))
         kernel.run()
         assert fired == ["first", "second", "third"]
 
-    def test_now_advances_to_event_time(self):
-        kernel = EventKernel()
+    def test_now_advances_to_event_time(self, make_kernel):
+        kernel = make_kernel()
         seen = []
         kernel.schedule(12.5, lambda: seen.append(kernel.now))
         kernel.schedule(40.0, lambda: seen.append(kernel.now))
@@ -35,8 +48,8 @@ class TestScheduling:
         assert seen == [12.5, 40.0]
         assert final == kernel.now == 40.0
 
-    def test_delays_are_relative_to_now(self):
-        kernel = EventKernel()
+    def test_delays_are_relative_to_now(self, make_kernel):
+        kernel = make_kernel()
         times = []
 
         def chained():
@@ -48,8 +61,8 @@ class TestScheduling:
         kernel.run()
         assert times == [10.0, 20.0, 30.0]
 
-    def test_zero_delay_runs_after_current_bookings(self):
-        kernel = EventKernel()
+    def test_zero_delay_runs_after_current_bookings(self, make_kernel):
+        kernel = make_kernel()
         fired = []
         kernel.schedule(0.0, lambda: fired.append("booked-first"))
         kernel.schedule(0.0, lambda: fired.append("booked-second"))
@@ -57,14 +70,27 @@ class TestScheduling:
         assert fired == ["booked-first", "booked-second"]
         assert kernel.now == 0.0
 
-    def test_negative_delay_rejected(self):
+    def test_negative_delay_rejected(self, make_kernel):
         with pytest.raises(KernelError):
-            EventKernel().schedule(-0.1, lambda: None)
+            make_kernel().schedule(-0.1, lambda: None)
+
+    def test_post_interleaves_with_schedule(self, make_kernel):
+        kernel = make_kernel()
+        fired = []
+        kernel.schedule(5.0, lambda: fired.append("scheduled"))
+        kernel.post(5.0, lambda: fired.append("posted"))
+        kernel.schedule(5.0, lambda: fired.append("scheduled-late"))
+        kernel.run()
+        assert fired == ["scheduled", "posted", "scheduled-late"]
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(KernelError):
+            EventKernel(scheduler="fifo")
 
 
 class TestCancellation:
-    def test_cancelled_event_never_fires(self):
-        kernel = EventKernel()
+    def test_cancelled_event_never_fires(self, make_kernel):
+        kernel = make_kernel()
         fired = []
         handle = kernel.schedule(5.0, lambda: fired.append("cancelled"))
         kernel.schedule(10.0, lambda: fired.append("kept"))
@@ -72,14 +98,14 @@ class TestCancellation:
         kernel.run()
         assert fired == ["kept"]
 
-    def test_cancel_after_fire_is_noop(self):
-        kernel = EventKernel()
+    def test_cancel_after_fire_is_noop(self, make_kernel):
+        kernel = make_kernel()
         handle = kernel.schedule(1.0, lambda: None)
         kernel.run()
         handle.cancel()  # must not raise
 
-    def test_pending_counts_live_events_only(self):
-        kernel = EventKernel()
+    def test_pending_counts_live_events_only(self, make_kernel):
+        kernel = make_kernel()
         kernel.schedule(1.0, lambda: None)
         drop = kernel.schedule(2.0, lambda: None)
         assert kernel.pending == 2
@@ -88,19 +114,19 @@ class TestCancellation:
 
 
 class TestRun:
-    def test_step_on_empty_queue_returns_false(self):
-        assert EventKernel().step() is False
+    def test_step_on_empty_queue_returns_false(self, make_kernel):
+        assert make_kernel().step() is False
 
-    def test_events_run_counts_fired_callbacks(self):
-        kernel = EventKernel()
+    def test_events_run_counts_fired_callbacks(self, make_kernel):
+        kernel = make_kernel()
         for _ in range(4):
             kernel.schedule(1.0, lambda: None)
         kernel.schedule(2.0, lambda: None).cancel()
         kernel.run()
         assert kernel.events_run == 4
 
-    def test_run_until_stops_early_with_queue_intact(self):
-        kernel = EventKernel()
+    def test_run_until_stops_early_with_queue_intact(self, make_kernel):
+        kernel = make_kernel()
         fired = []
         for delay in (1.0, 2.0, 3.0):
             kernel.schedule(delay, lambda delay=delay: fired.append(delay))
@@ -108,9 +134,9 @@ class TestRun:
         assert fired == [1.0, 2.0]
         assert kernel.pending == 1
 
-    def test_deterministic_across_instances(self):
+    def test_deterministic_across_instances(self, make_kernel):
         def drive():
-            kernel = EventKernel()
+            kernel = make_kernel()
             fired = []
 
             def fan_out():
@@ -125,3 +151,16 @@ class TestRun:
             return fired, kernel.events_run, kernel.now
 
         assert drive() == drive()
+
+
+class TestDispatch:
+    def test_default_is_heap(self):
+        assert EventKernel().stats()["scheduler"] == 0
+
+    def test_requested_scheduler_is_served(self):
+        assert EventKernel(scheduler="heap").stats()["scheduler"] == 0
+        assert EventKernel(scheduler="wheel").stats()["scheduler"] == 1
+
+    def test_both_are_event_kernels(self):
+        for scheduler in SCHEDULERS:
+            assert isinstance(EventKernel(scheduler=scheduler), EventKernel)
