@@ -1,0 +1,136 @@
+"""WAL micro-benchmark: append throughput per fsync policy, replay speed.
+
+Times the two durability hot paths:
+
+- **append**: records/sec written through :class:`WriteAheadLog` under
+  each fsync policy (``always`` pays one fsync per record, ``interval``
+  amortizes it, ``never`` leaves syncing to the OS) -- the cost a node
+  pays per acknowledged insert;
+- **replay**: records/sec decoded back by :func:`replay_wal` -- the cost
+  of crash recovery, which bounds how fast a restarted node rejoins.
+
+Results land in ``benchmarks/results/wal.json``.  The hard assertions
+are conservative regression floors (an order of magnitude under local
+measurements, CI-safe): replay must stay fast enough that recovering a
+full node is milliseconds, and non-``always`` appends must not regress
+to per-record-fsync cost.
+
+Run standalone (``python benchmarks/bench_wal.py``) or as a bench
+(``pytest benchmarks/bench_wal.py``); it is not part of the tier-1
+suite.
+"""
+
+import json
+import pathlib
+import tempfile
+import time
+
+from repro.storage.durable import (
+    OP_PUT,
+    FsyncPolicy,
+    WriteAheadLog,
+    replay_wal,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Records per timed run: enough to swamp per-call noise, small enough
+#: that the fsync-per-record policy finishes quickly on slow disks.
+N_APPEND = 20_000
+N_REPLAY = 100_000
+
+POLICIES = ("always", "interval:64", "never")
+
+#: Conservative CI-safe floors (records/sec); local runs measure well
+#: over 10x these.
+MIN_APPENDS_PER_SEC = 5_000
+MIN_REPLAYS_PER_SEC = 20_000
+
+_RESULTS: dict[str, dict] = {}
+
+
+def sample_fields(i: int) -> tuple:
+    # Realistic record shape: an index key and a bibliographic value.
+    return ("index", f"author=name-{i % 997}", f"article-{i:06d}|title word")
+
+
+def bench_append(policy_spec: str, count: int = N_APPEND) -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench-wal-") as tmp:
+        path = f"{tmp}/wal.log"
+        wal = WriteAheadLog(path, fsync=FsyncPolicy.parse(policy_spec))
+        fields = [sample_fields(i) for i in range(count)]
+        started = time.perf_counter()
+        for record in fields:
+            wal.append(OP_PUT, record)
+        elapsed = time.perf_counter() - started
+        size = wal.size
+        wal.close()
+        return {
+            "records_per_sec": round(count / elapsed),
+            "bytes_per_record": round(size / count, 1),
+        }
+
+
+def bench_replay(count: int = N_REPLAY) -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench-wal-") as tmp:
+        path = f"{tmp}/wal.log"
+        wal = WriteAheadLog(path, fsync=FsyncPolicy("never"))
+        for i in range(count):
+            wal.append(OP_PUT, sample_fields(i))
+        wal.close()
+        started = time.perf_counter()
+        ops, report = replay_wal(path)
+        elapsed = time.perf_counter() - started
+        assert len(ops) == count and not report.repaired
+        return {
+            "records_per_sec": round(count / elapsed),
+            "replay_ms": round(elapsed * 1000.0, 2),
+        }
+
+
+def dump_results() -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "n_append": N_APPEND,
+        "n_replay": N_REPLAY,
+        "append": {
+            policy: _RESULTS[f"append:{policy}"]
+            for policy in POLICIES
+            if f"append:{policy}" in _RESULTS
+        },
+        "replay": _RESULTS.get("replay"),
+    }
+    (RESULTS_DIR / "wal.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def test_append_throughput():
+    for policy in POLICIES:
+        _RESULTS[f"append:{policy}"] = bench_append(policy)
+    # Floor only the amortized policies: "always" is honest fsync cost
+    # and legitimately disk-bound.
+    for policy in ("interval:64", "never"):
+        rate = _RESULTS[f"append:{policy}"]["records_per_sec"]
+        assert rate >= MIN_APPENDS_PER_SEC, (
+            f"{policy}: {rate:,}/s < floor {MIN_APPENDS_PER_SEC:,}/s"
+        )
+
+
+def test_replay_throughput():
+    _RESULTS["replay"] = bench_replay()
+    rate = _RESULTS["replay"]["records_per_sec"]
+    assert rate >= MIN_REPLAYS_PER_SEC, (
+        f"replay: {rate:,}/s < floor {MIN_REPLAYS_PER_SEC:,}/s"
+    )
+    dump_results()
+
+
+def main() -> None:
+    test_append_throughput()
+    test_replay_throughput()
+    print(json.dumps(_RESULTS, indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

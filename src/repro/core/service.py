@@ -91,6 +91,10 @@ class IndexService:
         self.cache_policy = cache_policy
         self.cache_capacity = cache_capacity if cache_policy is CachePolicy.LRU else None
         self.caches: dict[int, NodeCache] = {}
+        # Optional durability hook (repro.storage.durable): shortcut
+        # cache inserts are journaled so a restarted node keeps its
+        # warmed cache.  None = in-memory only (the default).
+        self.journal = None
         self._registered: set[str] = set()
         # With replication > 1, queries rotate across the key's replicas
         # -- the paper's hot-spot relief: "any optimization of the
@@ -180,7 +184,10 @@ class IndexService:
 
     def _handle_cache_insert(self, node: int, message: Message) -> Optional[Message]:
         query_key, msd_key = message.payload
-        self.caches[node].insert(query_key, msd_key)
+        if self.caches[node].insert(query_key, msd_key) and (
+            self.journal is not None
+        ):
+            self.journal.record_cache_insert(node, query_key, msd_key)
         return None
 
     # -- record lifecycle -----------------------------------------------------------

@@ -25,6 +25,7 @@ from repro.net.faults import (
     CrashEvent,
     FaultPlan,
     FaultyTransport,
+    RestartEvent,
 )
 from repro.net.latency import (
     ConstantLatency,
@@ -56,6 +57,7 @@ __all__ = [
     "CrashEvent",
     "FaultPlan",
     "FaultyTransport",
+    "RestartEvent",
     "MS_PER_TICK",
     "ConstantLatency",
     "LatencyModel",

@@ -15,7 +15,13 @@ unchanged over it -- driven by a seeded :class:`FaultPlan`:
   accepted as a deprecated alias converting at :data:`MS_PER_TICK`),
 - a *crash/rejoin schedule*: endpoints marked crashed stay registered but
   refuse delivery until they recover, which is exactly the window in
-  which replica failover and lookup retries must carry the load.
+  which replica failover and lookup retries must carry the load,
+- a *restart schedule*: like a crash, but the victim's process dies
+  (SIGKILL semantics -- in-memory state is gone; ``power_loss=True``
+  additionally destroys un-synced WAL bytes).  The transport only
+  marks the outage window and fires the :attr:`FaultyTransport.on_kill`
+  / :attr:`FaultyTransport.on_restart` hooks; what state survives is
+  the harness's business (see :mod:`repro.storage.durable`).
 
 Every injected fault raises the typed
 :class:`repro.net.transport.DeliveryError` (never the hard
@@ -75,6 +81,29 @@ class CrashEvent:
 
 
 @dataclass(frozen=True)
+class RestartEvent:
+    """One scheduled process restart: at the ``at_send``-th send the
+    ``victim`` is killed -- SIGKILL semantics, so unlike a
+    :class:`CrashEvent` its in-memory state does not survive -- stays
+    down for ``downtime_sends`` sends, then restarts and recovers
+    whatever it persisted.  ``power_loss=True`` models the plug being
+    pulled mid-write: the un-fsynced tail of the victim's write-ahead
+    log is destroyed too.
+
+    ``victim=None`` picks a random crashable endpoint at fire time.
+    """
+
+    at_send: int
+    downtime_sends: int
+    victim: Optional[str] = None
+    power_loss: bool = False
+
+    def __post_init__(self) -> None:
+        if self.at_send < 0 or self.downtime_sends < 1:
+            raise ValueError("need at_send >= 0 and downtime_sends >= 1")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Seeded description of what goes wrong, and how often.
 
@@ -88,6 +117,7 @@ class FaultPlan:
     duplicate_probability: float = 0.0
     max_latency_ms: float = 0.0
     crash_schedule: tuple[CrashEvent, ...] = ()
+    restart_schedule: tuple[RestartEvent, ...] = ()
     seed: int = 0
     max_latency_ticks: InitVar[Optional[int]] = None
 
@@ -121,6 +151,7 @@ class FaultPlan:
             and self.duplicate_probability == 0.0
             and self.max_latency_ms == 0.0
             and not self.crash_schedule
+            and not self.restart_schedule
         )
 
 
@@ -161,6 +192,18 @@ class FaultyTransport:
             plan.crash_schedule, key=lambda event: event.at_send
         )
         self._pending_recoveries: list[tuple[int, str]] = []
+        self._pending_restarts = sorted(
+            plan.restart_schedule, key=lambda event: event.at_send
+        )
+        self._pending_restart_recoveries: list[tuple[int, str, bool]] = []
+        #: Invoked as ``on_kill(name, power_loss)`` the moment a
+        #: scheduled restart takes ``name`` down -- the harness's chance
+        #: to drop (and, under power loss, tear) the victim's journal.
+        self.on_kill: Optional[Callable[[str, bool], None]] = None
+        #: Invoked as ``on_restart(name, power_loss)`` when the victim's
+        #: downtime elapses, *after* delivery is re-enabled -- the
+        #: harness's chance to replay persisted state and re-replicate.
+        self.on_restart: Optional[Callable[[str, bool], None]] = None
 
     # -- endpoint protocol (delegation) ------------------------------------
 
@@ -397,27 +440,58 @@ class FaultyTransport:
                 )
 
     def _advance_schedule(self) -> None:
-        """Fire crash/recovery events scheduled at the current send."""
+        """Fire crash/restart/recovery events due at the current send."""
         while self._pending_recoveries and (
             self._pending_recoveries[0][0] <= self.sends
         ):
             _, name = self._pending_recoveries.pop(0)
             self.recover_node(name)
+        while self._pending_restart_recoveries and (
+            self._pending_restart_recoveries[0][0] <= self.sends
+        ):
+            _, name, power_loss = self._pending_restart_recoveries.pop(0)
+            self.recover_node(name)
+            if self.on_restart is not None:
+                self.on_restart(name, power_loss)
         while self._pending_crashes and (
             self._pending_crashes[0].at_send <= self.sends
         ):
             event = self._pending_crashes.pop(0)
-            victim = event.victim
+            victim = self._pick_victim(event.victim)
             if victim is None:
-                candidates = [
-                    name
-                    for name in self._crashable(self.inner.endpoint_names)
-                    if name not in self._crashed
-                ]
-                if not candidates:
-                    continue
-                victim = candidates[self._rng.randrange(len(candidates))]
+                continue
             self.fail_node(victim)
             recover_at = self.sends + event.downtime_sends
             self._pending_recoveries.append((recover_at, victim))
             self._pending_recoveries.sort()
+        while self._pending_restarts and (
+            self._pending_restarts[0].at_send <= self.sends
+        ):
+            event = self._pending_restarts.pop(0)
+            victim = self._pick_victim(event.victim)
+            if victim is None:
+                continue
+            self.fail_node(victim)
+            counters.fault_restarts += 1
+            if event.power_loss:
+                counters.fault_power_losses += 1
+            if self.on_kill is not None:
+                self.on_kill(victim, event.power_loss)
+            recover_at = self.sends + event.downtime_sends
+            self._pending_restart_recoveries.append(
+                (recover_at, victim, event.power_loss)
+            )
+            self._pending_restart_recoveries.sort()
+
+    def _pick_victim(self, victim: Optional[str]) -> Optional[str]:
+        """Resolve a scheduled event's victim (random when unset)."""
+        if victim is not None:
+            return victim
+        candidates = [
+            name
+            for name in self._crashable(self.inner.endpoint_names)
+            if name not in self._crashed
+        ]
+        if not candidates:
+            return None
+        return candidates[self._rng.randrange(len(candidates))]

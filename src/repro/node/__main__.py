@@ -14,6 +14,17 @@ wrappers can wait for it), serves until SIGINT/SIGTERM or an
 over-the-wire ``shutdown`` control message, then prints ``SHUTDOWN``
 and exits 0.  ``--listen`` port 0 asks the OS for an ephemeral port --
 the READY line reports the real one.
+
+With ``--data-dir PATH`` the node is durable: state is journaled to a
+write-ahead log (``--fsync always|interval[:N]|never`` picks the sync
+policy) and a restarted daemon recovers it -- a ``RECOVERY`` line after
+READY reports what came back.  A graceful stop flushes the WAL before
+the final ``SHUTDOWN`` line; a SIGKILL loses nothing that was
+acknowledged (appends are unbuffered), and recovery truncates any tail
+a power loss tore::
+
+    python -m repro.node --listen 127.0.0.1:7000 \
+        --data-dir /var/lib/repro/node0 --fsync interval:32
 """
 
 from __future__ import annotations
@@ -75,6 +86,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--node-id", default=None, metavar="HEX",
         help="explicit node id (default: hash of the listen address)",
     )
+    parser.add_argument(
+        "--data-dir", default=None, metavar="PATH",
+        help=(
+            "persist node state (WAL + snapshot) under PATH and recover "
+            "it on restart (default: in-memory only)"
+        ),
+    )
+    parser.add_argument(
+        "--fsync", default="interval", metavar="POLICY",
+        help=(
+            "WAL sync policy: always | interval[:N] | never "
+            "(default: interval)"
+        ),
+    )
     return parser
 
 
@@ -89,6 +114,8 @@ async def run(args: argparse.Namespace) -> int:
         replication=args.replication,
         bits=args.bits,
         node_id=None if args.node_id is None else int(args.node_id, 16),
+        data_dir=args.data_dir,
+        fsync=args.fsync,
     )
     bound_host, bound_port = await daemon.start(bootstrap=args.bootstrap)
     loop = asyncio.get_running_loop()
@@ -101,6 +128,19 @@ async def run(args: argparse.Namespace) -> int:
         f"READY {bound_host}:{bound_port} node={daemon.node_id:x}",
         flush=True,
     )
+    if daemon.recovery is not None:
+        # A separate line AFTER the 3-token READY protocol, so wrappers
+        # that split READY keep working.
+        report = daemon.recovery
+        print(
+            "RECOVERY "
+            f"entries={report.index_entries + report.file_entries} "
+            f"cache={report.cache_entries} peers={report.peers} "
+            f"wal_records={report.wal_records} "
+            f"torn_bytes={report.truncated_bytes} "
+            f"replay_ms={report.replay_ms:.2f}",
+            flush=True,
+        )
     await daemon.serve()
     print("SHUTDOWN", flush=True)
     return 0

@@ -314,6 +314,40 @@ class Tracer:
             {"key": key, "node": node, "attempt": attempt, "level": level},
         )
 
+    def node_recovery(
+        self,
+        *,
+        node: int,
+        power_loss: bool,
+        entries: int,
+        cache_entries: int,
+        wal_records: int,
+        torn_bytes: int,
+        replay_ms: float,
+    ) -> None:
+        """A restarted node replayed its durable state (chaos runs).
+
+        Not attributed to any lookup span -- recovery happens between
+        queries, on the maintenance path.  ``replay_ms`` is measured
+        wall time (disk replay is real I/O), the one field exempt from
+        the same-seed/same-bytes guarantee; every other field here is
+        deterministic.
+        """
+        self._emit(
+            "node_recovery",
+            None,
+            None,
+            {
+                "node": node,
+                "power_loss": power_loss,
+                "entries": entries,
+                "cache_entries": cache_entries,
+                "wal_records": wal_records,
+                "torn_bytes": torn_bytes,
+                "replay_ms": replay_ms,
+            },
+        )
+
     def cache_insert(self, *, node: int, query: str, msd: str) -> None:
         """A shortcut-creation attempt on a traversed node."""
         lookup, exchange = self.current if self.current is not None else (None, None)

@@ -83,6 +83,18 @@ class PerfCounters:
         "storage_failovers",
         "storage_repair_keys",
         "storage_repair_bytes",
+        # durable node state (repro.storage.durable)
+        "wal_appends",
+        "wal_bytes",
+        "wal_fsyncs",
+        "wal_snapshots",
+        "wal_recoveries",
+        "wal_records_replayed",
+        "wal_torn_tails",
+        "wal_corrupt_records",
+        # restart / power-loss chaos (repro.net.faults + repro.sim)
+        "fault_restarts",
+        "fault_power_losses",
         # real wire transport (repro.rpc)
         "rpc_requests",
         "rpc_responses",

@@ -26,6 +26,7 @@ deterministic membership (seeded node ids) and no orphaned processes.
 from __future__ import annotations
 
 import asyncio
+import os
 import threading
 import time
 from typing import TYPE_CHECKING, Optional
@@ -49,6 +50,7 @@ from repro.rpc.transport import (
     AsyncioTransport,
     daemon_endpoint_name,
 )
+from repro.storage.durable import tear_wal
 from repro.storage.store import DHTStorage
 
 if TYPE_CHECKING:
@@ -193,6 +195,35 @@ class ClusterClient:
             )
         )
 
+    def repair_node(self, node_id: int) -> bool:
+        """Ask one daemon to re-sync its data slice with its peers."""
+        response = self.transport.send(
+            Message(
+                kind=MessageKind.CONTROL,
+                source=self.engine.user,
+                destination=self._daemon_name(node_id),
+                payload=("repair",),
+            )
+        )
+        return response is not None and response.payload[0] == "repairing"
+
+    def refresh_members(self, bootstrap: Address) -> None:
+        """Re-discover membership and re-point the routes.
+
+        Needed after a daemon restarts on a new port: its node id keeps
+        its ring position (so the placement mirror is unchanged), but
+        the routes to its endpoints must follow the new address.
+        """
+        for node_id, address in self.members.items():
+            self.transport.remove_route(IndexService.endpoint_name(node_id))
+            self.transport.remove_route(daemon_endpoint_name(*address))
+        self.members = self._discover(bootstrap)
+        for node_id, address in self.members.items():
+            self.transport.add_route(
+                IndexService.endpoint_name(node_id), address
+            )
+            self.transport.add_route(daemon_endpoint_name(*address), address)
+
     def close(self) -> None:
         """Release the client's socket."""
         asyncio.run_coroutine_threadsafe(
@@ -228,7 +259,13 @@ class LocalCluster:
         host: str = "127.0.0.1",
         request_timeout_ms: float = 250.0,
         max_retries: int = 3,
+        data_root: Optional[str] = None,
+        fsync: str = "interval",
     ) -> None:
+        """``data_root`` makes the cluster durable: each daemon gets a
+        data dir under it (keyed by daemon index, stable across
+        restarts), enabling :meth:`kill_node` / :meth:`restart_node`
+        crash-recovery cycles.  ``fsync`` is each WAL's sync policy."""
         if num_nodes < 1:
             raise ValueError("a cluster needs at least one node")
         self.num_nodes = num_nodes
@@ -240,10 +277,13 @@ class LocalCluster:
         self.host = host
         self.request_timeout_ms = request_timeout_ms
         self.max_retries = max_retries
+        self.data_root = data_root
+        self.fsync = fsync
         self.daemons: list[NodeDaemon] = []
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         self._serving: list = []
+        self._dead: set[int] = set()
 
     @property
     def node_ids(self) -> list[int]:
@@ -268,19 +308,8 @@ class LocalCluster:
         )
         self._thread.start()
         bootstrap: Optional[Address] = None
-        for node_id in self.node_ids:
-            daemon = NodeDaemon(
-                self.host,
-                0,
-                substrate=self.substrate,
-                scheme=self.scheme,
-                cache=self.cache,
-                replication=self.replication,
-                bits=self.bits,
-                node_id=node_id,
-                request_timeout_ms=self.request_timeout_ms,
-                max_retries=self.max_retries,
-            )
+        for index, node_id in enumerate(self.node_ids):
+            daemon = self._build_daemon(index, node_id)
             asyncio.run_coroutine_threadsafe(
                 daemon.start(bootstrap), self._loop
             ).result()
@@ -296,6 +325,95 @@ class LocalCluster:
                 raise RuntimeError("cluster membership did not converge")
             time.sleep(0.01)
         return self
+
+    def _build_daemon(self, index: int, node_id: int) -> NodeDaemon:
+        data_dir = None
+        if self.data_root is not None:
+            # Keyed by daemon index, NOT by port: a restarted daemon
+            # must find the same directory on its new ephemeral port.
+            data_dir = os.path.join(self.data_root, f"daemon-{index}")
+        return NodeDaemon(
+            self.host,
+            0,
+            substrate=self.substrate,
+            scheme=self.scheme,
+            cache=self.cache,
+            replication=self.replication,
+            bits=self.bits,
+            node_id=node_id,
+            request_timeout_ms=self.request_timeout_ms,
+            max_retries=self.max_retries,
+            data_dir=data_dir,
+            fsync=self.fsync,
+        )
+
+    # -- restart / power-loss chaos ------------------------------------------
+
+    def kill_node(self, index: int, power_loss: bool = False) -> None:
+        """SIGKILL one daemon: no WAL flush, no goodbye to the peers.
+
+        The daemon's sockets drop and its journal is abandoned exactly
+        as the OS would leave them -- everything appended is still in
+        the (real) OS, because WAL appends are unbuffered writes.  With
+        ``power_loss``, the unsynced tail of the WAL is additionally
+        torn mid-record, simulating the machine (not just the process)
+        dying; recovery must then truncate the torn tail.
+        """
+        assert self._loop is not None
+        daemon = self.daemons[index]
+        if index in self._dead:
+            raise RuntimeError(f"daemon {index} is already dead")
+        synced = (
+            daemon.durable.wal.synced_size
+            if daemon.durable is not None
+            else 0
+        )
+        wal_path = (
+            daemon.durable.wal_path if daemon.durable is not None else None
+        )
+        self._loop.call_soon_threadsafe(daemon.kill)
+        self._serving[index].result(timeout=10.0)
+        if power_loss and wal_path is not None:
+            tear_wal(wal_path, synced)
+        self._dead.add(index)
+
+    def restart_node(self, index: int, converge_timeout_s: float = 15.0) -> NodeDaemon:
+        """Bring a killed daemon back from its data directory.
+
+        The new daemon recovers its identity, entries, cache, and
+        membership from the WAL+snapshot, rejoins through a live peer
+        (falling back to its remembered peers), re-syncs its data slice,
+        and replaces the dead daemon in the harness.  Blocks until the
+        recovered daemon is serving and the membership re-converged.
+        """
+        assert self._loop is not None
+        if index not in self._dead:
+            raise RuntimeError(f"daemon {index} is not dead; kill it first")
+        node_id = self.daemons[index].node_id
+        daemon = self._build_daemon(index, node_id)
+        bootstrap = next(
+            (
+                d.address
+                for i, d in enumerate(self.daemons)
+                if i != index and i not in self._dead
+            ),
+            None,
+        )
+        asyncio.run_coroutine_threadsafe(
+            daemon.start(bootstrap), self._loop
+        ).result(timeout=30.0)
+        self._serving[index] = asyncio.run_coroutine_threadsafe(
+            daemon.serve(), self._loop
+        )
+        self.daemons[index] = daemon
+        self._dead.discard(index)
+        live = [d for i, d in enumerate(self.daemons) if i not in self._dead]
+        deadline = time.monotonic() + converge_timeout_s
+        while any(len(d.peers) < len(live) for d in live):
+            if time.monotonic() > deadline:
+                raise RuntimeError("membership did not re-converge")
+            time.sleep(0.01)
+        return daemon
 
     def client(self, **overrides) -> ClusterClient:
         """A wire client bootstrapped off daemon 0."""
@@ -327,6 +445,7 @@ class LocalCluster:
         self._loop = None
         self._thread = None
         self._serving = []
+        self._dead = set()
 
     def __enter__(self) -> "LocalCluster":
         return self.start()

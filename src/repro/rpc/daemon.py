@@ -28,6 +28,8 @@ Each daemon exposes two endpoints:
   CONTROL (join,id,addr)    admit a node; reply members; notify peers
   CONTROL (joined,id,addr)  peer notification of an admission
   CONTROL (stats,)          index/file entry counts and peer count
+  CONTROL (pull,id)         entries held here that node ``id`` should hold
+  CONTROL (repair,)         re-sync local entries with the peers
   CONTROL (shutdown,)       replies (bye,) and stops the daemon
   ========================  =============================================
 
@@ -41,6 +43,16 @@ Membership is deliberately minimal (a full-mesh member list seeded
 through one bootstrap daemon): enough to run real multi-process
 overlays and exercise over-the-wire joins, while the churn/stabilization
 machinery stays the simulation's domain.
+
+With ``data_dir`` set, the daemon is *durable*
+(:mod:`repro.storage.durable`): every index insert, file replica,
+shortcut-cache insert, and membership change is journaled to a
+write-ahead log before it is acknowledged, and a restart recovers the
+node -- same identity, same entries, same warmed cache, same membership
+view -- by replaying snapshot + log tail.  After recovery the daemon
+rejoins via its remembered peers and re-synchronizes its slice of the
+data (``pull``/``repair``), so entries written to its keys while it was
+down arrive as well.
 """
 
 from __future__ import annotations
@@ -68,11 +80,13 @@ from repro.dht import (
     hash_key,
 )
 from repro.net.message import Message, MessageKind
+from repro.net.transport import DeliveryError, TransportError
 from repro.rpc.transport import (
     Address,
     AsyncioTransport,
     daemon_endpoint_name,
 )
+from repro.storage.durable import DurableNodeState, RecoveryReport
 from repro.storage.store import DHTStorage
 
 #: Names accepted by ``--substrate`` / :func:`build_substrate`.
@@ -146,7 +160,13 @@ class NodeDaemon:
         schema: Optional[Schema] = None,
         request_timeout_ms: float = 250.0,
         max_retries: int = 3,
+        data_dir: Optional[str] = None,
+        fsync: str = "interval",
     ) -> None:
+        """``data_dir`` switches the daemon to durable mode: node state
+        persists there (WAL + snapshot) and a restart recovers it.
+        ``fsync`` is the log's sync policy (``always`` / ``interval[:N]``
+        / ``never``; see :class:`repro.storage.durable.FsyncPolicy`)."""
         self.host = host
         self.requested_port = port
         self.substrate_name = substrate
@@ -166,6 +186,13 @@ class NodeDaemon:
         self.index_store: Optional[DHTStorage] = None
         self.file_store: Optional[DHTStorage] = None
         self.service: Optional[IndexService] = None
+        self.data_dir = data_dir
+        self.fsync = fsync
+        #: The durability journal (durable mode only; see serve()/kill()).
+        self.durable: Optional[DurableNodeState] = None
+        #: What the last start() recovered from disk (durable mode only).
+        self.recovery: Optional[RecoveryReport] = None
+        self._killed = False
         self._stopping = asyncio.Event()
 
     # -- lifecycle ----------------------------------------------------------
@@ -192,11 +219,21 @@ class NodeDaemon:
         address = await self.transport.start(self.host, self.requested_port)
         assert address is not None
         host, port = address
-        self.node_id = (
-            self._explicit_node_id
-            if self._explicit_node_id is not None
-            else hash_key(f"{host}:{port}", self.bits)
+        if self.data_dir is not None:
+            self.durable = DurableNodeState(self.data_dir, fsync=self.fsync)
+            self.recovery = self.durable.report
+        recovered_id = (
+            self.durable.state.node_id if self.durable is not None else None
         )
+        # Identity priority: explicit argument, then the recovered
+        # identity (a restarted daemon must keep its ring position even
+        # on a new ephemeral port), then the address hash.
+        if self._explicit_node_id is not None:
+            self.node_id = self._explicit_node_id
+        elif recovered_id is not None:
+            self.node_id = recovered_id
+        else:
+            self.node_id = hash_key(f"{host}:{port}", self.bits)
         self.protocol = build_substrate(
             self.substrate_name, [self.node_id], self.bits
         )
@@ -214,17 +251,107 @@ class NodeDaemon:
         )
         self.peers[self.node_id] = address
         self.transport.register(self.control_name, self._handle_control)
+        recovered_peers: list[tuple[int, Address]] = []
+        if self.durable is not None:
+            recovered_peers = self._restore_durable_state()
         if bootstrap is not None:
             await self._join(bootstrap)
+        elif recovered_peers:
+            await self._rejoin(recovered_peers)
+        if self.durable is not None and len(self.peers) > 1:
+            await self._sync_with_peers()
         return address
 
+    def _restore_durable_state(self) -> list[tuple[int, Address]]:
+        """Re-apply recovered state to the fresh in-memory node.
+
+        The recovered entries come *from* the journal, so they are
+        applied with journaling suppressed -- replaying must not re-log
+        (the seq watermark plus idempotent application is what keeps
+        repeated restarts from growing the WAL or the stores).  Returns
+        the remembered peers to try rejoining through.
+        """
+        assert self.durable is not None
+        assert self.index_store is not None and self.file_store is not None
+        assert self.service is not None
+        state = self.durable.state
+        self.durable.replaying = True
+        try:
+            self.index_store.replay_entries(
+                self.node_id, state.entries("index")
+            )
+            self.file_store.replay_entries(
+                self.node_id, state.entries("file")
+            )
+            cache = self.service.caches.get(self.node_id)
+            if cache is not None:
+                for query_key, targets in state.cache.items():
+                    for msd_key in targets:
+                        cache.insert(query_key, msd_key)
+            recovered_peers = [
+                (node_id, peer_address)
+                for node_id, peer_address in sorted(state.peers.items())
+                if node_id != self.node_id
+            ]
+        finally:
+            self.durable.replaying = False
+        # Journal this life's identity and address (no-ops when they
+        # match the recovered state).
+        self.index_store.attach_journal(self.durable, "index")
+        self.file_store.attach_journal(self.durable, "file")
+        self.service.journal = self.durable
+        self.durable.record_identity(self.node_id)
+        self.durable.record_member(self.node_id, *self.address)
+        return recovered_peers
+
+    async def _rejoin(self, recovered_peers: list[tuple[int, Address]]) -> None:
+        """Try the remembered peers until one admits us back.
+
+        A peer that moved or is still down is skipped; if every one is
+        unreachable the daemon seeds alone (exactly what a real node can
+        do after a full-cluster outage) and peers re-merge via their own
+        rejoins.
+        """
+        for _, peer_address in recovered_peers:
+            if peer_address == self.address:
+                continue
+            try:
+                await self._join(peer_address)
+                return
+            except (DeliveryError, TransportError, OSError, AssertionError):
+                continue
+
     async def serve(self) -> None:
-        """Block until the daemon is asked to stop, then shut down."""
+        """Block until the daemon is asked to stop, then shut down.
+
+        A graceful stop (SIGTERM, the ``shutdown`` verb, :meth:`stop`)
+        flushes and fsyncs the write-ahead log *before* the sockets come
+        down and before the caller's post-``serve()`` code (the CLI's
+        final ``SHUTDOWN`` line) runs -- an acknowledged entry is on
+        disk by the time the daemon reports itself gone.  A :meth:`kill`
+        skips the flush: that is the SIGKILL path.
+        """
         await self._stopping.wait()
+        if self.durable is not None:
+            if self._killed:
+                self.durable.abandon()
+            else:
+                self.durable.close()
         await self.transport.close()
 
     def stop(self) -> None:
         """Request a graceful shutdown (idempotent, loop-thread safe)."""
+        self._stopping.set()
+
+    def kill(self) -> None:
+        """Stop WITHOUT flushing the journal -- in-process SIGKILL.
+
+        The cluster harness uses this to model a daemon that dies
+        mid-write: the WAL keeps exactly what the OS already had
+        (unbuffered appends), nothing more.  Real-SIGKILL coverage of
+        the subprocess daemon lives in the CLI tests.
+        """
+        self._killed = True
         self._stopping.set()
 
     async def _join(self, bootstrap: Address) -> None:
@@ -247,14 +374,27 @@ class NodeDaemon:
     # -- membership ---------------------------------------------------------
 
     def _apply_member(self, node_id: int, address: Address) -> None:
-        """Admit one member into the local overlay view (idempotent)."""
-        if node_id == self.node_id or node_id in self.peers:
+        """Admit or re-address one member in the local view (idempotent).
+
+        A known node id announcing a *new* address is a restarted peer
+        that came back on a different port: its routes are re-pointed
+        (the ring position is unchanged, so no storage moves).
+        """
+        if node_id == self.node_id:
             return
         assert self.protocol is not None and self.service is not None
+        known = self.peers.get(node_id)
+        if known == address:
+            return
         self.peers[node_id] = address
-        self.protocol.add_node(node_id)
+        if known is None:
+            self.protocol.add_node(node_id)
+        else:
+            self.transport.remove_route(daemon_endpoint_name(*known))
         self.transport.add_route(IndexService.endpoint_name(node_id), address)
         self.transport.add_route(daemon_endpoint_name(*address), address)
+        if self.durable is not None:
+            self.durable.record_member(node_id, *address)
         # register_nodes is restricted to local_nodes, so this only
         # refreshes bookkeeping -- remote node names stay routed.
         self.service.register_nodes()
@@ -284,6 +424,97 @@ class NodeDaemon:
             self.transport.send_async(
                 notice, lambda response: None, lambda error: None
             )
+
+    # -- re-replication -----------------------------------------------------
+
+    #: Upper bound on entries one ``pull`` response carries; a node with
+    #: more outstanding entries syncs the rest on the next repair pass.
+    PULL_LIMIT = 30_000
+
+    def _pull_payload(self, requester: int) -> tuple[str, ...]:
+        """Entries held here that ``requester`` is responsible for.
+
+        Flat ``(store, key, value)`` triples after the ``entries`` tag,
+        with ``store`` "i" (index) or "f" (file) -- what a restarted
+        peer needs to repair the writes it missed while down.
+        """
+        assert self.index_store is not None and self.file_store is not None
+        items: list[str] = []
+        for code, store in (("i", self.index_store), ("f", self.file_store)):
+            for key, values in store.items_at(self.node_id):
+                if requester not in store.responsible_nodes(key):
+                    continue
+                for value in values:
+                    items.extend((code, key, value))
+                    if len(items) >= 3 * self.PULL_LIMIT:
+                        return ("entries",) + tuple(items)
+        return ("entries",) + tuple(items)
+
+    async def _sync_with_peers(self) -> tuple[int, int]:
+        """Repair this node's slice of the data against the peers.
+
+        Two directions: **pull** asks every peer for entries this node
+        is responsible for but may have missed (writes acknowledged by
+        the other replicas while this daemon was down), and **push**
+        re-offers locally held entries to the other responsible replicas
+        (repairing peers that lost *their* copies).  Both directions are
+        idempotent (``put_local`` deduplicates), so repeated repair
+        passes converge.  Returns ``(entries_pulled, entries_pushed)``.
+        """
+        assert self.index_store is not None and self.file_store is not None
+        stores = {"i": self.index_store, "f": self.file_store}
+        pulled = pushed = 0
+        for peer_id, peer_address in sorted(self.peers.items()):
+            if peer_id == self.node_id:
+                continue
+            request = Message(
+                kind=MessageKind.CONTROL,
+                source=self.control_name,
+                destination=daemon_endpoint_name(*peer_address),
+                payload=("pull", f"{self.node_id:x}"),
+            )
+            try:
+                response = await self.transport.request(request)
+            except (DeliveryError, TransportError, OSError):
+                continue
+            if response is None or response.payload[:1] != ("entries",):
+                continue
+            flat = response.payload[1:]
+            for index in range(0, len(flat) - 2, 3):
+                code, key, value = flat[index:index + 3]
+                store = stores.get(code)
+                if store is None:
+                    continue
+                if value not in store.values_at(self.node_id, key):
+                    store.put_local(self.node_id, key, value)
+                    pulled += 1
+        for code, store in stores.items():
+            kind = (
+                MessageKind.INDEX_INSERT if code == "i" else MessageKind.CONTROL
+            )
+            for key, values in store.items_at(self.node_id):
+                for replica in store.responsible_nodes(key):
+                    if replica == self.node_id or replica not in self.peers:
+                        continue
+                    name = daemon_endpoint_name(*self.peers[replica])
+                    for value in values:
+                        payload = (
+                            (key, value)
+                            if code == "i"
+                            else ("store_file", key, value)
+                        )
+                        offer = Message(
+                            kind=kind,
+                            source=self.control_name,
+                            destination=name,
+                            payload=payload,
+                        )
+                        try:
+                            await self.transport.request(offer)
+                            pushed += 1
+                        except (DeliveryError, TransportError, OSError):
+                            break
+        return pulled, pushed
 
     # -- control endpoint ---------------------------------------------------
 
@@ -327,6 +558,16 @@ class NodeDaemon:
                     str(len(self.peers)),
                 ),
             )
+        if verb == "pull":
+            return message.reply(
+                MessageKind.CONTROL, self._pull_payload(int(rest[0], 16))
+            )
+        if verb == "repair":
+            # The sync needs the loop (it awaits peer exchanges), so it
+            # runs as a task; callers poll `stats` or just look up --
+            # both converge once the task lands.
+            asyncio.get_running_loop().create_task(self._sync_with_peers())
+            return message.reply(MessageKind.CONTROL, ("repairing",))
         if verb == "shutdown":
             loop = asyncio.get_running_loop()
             loop.call_soon(self.stop)

@@ -150,15 +150,25 @@ class AsyncioTransport:
         max_retries: int = 3,
         backoff_cap_ms: float = 2000.0,
         udp_max_bytes: int = 1400,
+        dedupe_cap: int = 1024,
+        dedupe_ttl_s: float = 60.0,
     ) -> None:
         """``request_timeout_ms`` is the first attempt's deadline; each
         retry doubles it up to ``backoff_cap_ms`` (capped exponential
         backoff).  Frames larger than ``udp_max_bytes`` travel over TCP.
+        ``dedupe_cap`` / ``dedupe_ttl_s`` bound the server-side reply
+        cache that absorbs UDP retransmissions: at most ``dedupe_cap``
+        entries, each discarded ``dedupe_ttl_s`` seconds after it was
+        last replayed (a retransmission can only arrive within the
+        sender's retry window, so a long-lived daemon need not remember
+        replies forever).
         """
         if request_timeout_ms <= 0 or backoff_cap_ms <= 0:
             raise ValueError("timeouts must be positive milliseconds")
         if max_retries < 0:
             raise ValueError("max_retries cannot be negative")
+        if dedupe_cap < 1 or dedupe_ttl_s <= 0:
+            raise ValueError("dedupe cache bounds must be positive")
         self.meter = meter if meter is not None else TrafficMeter()
         self.clock = clock if clock is not None else WallClock()
         self.request_timeout_ms = request_timeout_ms
@@ -175,11 +185,16 @@ class AsyncioTransport:
         self._tcp_server: Optional[asyncio.base_events.Server] = None
         self._pending: dict[int, asyncio.Future] = {}
         self._next_request_id = 1
-        #: (peer address, request id) -> cached reply frame, so a UDP
-        #: retransmission of an already-served request re-sends the same
-        #: reply instead of re-running the handler.
-        self._served: OrderedDict[tuple[Address, int], bytes] = OrderedDict()
-        self._served_cap = 1024
+        #: (peer address, request id) -> (expiry deadline ms, reply
+        #: frame), so a UDP retransmission of an already-served request
+        #: re-sends the same reply instead of re-running the handler.
+        #: LRU-ordered (recently replayed entries migrate to the tail)
+        #: and bounded by both capacity and TTL.
+        self._served: OrderedDict[
+            tuple[Address, int], tuple[float, bytes]
+        ] = OrderedDict()
+        self._served_cap = dedupe_cap
+        self._served_ttl_ms = dedupe_ttl_s * 1000.0
         self.listen_address: Optional[Address] = None
 
     # -- lifecycle ----------------------------------------------------------
@@ -503,7 +518,7 @@ class AsyncioTransport:
     ) -> bytes:
         """Handle one incoming REQUEST; returns the reply frame."""
         cache_key = (addr, request_id)
-        cached = self._served.get(cache_key)
+        cached = self._cached_reply(cache_key)
         if cached is not None:
             return cached
         try:
@@ -540,8 +555,33 @@ class AsyncioTransport:
         self._remember_reply(cache_key, reply)
         return reply
 
+    def _cached_reply(self, key: tuple[Address, int]) -> Optional[bytes]:
+        """The remembered reply for a retransmission, if still fresh."""
+        entry = self._served.get(key)
+        if entry is None:
+            return None
+        deadline, reply = entry
+        now = self.clock.now
+        if now >= deadline:
+            del self._served[key]
+            return None
+        # Replaying refreshes both recency (LRU order) and the TTL: the
+        # peer is evidently still retrying this request.
+        self._served[key] = (now + self._served_ttl_ms, reply)
+        self._served.move_to_end(key)
+        return reply
+
     def _remember_reply(self, key: tuple[Address, int], reply: bytes) -> None:
-        self._served[key] = reply
+        now = self.clock.now
+        # Expired entries drain from the LRU head as new replies arrive,
+        # so an idle-then-busy daemon does not hold stale replies for
+        # the whole capacity's worth of new traffic.
+        while self._served:
+            head_key = next(iter(self._served))
+            if self._served[head_key][0] > now:
+                break
+            del self._served[head_key]
+        self._served[key] = (now + self._served_ttl_ms, reply)
         while len(self._served) > self._served_cap:
             self._served.popitem(last=False)
 

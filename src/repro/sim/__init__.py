@@ -28,6 +28,8 @@ from repro.sim.presets import (
     CHURN_SMOKE_CONFIG,
     CONCURRENT_CONFIG,
     PAPER_CONFIG,
+    RESTART_CHAOS_CONFIG,
+    RESTART_CHAOS_SMOKE_CONFIG,
     SCHEMES,
     SMOKE_CONFIG,
     paper_grid,
@@ -48,6 +50,8 @@ __all__ = [
     "CHURN_SMOKE_CONFIG",
     "CONCURRENT_CONFIG",
     "PAPER_CONFIG",
+    "RESTART_CHAOS_CONFIG",
+    "RESTART_CHAOS_SMOKE_CONFIG",
     "SCHEMES",
     "SMOKE_CONFIG",
     "paper_grid",

@@ -16,7 +16,11 @@ the availability table (success rate, retries, failovers, repair cost).
 ``--concurrency`` / ``--latency-model`` switch the run onto the
 virtual-time event kernel (overlapping lookups, real latency
 accounting) and add p50/p95/p99 response times to the report; the
-``concurrent`` preset combines that with the churn cell.
+``concurrent`` preset combines that with the churn cell.  ``--preset
+restart-chaos`` runs the durability matrix -- WAL-journaled nodes under
+rolling process kills and power losses -- and the availability table
+then gains recovered-entry counts, replay time, and the post-restart
+lookup success rate (compare against ``--durability none``).
 """
 
 from __future__ import annotations
@@ -31,6 +35,8 @@ from repro.sim.presets import (
     CHURN_CONFIG,
     CONCURRENT_CONFIG,
     PAPER_CONFIG,
+    RESTART_CHAOS_CONFIG,
+    RESTART_CHAOS_SMOKE_CONFIG,
     SMOKE_CONFIG,
     WEB_SCALE_CONFIG,
     WEB_SCALE_SMOKE_CONFIG,
@@ -43,6 +49,8 @@ _PRESETS = {
     "concurrent": CONCURRENT_CONFIG,
     "web-scale": WEB_SCALE_CONFIG,
     "web-scale-smoke": WEB_SCALE_SMOKE_CONFIG,
+    "restart-chaos": RESTART_CHAOS_CONFIG,
+    "restart-chaos-smoke": RESTART_CHAOS_SMOKE_CONFIG,
 }
 
 
@@ -185,6 +193,43 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="seed of the single RNG driving churn, crashes, and faults",
     )
+    durability = parser.add_argument_group("durability / restart chaos")
+    durability.add_argument(
+        "--restart-events",
+        type=int,
+        default=None,
+        help="process kills (SIGKILL semantics) over the feed",
+    )
+    durability.add_argument(
+        "--restart-downtime",
+        type=int,
+        default=None,
+        help="restart outage window length, in queries",
+    )
+    durability.add_argument(
+        "--power-loss-events",
+        type=int,
+        default=None,
+        help="additional kills that also tear the un-fsynced WAL tail",
+    )
+    durability.add_argument(
+        "--durability",
+        choices=("none", "wal"),
+        default=None,
+        help="node-state persistence: in-memory only, or WAL + snapshot",
+    )
+    durability.add_argument(
+        "--fsync",
+        default=None,
+        metavar="POLICY",
+        help="WAL sync policy: always | interval[:N] | never",
+    )
+    durability.add_argument(
+        "--data-dir",
+        default=None,
+        metavar="PATH",
+        help="root for the per-node journals (default: temporary dir)",
+    )
     observability = parser.add_argument_group("observability")
     observability.add_argument(
         "--trace-out",
@@ -231,6 +276,12 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         "crash_events": args.crash_events,
         "crash_downtime_queries": args.crash_downtime,
         "churn_seed": args.churn_seed,
+        "restart_events": args.restart_events,
+        "restart_downtime_queries": args.restart_downtime,
+        "power_loss_events": args.power_loss_events,
+        "durability": args.durability,
+        "fsync": args.fsync,
+        "data_dir": args.data_dir,
         "trace": True if args.trace_out else None,
     }
     set_overrides = {key: value for key, value in overrides.items()

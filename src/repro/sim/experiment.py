@@ -22,6 +22,8 @@ The run has two modes sharing one workload and one chaos schedule:
 from __future__ import annotations
 
 import random
+import shutil
+import tempfile
 import time
 import warnings
 from dataclasses import dataclass, replace
@@ -47,6 +49,7 @@ from repro.net.transport import SimulatedTransport
 from repro.obs.tracer import Tracer
 from repro.sim.kernel import EventKernel
 from repro.sim.metrics import ExperimentResult
+from repro.storage.durable import FsyncPolicy, NodeWalSet
 from repro.storage.store import DHTStorage
 from repro.workload.corpus import CorpusConfig, SyntheticCorpus
 from repro.workload.popularity import PowerLawPopularity
@@ -134,6 +137,29 @@ class ExperimentConfig:
     #: queries, then it recovers with its stored state intact.
     crash_events: int = 0
     crash_downtime_queries: int = 200
+    #: Restart chaos: events spread uniformly over the feed; each kills
+    #: one random live node outright -- SIGKILL semantics, so unlike a
+    #: crash its in-memory state (stored entries *and* cache) dies with
+    #: the process -- for ``restart_downtime_queries`` queries, then
+    #: restarts it.  With ``durability="wal"`` the node recovers by
+    #: replaying its journal; with ``"none"`` it comes back empty and
+    #: only replica repair can restore what it held.
+    restart_events: int = 0
+    restart_downtime_queries: int = 200
+    #: Additional restart events that model a power loss: the victim's
+    #: un-fsynced WAL tail is destroyed at kill time, so recovery also
+    #: exercises torn-tail truncation.
+    power_loss_events: int = 0
+    #: Node-state durability: "none" (the seed's in-memory nodes) or
+    #: "wal" (every node journals acknowledged entries, cache shortcuts,
+    #: and removals to a per-node WAL + snapshot under ``data_dir`` --
+    #: see :mod:`repro.storage.durable`).
+    durability: str = "none"
+    #: WAL sync policy for durable runs: always | interval[:N] | never.
+    fsync: str = "interval"
+    #: Root directory for the per-node journals (durability="wal").
+    #: None uses a fresh temporary directory, removed when the run ends.
+    data_dir: Optional[str] = None
     #: Structured per-lookup tracing (see :mod:`repro.obs`).  Off by
     #: default -- an untraced run constructs no tracer and pays zero
     #: overhead; a traced run records every lookup span but changes no
@@ -170,6 +196,13 @@ class ExperimentConfig:
             raise ValueError(f"unknown churn mode {self.churn_mode!r}")
         if self.crash_events < 0 or self.crash_downtime_queries < 1:
             raise ValueError("crash schedule must be non-negative")
+        if self.restart_events < 0 or self.power_loss_events < 0:
+            raise ValueError("restart schedule must be non-negative")
+        if self.restart_downtime_queries < 1:
+            raise ValueError("restart downtime must be >= 1 query")
+        if self.durability not in ("none", "wal"):
+            raise ValueError(f"unknown durability {self.durability!r}")
+        FsyncPolicy.parse(self.fsync)  # validates
         if self.scheduler not in ("auto", "heap", "wheel"):
             raise ValueError(f"unknown scheduler {self.scheduler!r}")
         if self.metrics not in ("auto", "exact", "sketch"):
@@ -208,6 +241,8 @@ class ExperimentConfig:
         return bool(
             self.churn_events
             or self.crash_events
+            or self.restart_events
+            or self.power_loss_events
             or not self.fault_plan().is_zero
         )
 
@@ -312,6 +347,22 @@ class Experiment:
             cache_policy=policy,
             cache_capacity=capacity,
         )
+        #: The per-node durability journal (``durability="wal"``), else
+        #: None.  Attaching it journals every acknowledged store/cache
+        #: mutation -- population included -- so a killed node's state
+        #: can be replayed at restart.
+        self.walset: Optional[NodeWalSet] = None
+        self._data_dir: Optional[str] = None
+        self._owns_data_dir = False
+        if config.durability == "wal":
+            self._data_dir = config.data_dir
+            if self._data_dir is None:
+                self._data_dir = tempfile.mkdtemp(prefix="repro-wal-")
+                self._owns_data_dir = True
+            self.walset = NodeWalSet(self._data_dir, fsync=config.fsync)
+            self.index_store.attach_journal(self.walset, "index")
+            self.file_store.attach_journal(self.walset, "file")
+            self.service.journal = self.walset
         self.engine = LookupEngine(self.service, user="user:0", tracer=self.tracer)
         self._populated = False
         self._dht_hops_total = 0
@@ -323,6 +374,22 @@ class Experiment:
         #: Nodes currently in a crash window, mapped to their scheduled
         #: recovery query position.
         self._crashed_until: dict[int, int] = {}
+        #: Nodes currently in a restart window, mapped to their
+        #: scheduled recovery position and the power-loss flag.
+        self._restarting_until: dict[int, tuple[int, bool]] = {}
+        #: Restart schedule: query position -> power-loss flag (filled
+        #: by :meth:`_chaos_schedule`).
+        self._restart_positions: dict[int, bool] = {}
+        self._restarts = 0
+        self._power_losses = 0
+        self._recovered_entries = 0
+        self._recovered_cache_entries = 0
+        self._wal_records_replayed = 0
+        self._wal_torn_bytes = 0
+        self._recovery_replay_ms = 0.0
+        self._post_restart_searches = 0
+        self._post_restart_found = 0
+        self._any_recovery = False
         #: Optional observer called with every SearchTrace as the feed
         #: runs (determinism and zero-fault-identity tests use this).
         self.trace_sink: Optional[Callable[[SearchTrace], None]] = None
@@ -367,7 +434,29 @@ class Experiment:
     # -- run ----------------------------------------------------------------------
 
     def run(self) -> ExperimentResult:
-        """Populate, feed the query workload, and collect every metric."""
+        """Populate, feed the query workload, and collect every metric.
+
+        Durable runs flush and close the per-node journals on the way
+        out (and remove the temporary data directory when the run owns
+        it); pass an explicit ``data_dir`` to inspect the files after.
+        """
+        try:
+            return self._run()
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Release durability resources: journal handles, owned tmpdir.
+
+        Idempotent, and safe to skip for non-durable runs.  The journal
+        reopens lazily if the experiment object keeps being used.
+        """
+        if self.walset is not None:
+            self.walset.close()
+        if self._owns_data_dir and self._data_dir is not None:
+            shutil.rmtree(self._data_dir, ignore_errors=True)
+
+    def _run(self) -> ExperimentResult:
         started = time.monotonic()
         perf_before = perf.snapshot()
         self.populate()
@@ -413,6 +502,19 @@ class Experiment:
             setattr(result, counter, result.perf_counters.get(counter, 0))
         result.repair_keys = self.repair_keys
         result.repair_bytes = self.repair_bytes
+        result.restarts = self._restarts
+        result.power_losses = self._power_losses
+        result.recovered_entries = self._recovered_entries
+        result.recovered_cache_entries = self._recovered_cache_entries
+        result.wal_records_replayed = self._wal_records_replayed
+        result.wal_torn_bytes = self._wal_torn_bytes
+        result.recovery_replay_ms = self._recovery_replay_ms
+        result.post_restart_searches = self._post_restart_searches
+        result.post_restart_found = self._post_restart_found
+        if self._post_restart_searches:
+            result.post_restart_success_rate = (
+                self._post_restart_found / self._post_restart_searches
+            )
         result.runtime_seconds = time.monotonic() - started
         return result
 
@@ -570,6 +672,8 @@ class Experiment:
             self._churn_event()
         if position in crash_positions:
             self._crash_event(position)
+        if position in self._restart_positions:
+            self._restart_event(position, self._restart_positions[position])
 
     def _record_trace(self, result: ExperimentResult, trace: SearchTrace) -> None:
         """Fold one completed lookup into the running result."""
@@ -577,6 +681,12 @@ class Experiment:
             self.trace_sink(trace)
         result.searches += 1
         result.found += int(trace.found)
+        if self._any_recovery:
+            # Every lookup completing after the first restart recovery
+            # counts toward the post-restart success rate -- whether
+            # recovered state actually serves.
+            self._post_restart_searches += 1
+            self._post_restart_found += int(trace.found)
         result.total_interactions += trace.interactions
         result.total_retries += trace.retries
         result.total_failed_sends += trace.failed_sends
@@ -620,6 +730,21 @@ class Experiment:
             stride = max(1, config.num_queries // (config.crash_events + 1))
             crash_positions = {
                 stride * (event + 1) for event in range(config.crash_events)
+            }
+        self._restart_positions = {}
+        total_restarts = config.restart_events + config.power_loss_events
+        if total_restarts:
+            # Which of the scheduled kills are power losses is drawn
+            # from the shared chaos RNG (after the churn draws, so
+            # restart-free cells see an unchanged stream).
+            flags = [False] * config.restart_events + (
+                [True] * config.power_loss_events
+            )
+            self._chaos_rng.shuffle(flags)
+            stride = max(1, config.num_queries // (total_restarts + 1))
+            self._restart_positions = {
+                stride * (event + 1): flags[event]
+                for event in range(total_restarts)
             }
         return churn_positions, crash_positions
 
@@ -673,6 +798,9 @@ class Experiment:
         self.protocol.remove_node(victim)
         self.service.unregister_node(victim)
         self._crashed_until.pop(victim, None)
+        # A churned-away node departs for good: cancel any pending
+        # restart recovery (drop_node below also deletes its journal).
+        self._restarting_until.pop(victim, None)
         self.index_store.drop_node(victim)
         self.file_store.drop_node(victim)
         while True:
@@ -699,6 +827,7 @@ class Experiment:
             node
             for node in self.protocol.node_ids
             if node not in self._crashed_until
+            and node not in self._restarting_until
         ]
         if not candidates:
             return
@@ -706,6 +835,114 @@ class Experiment:
         self.protocol.fail_node(victim)
         self.transport.fail_node(self.service.endpoint_name(victim))
         self._crashed_until[victim] = position + self.config.crash_downtime_queries
+
+    def _restart_event(self, position: int, power_loss: bool) -> None:
+        """Kill one random live node outright (SIGKILL semantics).
+
+        Like a crash, the victim stays in the overlay and registered but
+        refuses delivery -- the difference is that its in-memory state
+        dies with the process.  A durable run loses nothing acknowledged
+        (the journal outlives the process; under ``power_loss`` the
+        un-fsynced log tail is torn too); a ``durability="none"`` run
+        brings the node back empty, the baseline the matrix compares
+        against.
+        """
+        candidates = [
+            node
+            for node in self.protocol.node_ids
+            if node not in self._crashed_until
+            and node not in self._restarting_until
+        ]
+        if not candidates:
+            return
+        victim = candidates[self._chaos_rng.randrange(len(candidates))]
+        self.protocol.fail_node(victim)
+        self.transport.fail_node(self.service.endpoint_name(victim))
+        perf.counters.fault_restarts += 1
+        self._restarts += 1
+        if power_loss:
+            perf.counters.fault_power_losses += 1
+            self._power_losses += 1
+        if self.walset is not None:
+            if power_loss:
+                self._wal_torn_bytes += self.walset.power_loss(victim)
+            else:
+                self.walset.kill(victim)
+        self._restarting_until[victim] = (
+            position + self.config.restart_downtime_queries,
+            power_loss,
+        )
+
+    def _recover_restarted(self, node: int, power_loss: bool) -> None:
+        """Restart a killed node: wipe RAM, replay the journal, repair.
+
+        The store's in-memory copies are forgotten *without* journaling
+        (the WAL is the state that survived the process), the cache
+        starts cold, and -- when durable -- the node replays snapshot +
+        log tail before delivery resumes.  The closing repair pass then
+        restores whatever was acknowledged on other replicas while the
+        node was down, exactly the rejoin path a real daemon runs.
+        """
+        self.index_store.forget_node(node)
+        self.file_store.forget_node(node)
+        cache = self.service.caches.get(node)
+        if cache is not None:
+            cache.clear()
+        if self.walset is not None:
+            started = time.perf_counter()
+            durable = self.walset.recover(node)
+            state = durable.state
+            recovered = 0
+            recovered_cache = 0
+            durable.replaying = True
+            try:
+                recovered += self.index_store.replay_entries(
+                    node, state.entries("index")
+                )
+                recovered += self.file_store.replay_entries(
+                    node, state.entries("file")
+                )
+                if cache is not None:
+                    for query_key, msd_keys in sorted(state.cache.items()):
+                        for msd_key in msd_keys:
+                            recovered_cache += int(
+                                cache.insert(query_key, msd_key)
+                            )
+            finally:
+                durable.replaying = False
+            replay_ms = (time.perf_counter() - started) * 1000.0
+            self._recovered_entries += recovered
+            self._recovered_cache_entries += recovered_cache
+            self._wal_records_replayed += durable.report.wal_records
+            self._recovery_replay_ms += replay_ms
+            if self.tracer is not None:
+                self.tracer.node_recovery(
+                    node=node,
+                    power_loss=power_loss,
+                    entries=recovered,
+                    cache_entries=recovered_cache,
+                    wal_records=durable.report.wal_records,
+                    torn_bytes=durable.report.truncated_bytes,
+                    replay_ms=replay_ms,
+                )
+        elif self.tracer is not None:
+            self.tracer.node_recovery(
+                node=node,
+                power_loss=power_loss,
+                entries=0,
+                cache_entries=0,
+                wal_records=0,
+                torn_bytes=0,
+                replay_ms=0.0,
+            )
+        if node in self.protocol:
+            self.protocol.recover_node(node)
+        self.transport.recover_node(self.service.endpoint_name(node))
+        for store in (self.index_store, self.file_store):
+            report = store.repair()
+            self.repair_keys += report.keys_repaired
+            self.repair_bytes += report.bytes_copied
+        self._any_recovery = True
 
     def _process_recoveries(self, position: int) -> None:
         """Bring back crashed nodes whose downtime has elapsed; their
@@ -721,6 +958,14 @@ class Experiment:
             if node in self.protocol:
                 self.protocol.recover_node(node)
             self.transport.recover_node(self.service.endpoint_name(node))
+        due_restarts = [
+            node
+            for node, (recover_at, _) in self._restarting_until.items()
+            if recover_at <= position
+        ]
+        for node in due_restarts:
+            _, power_loss = self._restarting_until.pop(node)
+            self._recover_restarted(node, power_loss)
 
     def _average_dht_hops(self) -> float:
         """Mean substrate hops to resolve an index key, sampled post-hoc.

@@ -104,6 +104,19 @@ class ExperimentResult:
     repair_keys: int = 0               # keys re-replicated by churn repair
     repair_bytes: int = 0              # repair traffic (bytes copied)
 
+    # Restart / power-loss chaos (durability runs).  All zero unless the
+    # config schedules restart_events / power_loss_events.
+    restarts: int = 0                  # process kills (incl. power losses)
+    power_losses: int = 0              # kills that also tore the WAL tail
+    recovered_entries: int = 0         # index+file entries replayed back
+    recovered_cache_entries: int = 0   # cache shortcuts replayed back
+    wal_records_replayed: int = 0      # WAL records applied at recovery
+    wal_torn_bytes: int = 0            # bytes destroyed by power losses
+    recovery_replay_ms: float = 0.0    # wall time spent replaying (total)
+    post_restart_searches: int = 0     # lookups issued after 1st recovery
+    post_restart_found: int = 0
+    post_restart_success_rate: float = 0.0
+
     runtime_seconds: float = 0.0
 
     # Hot-path perf counters accumulated during this run (the increments
@@ -188,6 +201,25 @@ class ExperimentResult:
             ["injected latency", f"{self.fault_latency_ms:,.0f} ms"],
             ["keys re-replicated by repair", self.repair_keys],
             ["repair traffic", f"{self.repair_bytes:,} B"],
+        ] + self.restart_rows()
+
+    def restart_rows(self) -> list[list[object]]:
+        """Restart-chaos rows; empty unless restarts happened, so the
+        pre-durability availability reports are byte-identical."""
+        if not self.restarts:
+            return []
+        return [
+            ["restarts (of which power losses)",
+             f"{self.restarts} ({self.power_losses})"],
+            ["entries recovered from WAL+snapshot",
+             f"{self.recovered_entries} "
+             f"(+{self.recovered_cache_entries} cached shortcuts)"],
+            ["WAL records replayed", self.wal_records_replayed],
+            ["WAL bytes torn by power loss", self.wal_torn_bytes],
+            ["recovery replay time", f"{self.recovery_replay_ms:.1f} ms"],
+            ["post-restart lookup success",
+             f"{100 * self.post_restart_success_rate:.2f}% "
+             f"({self.post_restart_found}/{self.post_restart_searches})"],
         ]
 
     def validate(self) -> None:

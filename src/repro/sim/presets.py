@@ -109,6 +109,41 @@ WEB_SCALE_SMOKE_CONFIG = ExperimentConfig(
     metrics="sketch",
 )
 
+#: The restart/power-loss chaos experiment (the durability matrix):
+#: durable (WAL + snapshot) nodes under a lossy network and a rolling
+#: schedule of 6 process kills plus 2 power losses, each node down for
+#: 300 queries before it restarts, replays its journal, and rejoins via
+#: repair.  Replication 3 carries the load during the outage windows;
+#: the acceptance bar is >= 99% post-restart lookup success (a
+#: ``durability="none"`` copy of this cell is the lost-state baseline).
+RESTART_CHAOS_CONFIG = ExperimentConfig(
+    cache="single",
+    replication=3,
+    num_nodes=100,
+    num_articles=2_000,
+    num_queries=10_000,
+    num_authors=800,
+    fault_drop_probability=0.01,
+    restart_events=6,
+    restart_downtime_queries=300,
+    power_loss_events=2,
+    durability="wal",
+    fsync="interval:32",
+)
+
+#: A proportionally reduced restart-chaos cell for fast tests: same
+#: machinery (durable journals, one power loss) in a few seconds.
+RESTART_CHAOS_SMOKE_CONFIG = replace(
+    RESTART_CHAOS_CONFIG,
+    num_nodes=30,
+    num_articles=300,
+    num_queries=1_500,
+    num_authors=120,
+    restart_events=2,
+    restart_downtime_queries=150,
+    power_loss_events=1,
+)
+
 #: A proportionally reduced chaos cell for fast tests.
 CHURN_SMOKE_CONFIG = replace(
     CHURN_CONFIG,

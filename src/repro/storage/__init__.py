@@ -8,6 +8,16 @@ mappings under one index key, and the storage layer must return all of
 them on a lookup.
 """
 
+from repro.storage.durable import (
+    DurableNodeState,
+    FsyncPolicy,
+    NodeWalSet,
+    RecoveryReport,
+    SnapshotState,
+    WalError,
+    WriteAheadLog,
+    replay_wal,
+)
 from repro.storage.store import (
     DHTStorage,
     GetResult,
@@ -15,4 +25,17 @@ from repro.storage.store import (
     StorageError,
 )
 
-__all__ = ["DHTStorage", "GetResult", "PutResult", "StorageError"]
+__all__ = [
+    "DHTStorage",
+    "DurableNodeState",
+    "FsyncPolicy",
+    "GetResult",
+    "NodeWalSet",
+    "PutResult",
+    "RecoveryReport",
+    "SnapshotState",
+    "StorageError",
+    "WalError",
+    "WriteAheadLog",
+    "replay_wal",
+]

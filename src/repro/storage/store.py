@@ -33,6 +33,9 @@ from repro.perf import counters
 
 if TYPE_CHECKING:
     from repro.obs.tracer import Tracer
+    from repro.storage.durable import DurableNodeState, NodeWalSet
+
+    StorageJournal = DurableNodeState | NodeWalSet
 
 
 class StorageError(KeyError):
@@ -105,6 +108,12 @@ class DHTStorage:
         self._hash = hash_function or (lambda text: hash_key(text, protocol.bits))
         # Optional observability hook (see repro.obs): None = untraced.
         self.tracer: Optional["Tracer"] = None
+        # Optional durability hook (see repro.storage.durable): every
+        # replica placement, deletion, and repair copy is journaled to a
+        # write-ahead log before this layer acknowledges it.  None =
+        # fully in-memory (the default; zero overhead).
+        self._journal: Optional["StorageJournal"] = None
+        self._journal_store = "index"
         # Node-local stores: what each peer physically holds.
         self._node_stores: dict[NodeId, dict[str, list[str]]] = {}
         # Authoritative catalog used for rebalancing after churn.
@@ -115,6 +124,23 @@ class DHTStorage:
         self._ring_version = -1
         self._ring: list[NodeId] = []
         self._ring_index: dict[NodeId, int] = {}
+
+    def attach_journal(
+        self, journal: "StorageJournal", store_label: str = "index"
+    ) -> None:
+        """Journal every mutation to ``journal`` under ``store_label``.
+
+        ``store_label`` ("index" or "file") distinguishes this storage
+        instance's records inside a shared write-ahead log.  The journal
+        is written *before* an operation is acknowledged, so an entry
+        that a caller saw succeed survives a crash.
+        """
+        from repro.storage.durable import STORE_CODES
+
+        if store_label not in STORE_CODES:
+            raise ValueError(f"unknown store label: {store_label!r}")
+        self._journal = journal
+        self._journal_store = store_label
 
     # -- placement -----------------------------------------------------------
 
@@ -159,6 +185,10 @@ class DHTStorage:
             bucket = self._node_stores.setdefault(node, {}).setdefault(key, [])
             if allow_duplicate or value not in bucket:
                 bucket.append(value)
+                if self._journal is not None:
+                    self._journal.record_put(
+                        node, self._journal_store, key, value
+                    )
         catalog_bucket = self._catalog.setdefault(key, [])
         if allow_duplicate or value not in catalog_bucket:
             catalog_bucket.append(value)
@@ -181,6 +211,8 @@ class DHTStorage:
         bucket = self._node_stores.setdefault(node, {}).setdefault(key, [])
         if allow_duplicate or value not in bucket:
             bucket.append(value)
+            if self._journal is not None:
+                self._journal.record_put(node, self._journal_store, key, value)
         catalog_bucket = self._catalog.setdefault(key, [])
         if allow_duplicate or value not in catalog_bucket:
             catalog_bucket.append(value)
@@ -231,20 +263,25 @@ class DHTStorage:
         self._catalog[key].remove(value)
         if not self._catalog[key]:
             del self._catalog[key]
-        for store in self._node_stores.values():
+        for node, store in self._node_stores.items():
             bucket = store.get(key)
             if bucket and value in bucket:
                 bucket.remove(value)
                 if not bucket:
                     del store[key]
+                if self._journal is not None:
+                    self._journal.record_remove_value(
+                        node, self._journal_store, key, value
+                    )
 
     def remove_key(self, key: str) -> None:
         """Delete a key and all its values everywhere."""
         if key not in self._catalog:
             raise StorageError(f"key not stored: {key!r}")
         del self._catalog[key]
-        for store in self._node_stores.values():
-            store.pop(key, None)
+        for node, store in self._node_stores.items():
+            if store.pop(key, None) is not None and self._journal is not None:
+                self._journal.record_remove_key(node, self._journal_store, key)
 
     def __contains__(self, key: str) -> bool:
         return key in self._catalog
@@ -262,6 +299,18 @@ class DHTStorage:
         """
         return tuple(self._node_stores.get(node, {}).get(key, ()))
 
+    def items_at(self, node: NodeId) -> list[tuple[str, tuple[str, ...]]]:
+        """Every (key, values) pair physically held by one node.
+
+        The iteration surface a daemon needs to answer a peer's
+        re-replication ``pull``: strictly node-local state, like
+        :meth:`values_at`.
+        """
+        return [
+            (key, tuple(values))
+            for key, values in self._node_stores.get(node, {}).items()
+        ]
+
     # -- churn ----------------------------------------------------------------
 
     def drop_node(self, node: NodeId) -> int:
@@ -273,7 +322,44 @@ class DHTStorage:
         but between the departure and the next repair pass the orphaned
         entries would otherwise still count toward storage statistics.
         """
+        if self._journal is not None and node in self._node_stores:
+            self._journal.record_drop_node(node)
         return len(self._node_stores.pop(node, {}))
+
+    def forget_node(self, node: NodeId) -> int:
+        """Wipe a node's in-memory store WITHOUT touching its journal.
+
+        Power-cycle semantics: when a durable node is killed, its RAM is
+        gone but its write-ahead log survives for replay on restart.
+        :meth:`drop_node`, by contrast, is a *departure* -- copies and
+        journal both go.  Returns the number of keys wiped.
+        """
+        return len(self._node_stores.pop(node, {}))
+
+    def replay_entries(
+        self, node: NodeId, entries: list[tuple[str, str]]
+    ) -> int:
+        """Re-apply recovered (key, value) entries to ``node``'s store.
+
+        The recovery path: entries come *from* the node's journal, so
+        they are applied with journaling suppressed -- re-logging them
+        would double the WAL on every restart.  Idempotent (``put_local``
+        deduplicates), which is what makes repeated restarts safe.
+        Returns the number of entries actually (re)added.
+        """
+        journal, self._journal = self._journal, None
+        added = 0
+        try:
+            for key, value in entries:
+                bucket = self._node_stores.setdefault(node, {}).setdefault(
+                    key, []
+                )
+                if value not in bucket:
+                    added += 1
+                self.put_local(node, key, value)
+        finally:
+            self._journal = journal
+        return added
 
     def repair(self) -> RepairReport:
         """Incrementally re-replicate under-replicated keys after churn.
@@ -312,6 +398,11 @@ class DHTStorage:
                         key_bytes + len(value.encode("utf-8"))
                         for value in stored_values
                     )
+                    if self._journal is not None:
+                        for value in stored_values:
+                            self._journal.record_put(
+                                node, self._journal_store, key, value
+                            )
                 elif len(held) < len(stored_values):
                     for value in stored_values:
                         if value not in held:
@@ -319,6 +410,10 @@ class DHTStorage:
                             bytes_copied += key_bytes + len(
                                 value.encode("utf-8")
                             )
+                            if self._journal is not None:
+                                self._journal.record_put(
+                                    node, self._journal_store, key, value
+                                )
                     repaired_here = True
             if repaired_here:
                 keys_repaired += 1
@@ -331,6 +426,10 @@ class DHTStorage:
             ]
             for key in stale:
                 del store[key]
+                if self._journal is not None:
+                    self._journal.record_remove_key(
+                        node, self._journal_store, key
+                    )
             keys_pruned += len(stale)
         counters.storage_repair_keys += keys_repaired
         counters.storage_repair_bytes += bytes_copied
@@ -379,6 +478,24 @@ class DHTStorage:
                 moved += 1
             for node in nodes:
                 new_stores.setdefault(node, {})[key] = list(stored_values)
+        if self._journal is not None:
+            # Journal the delta: keys leaving a node, values arriving.
+            for node, store in self._node_stores.items():
+                new_store = new_stores.get(node, {})
+                for key, held in store.items():
+                    if key not in new_store:
+                        self._journal.record_remove_key(
+                            node, self._journal_store, key
+                        )
+            for node, new_store in new_stores.items():
+                old_store = self._node_stores.get(node, {})
+                for key, values in new_store.items():
+                    held = old_store.get(key, ())
+                    for value in values:
+                        if value not in held:
+                            self._journal.record_put(
+                                node, self._journal_store, key, value
+                            )
         self._node_stores = new_stores
         return moved
 

@@ -1,0 +1,270 @@
+"""Restart/power-loss chaos in the simulator, and WAL-backed recovery.
+
+Covers the restart axis of the chaos matrix end to end: the transport's
+restart schedule, the experiment's restart events (kill -> downtime ->
+recover-from-WAL -> repair), determinism of the whole pipeline, and the
+durability comparison -- a WAL run recovers entries locally where a
+``durability=none`` run must re-replicate everything over the network.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.net.faults import (
+    FaultPlan,
+    FaultyTransport,
+    RestartEvent,
+)
+from repro.net.message import Message, MessageKind
+from repro.net.transport import DeliveryError, SimulatedTransport
+from repro.sim.experiment import Experiment, ExperimentConfig
+from repro.sim.presets import RESTART_CHAOS_SMOKE_CONFIG
+
+TINY_RESTART = ExperimentConfig(
+    num_nodes=24,
+    num_articles=150,
+    num_queries=900,
+    num_authors=60,
+    cache="single",
+    replication=3,
+    fault_drop_probability=0.02,
+    restart_events=2,
+    restart_downtime_queries=60,
+    power_loss_events=1,
+    durability="wal",
+    fsync="never",  # every power loss is guaranteed to tear real bytes
+)
+
+
+def fingerprint(trace):
+    return (
+        trace.query.key(),
+        trace.found,
+        trace.interactions,
+        trace.retries,
+        trace.failed_sends,
+        tuple(trace.visited),
+    )
+
+
+def run_with_traces(config):
+    experiment = Experiment(config)
+    traces = []
+    experiment.trace_sink = lambda trace: traces.append(fingerprint(trace))
+    result = experiment.run()
+    return result, traces
+
+
+class TestRestartEvents:
+    @pytest.fixture(scope="class")
+    def tiny_result(self):
+        return run_with_traces(TINY_RESTART)
+
+    def test_every_scheduled_restart_fires(self, tiny_result):
+        result, _ = tiny_result
+        assert result.restarts == 3
+        assert result.power_losses == 1
+
+    def test_recovery_replayed_from_the_wal(self, tiny_result):
+        result, _ = tiny_result
+        assert result.recovered_entries > 0
+        assert result.wal_records_replayed > 0
+        assert result.recovery_replay_ms > 0.0
+        # fsync=never: nothing past the header was synced, so the one
+        # power loss must have torn a real tail.
+        assert result.wal_torn_bytes > 0
+
+    def test_post_restart_lookups_succeed(self, tiny_result):
+        result, _ = tiny_result
+        assert result.post_restart_searches > 0
+        assert result.post_restart_found <= result.post_restart_searches
+        assert result.post_restart_success_rate >= 0.95
+
+    def test_restart_rows_render(self, tiny_result):
+        result, _ = tiny_result
+        rows = dict(result.availability_rows())
+        assert "restarts (of which power losses)" in rows
+        assert rows["restarts (of which power losses)"] == "3 (1)"
+        assert "post-restart lookup success" in rows
+
+    def test_result_validates(self, tiny_result):
+        result, _ = tiny_result
+        result.validate()
+
+
+class TestRestartDeterminism:
+    def test_same_seed_identical_runs(self):
+        """Two restart-chaos runs with one seed are identical in every
+        observable except wall-clock time (replay_ms, runtime)."""
+        first_result, first_traces = run_with_traces(TINY_RESTART)
+        second_result, second_traces = run_with_traces(TINY_RESTART)
+        assert first_traces == second_traces
+        assert first_result.restarts == second_result.restarts
+        assert first_result.power_losses == second_result.power_losses
+        assert first_result.recovered_entries == second_result.recovered_entries
+        assert (
+            first_result.wal_records_replayed
+            == second_result.wal_records_replayed
+        )
+        assert first_result.wal_torn_bytes == second_result.wal_torn_bytes
+        assert (
+            first_result.post_restart_found == second_result.post_restart_found
+        )
+        assert first_result.repair_bytes == second_result.repair_bytes
+
+    def test_restart_free_runs_report_nothing(self):
+        """A config without restart events must not touch any restart
+        machinery: zero counters, no extra report rows."""
+        result, _ = run_with_traces(
+            replace(
+                TINY_RESTART,
+                restart_events=0,
+                power_loss_events=0,
+                durability="none",
+            )
+        )
+        assert result.restarts == 0
+        assert result.power_losses == 0
+        assert result.recovered_entries == 0
+        assert result.post_restart_searches == 0
+        assert result.restart_rows() == []
+
+    def test_restart_schedule_is_seeded(self):
+        first = Experiment(TINY_RESTART)
+        first._chaos_schedule()
+        second = Experiment(TINY_RESTART)
+        second._chaos_schedule()
+        assert first._restart_positions == second._restart_positions
+        assert len(first._restart_positions) == 3
+        assert sum(first._restart_positions.values()) == 1  # one power loss
+        first.close()
+        second.close()
+
+
+class TestDurabilityComparison:
+    def test_wal_recovers_locally_where_none_repairs_remotely(self):
+        """The point of the WAL: a recovered node replays its own state
+        instead of pulling it all back over the network."""
+        wal_result, _ = run_with_traces(TINY_RESTART)
+        none_result, _ = run_with_traces(
+            replace(TINY_RESTART, durability="none")
+        )
+        assert none_result.restarts == wal_result.restarts
+        assert none_result.recovered_entries == 0
+        assert wal_result.recovered_entries > 0
+        # Same kills, but the none run re-replicates every lost entry.
+        assert none_result.repair_bytes > wal_result.repair_bytes
+
+    def test_invalid_durability_rejected(self):
+        with pytest.raises(ValueError):
+            replace(TINY_RESTART, durability="raid")
+        with pytest.raises(ValueError):
+            replace(TINY_RESTART, fsync="sometimes")
+        with pytest.raises(ValueError):
+            replace(TINY_RESTART, restart_events=-1)
+        with pytest.raises(ValueError):
+            replace(TINY_RESTART, restart_downtime_queries=0)
+
+
+class TestSmokePreset:
+    @pytest.fixture(scope="class")
+    def smoke_result(self):
+        return Experiment(RESTART_CHAOS_SMOKE_CONFIG).run()
+
+    def test_acceptance_bar(self, smoke_result):
+        # The restart-chaos acceptance bar: >= 99% lookup success after
+        # recovery, with the kills actually happening.
+        assert smoke_result.restarts == 3
+        assert smoke_result.power_losses == 1
+        assert smoke_result.post_restart_success_rate >= 0.99
+
+    def test_recovery_happened_from_disk(self, smoke_result):
+        assert smoke_result.recovered_entries > 0
+        assert smoke_result.wal_records_replayed > 0
+
+
+class TestTransportRestartSchedule:
+    """The net-layer restart schedule: kill, downtime, rejoin hooks."""
+
+    def request(self, destination="node:1"):
+        return Message(MessageKind.QUERY_REQUEST, "user:t", destination, ("q",))
+
+    def build(self, plan):
+        inner = SimulatedTransport()
+        inner.register(
+            "node:1",
+            lambda m: m.reply(MessageKind.QUERY_RESPONSE, ("ok",)),
+        )
+        return FaultyTransport(inner, plan)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RestartEvent(at_send=-1, downtime_sends=3)
+        with pytest.raises(ValueError):
+            RestartEvent(at_send=0, downtime_sends=0)
+        assert FaultPlan(
+            restart_schedule=(RestartEvent(0, 5),)
+        ).is_zero is False
+
+    def test_kill_downtime_rejoin(self):
+        plan = FaultPlan(
+            restart_schedule=(
+                RestartEvent(at_send=2, downtime_sends=3, victim="node:1"),
+            )
+        )
+        faulty = self.build(plan)
+        outcomes = []
+        for _ in range(8):
+            try:
+                faulty.send(self.request())
+                outcomes.append("ok")
+            except DeliveryError:
+                outcomes.append("down")
+        assert outcomes == ["ok", "ok", "down", "down", "down", "ok", "ok", "ok"]
+
+    def test_hooks_fire_with_power_loss_flag(self):
+        plan = FaultPlan(
+            restart_schedule=(
+                RestartEvent(
+                    at_send=1, downtime_sends=2, victim="node:1", power_loss=True
+                ),
+            )
+        )
+        faulty = self.build(plan)
+        events = []
+        faulty.on_kill = lambda name, power: events.append(("kill", name, power))
+        faulty.on_restart = lambda name, power: events.append(
+            ("restart", name, power)
+        )
+        for _ in range(6):
+            try:
+                faulty.send(self.request())
+            except DeliveryError:
+                pass
+        assert events == [
+            ("kill", "node:1", True),
+            ("restart", "node:1", True),
+        ]
+
+    def test_counters(self):
+        from repro import perf
+
+        plan = FaultPlan(
+            restart_schedule=(
+                RestartEvent(at_send=0, downtime_sends=1, victim="node:1"),
+                RestartEvent(
+                    at_send=3, downtime_sends=1, victim="node:1", power_loss=True
+                ),
+            )
+        )
+        faulty = self.build(plan)
+        before = perf.snapshot()
+        for _ in range(6):
+            try:
+                faulty.send(self.request())
+            except DeliveryError:
+                pass
+        delta = perf.delta(before, perf.snapshot())
+        assert delta["fault_restarts"] == 2
+        assert delta["fault_power_losses"] == 1

@@ -1,0 +1,386 @@
+"""The durable layer: WAL framing, snapshots, and crash-recovery edges.
+
+Covers the degradation matrix recovery promises: torn tails truncate,
+corrupt-CRC records are skipped with a warning (valid prefix kept), an
+empty data dir recovers to nothing, a snapshot newer than the log
+replays nothing, and repeated kill/recover/repair cycles are idempotent.
+"""
+
+import os
+import struct
+
+import pytest
+
+from repro.dht.ring import IdealRing
+from repro.storage.durable import (
+    OP_CACHE_INSERT,
+    OP_IDENTITY,
+    OP_MEMBER,
+    OP_PUT,
+    OP_REMOVE_KEY,
+    OP_REMOVE_VALUE,
+    RECORD_PREFIX_BYTES,
+    WAL_HEADER_BYTES,
+    DurableNodeState,
+    FsyncPolicy,
+    NodeWalSet,
+    SnapshotState,
+    WalError,
+    WriteAheadLog,
+    decode_record_body,
+    encode_record_body,
+    frame_record,
+    load_snapshot,
+    replay_wal,
+    tear_wal,
+    write_snapshot,
+)
+from repro.storage.store import DHTStorage
+
+BITS = 32
+
+
+# -- fsync policy -----------------------------------------------------------
+
+
+def test_fsync_policy_parses_all_modes():
+    assert FsyncPolicy.parse("always").mode == "always"
+    assert FsyncPolicy.parse("never").mode == "never"
+    assert FsyncPolicy.parse("interval") == FsyncPolicy("interval", 64)
+    assert FsyncPolicy.parse("interval:8") == FsyncPolicy("interval", 8)
+
+
+@pytest.mark.parametrize(
+    "spec", ["sometimes", "interval:0", "interval:x", "always:3", ""]
+)
+def test_fsync_policy_rejects_bad_specs(spec):
+    with pytest.raises(WalError):
+        FsyncPolicy.parse(spec)
+
+
+# -- record encoding --------------------------------------------------------
+
+
+BIG_ID = (1 << 159) + 12345  # a realistic 160-bit node id
+
+
+@pytest.mark.parametrize(
+    "op, fields",
+    [
+        (OP_PUT, ("index", "author=kaashoek", "msd:42")),
+        (OP_REMOVE_VALUE, ("file", "msd:42", "article-bytes")),
+        (OP_REMOVE_KEY, ("index", "title=chord")),
+        (OP_CACHE_INSERT, ("author=stoica", "msd:7")),
+        (OP_MEMBER, (BIG_ID, "127.0.0.1", 7001)),
+        (OP_IDENTITY, (BIG_ID,)),
+    ],
+)
+def test_record_roundtrip(op, fields):
+    record = decode_record_body(encode_record_body(17, op, fields))
+    assert record.seq == 17
+    assert record.op == op
+    assert record.fields == fields
+
+
+def test_unknown_op_raises():
+    with pytest.raises(WalError):
+        encode_record_body(1, 99, ())
+    body = struct.pack(">QB", 1, 99)
+    with pytest.raises(WalError):
+        decode_record_body(body)
+
+
+def test_trailing_bytes_rejected():
+    body = encode_record_body(1, OP_IDENTITY, (5,)) + b"junk"
+    with pytest.raises(WalError):
+        decode_record_body(body)
+
+
+# -- WAL append / replay ----------------------------------------------------
+
+
+def wal_with_records(path, count=5, fsync=FsyncPolicy("never")):
+    wal = WriteAheadLog(path, fsync)
+    for index in range(count):
+        wal.append(OP_PUT, ("index", f"key-{index}", f"value-{index}"))
+    return wal
+
+
+def test_wal_appends_replay_in_order(tmp_path):
+    path = str(tmp_path / "wal.log")
+    wal_with_records(path, count=5).close()
+    ops, report = replay_wal(path)
+    assert [op.seq for op in ops] == [1, 2, 3, 4, 5]
+    assert [op.fields[1] for op in ops] == [f"key-{i}" for i in range(5)]
+    assert report.records == 5
+    assert not report.repaired
+
+
+def test_wal_survives_abandon_without_flush(tmp_path):
+    # SIGKILL semantics: unbuffered appends are in the OS regardless of
+    # the fsync policy, so nothing acknowledged is lost.
+    path = str(tmp_path / "wal.log")
+    wal_with_records(path, count=3, fsync=FsyncPolicy("never")).abandon()
+    ops, report = replay_wal(path)
+    assert report.records == 3 and not report.repaired
+
+
+def test_torn_tail_is_truncated(tmp_path):
+    path = str(tmp_path / "wal.log")
+    wal_with_records(path, count=4).close()
+    size = os.path.getsize(path)
+    with open(path, "r+b") as handle:
+        handle.truncate(size - 7)  # cut the last record in half
+    ops, report = replay_wal(path)  # a clean torn tail truncates silently
+    assert report.records == 3
+    assert report.repaired and report.truncated_bytes > 0
+    # The file was repaired in place: a second replay is clean.
+    ops, report = replay_wal(path)
+    assert report.records == 3 and not report.repaired
+
+
+def test_corrupt_crc_keeps_valid_prefix(tmp_path):
+    path = str(tmp_path / "wal.log")
+    wal = WriteAheadLog(path, FsyncPolicy("never"))
+    offsets = [wal.size]
+    for index in range(4):
+        wal.append(OP_PUT, ("index", f"key-{index}", f"value-{index}"))
+        offsets.append(wal.size)
+    wal.close()
+    # Flip one body byte of the third record: its CRC no longer matches.
+    with open(path, "r+b") as handle:
+        handle.seek(offsets[2] + RECORD_PREFIX_BYTES + 2)
+        byte = handle.read(1)
+        handle.seek(-1, os.SEEK_CUR)
+        handle.write(bytes((byte[0] ^ 0xFF,)))
+    with pytest.warns(RuntimeWarning, match="CRC mismatch"):
+        ops, report = replay_wal(path)
+    assert [op.fields[1] for op in ops] == ["key-0", "key-1"]
+    assert report.corrupt_records == 1
+    assert report.repaired  # the corrupt suffix was cut off
+    ops, report = replay_wal(path)  # prefix remains readable
+    assert report.records == 2 and not report.repaired
+
+
+def test_absurd_length_prefix_is_corruption_not_allocation(tmp_path):
+    path = str(tmp_path / "wal.log")
+    wal = wal_with_records(path, count=2)
+    wal.close()
+    with open(path, "ab") as handle:
+        handle.write(struct.pack(">II", 0x7FFFFFFF, 0) + b"x" * 8)
+    with pytest.warns(RuntimeWarning, match="absurd record length"):
+        ops, report = replay_wal(path)
+    assert report.records == 2 and report.corrupt_records == 1
+
+
+def test_bad_header_starts_empty(tmp_path):
+    path = str(tmp_path / "wal.log")
+    with open(path, "wb") as handle:
+        handle.write(b"NOPE" + b"\x00" * 20)
+    with pytest.warns(RuntimeWarning, match="bad or torn header"):
+        ops, report = replay_wal(path)
+    assert ops == [] and report.repaired
+    assert os.path.getsize(path) == 0
+    # A fresh log can be started over the repaired file.
+    WriteAheadLog(path, FsyncPolicy("never")).close()
+    assert os.path.getsize(path) == WAL_HEADER_BYTES
+
+
+def test_missing_file_replays_nothing(tmp_path):
+    ops, report = replay_wal(str(tmp_path / "absent.log"))
+    assert ops == [] and report.records == 0 and not report.repaired
+
+
+def test_tear_wal_respects_the_fsync_line(tmp_path):
+    path = str(tmp_path / "wal.log")
+    wal = WriteAheadLog(path, FsyncPolicy("never"))
+    wal.append(OP_PUT, ("index", "synced", "v"))
+    wal.flush()
+    synced = wal.synced_size
+    wal.append(OP_PUT, ("index", "unsynced", "v"))
+    wal.abandon()
+    torn = tear_wal(path, synced)
+    assert torn > 0
+    assert os.path.getsize(path) >= synced
+    ops, report = replay_wal(path)
+    assert [op.fields[1] for op in ops] == ["synced"]
+    assert report.repaired  # the half-kept unsynced record was torn
+
+
+# -- snapshots --------------------------------------------------------------
+
+
+def sample_state():
+    state = SnapshotState(node_id=BIG_ID, wal_seq=9)
+    state.peers = {BIG_ID: ("127.0.0.1", 7000), 3: ("::1", 7001)}
+    state.stores["index"]["author=liben-nowell"] = ["msd:1", "msd:2"]
+    state.stores["file"]["msd:1"] = ["article"]
+    state.cache["author=karger"] = ["msd:2"]
+    return state
+
+
+def test_snapshot_roundtrip(tmp_path):
+    path = str(tmp_path / "snapshot.bin")
+    write_snapshot(path, sample_state())
+    loaded = load_snapshot(path)
+    assert loaded == sample_state()
+    assert not os.path.exists(path + ".tmp")
+
+
+def test_corrupt_snapshot_is_ignored(tmp_path):
+    path = str(tmp_path / "snapshot.bin")
+    write_snapshot(path, sample_state())
+    with open(path, "r+b") as handle:
+        handle.seek(-3, os.SEEK_END)
+        handle.write(b"\xff\xff\xff")
+    with pytest.warns(RuntimeWarning, match="checksum"):
+        assert load_snapshot(path) is None
+
+
+def test_missing_snapshot_is_none(tmp_path):
+    assert load_snapshot(str(tmp_path / "absent.bin")) is None
+
+
+# -- DurableNodeState recovery edges ----------------------------------------
+
+
+def test_empty_data_dir_recovers_to_nothing(tmp_path):
+    durable = DurableNodeState(str(tmp_path / "node"))
+    assert durable.report.recovered is False
+    assert durable.report.index_entries == 0
+    assert durable.state.total_entries() == 0
+    durable.close()
+
+
+def test_journal_then_recover(tmp_path):
+    data_dir = str(tmp_path / "node")
+    durable = DurableNodeState(data_dir, fsync="never", node_scope=7)
+    durable.record_identity(7)
+    durable.record_member(7, "127.0.0.1", 7000)
+    durable.record_put(7, "index", "author=morris", "msd:5")
+    durable.record_cache_insert(7, "title=dht", "msd:5")
+    durable.record_put(99, "index", "other-node", "msd:9")  # out of scope
+    durable.abandon()
+
+    recovered = DurableNodeState(data_dir, node_scope=7)
+    assert recovered.report.recovered
+    assert recovered.state.node_id == 7
+    assert recovered.state.peers[7] == ("127.0.0.1", 7000)
+    assert recovered.state.entries("index") == [("author=morris", "msd:5")]
+    assert recovered.state.cache == {"title=dht": ["msd:5"]}
+    recovered.close()
+
+
+def test_snapshot_newer_than_log_replays_nothing(tmp_path):
+    # The crash-between-rename-and-truncate window: the snapshot already
+    # folded the log's records in, so replay must skip every one of them.
+    data_dir = str(tmp_path / "node")
+    durable = DurableNodeState(data_dir, fsync="never")
+    for index in range(6):
+        durable.record_put(1, "index", f"key-{index}", "v")
+    state_before = durable.state
+    write_snapshot(durable.snapshot_path, state_before)  # log NOT reset
+    durable.abandon()
+
+    recovered = DurableNodeState(data_dir)
+    assert recovered.report.snapshot_loaded
+    assert recovered.report.wal_records == 0  # all skipped, none re-applied
+    assert recovered.state.stores == state_before.stores
+    # New appends continue past the watermark instead of reusing seqs.
+    recovered.record_put(1, "index", "after", "v")
+    assert recovered.state.wal_seq > state_before.wal_seq
+    recovered.close()
+
+
+def test_compaction_resets_the_log_and_survives_restart(tmp_path):
+    data_dir = str(tmp_path / "node")
+    durable = DurableNodeState(data_dir, fsync="never", snapshot_every=4)
+    for index in range(10):
+        durable.record_put(1, "index", f"key-{index}", "v")
+    assert os.path.exists(durable.snapshot_path)
+    assert os.path.getsize(durable.wal_path) < 200  # reset after compaction
+    durable.abandon()
+
+    recovered = DurableNodeState(data_dir)
+    assert recovered.report.snapshot_loaded
+    assert recovered.state.total_entries() == 10
+    recovered.close()
+
+
+def test_recovery_is_idempotent_across_repeated_restarts(tmp_path):
+    data_dir = str(tmp_path / "node")
+    durable = DurableNodeState(data_dir, fsync="never")
+    for index in range(5):
+        durable.record_put(1, "index", f"key-{index}", f"value-{index}")
+    durable.record_remove_key(1, "index", "key-0")
+    durable.abandon()
+    snapshots = []
+    for _ in range(3):  # crash again before ever compacting
+        durable = DurableNodeState(data_dir, fsync="never")
+        snapshots.append(durable.state.entries("index"))
+        durable.abandon()
+    assert snapshots[0] == snapshots[1] == snapshots[2]
+    assert ("key-0", "value-0") not in snapshots[0]
+    assert len(snapshots[0]) == 4
+
+
+# -- storage integration: kill / recover / repair cycles --------------------
+
+
+def build_store(walset):
+    protocol = IdealRing.bulk_build([100, 200, 300, 400], bits=BITS)
+    store = DHTStorage(protocol, replication=2)
+    store.attach_journal(walset, "index")
+    return protocol, store
+
+
+def test_repair_after_replay_is_idempotent(tmp_path):
+    """The repeated-restart loop: kill, recover, replay, repair -- twice.
+
+    The second cycle must neither duplicate entries nor journal spurious
+    records: recovered state re-applies cleanly every time.
+    """
+    walset = NodeWalSet(str(tmp_path), fsync="never")
+    protocol, store = build_store(walset)
+    for index in range(20):
+        store.put(f"key-{index}", f"value-{index}")
+    baseline = {
+        node: sorted(store.items_at(node)) for node in protocol.node_ids
+    }
+    victim = 200
+    for _ in range(2):
+        walset.kill(victim)
+        store.forget_node(victim)
+        assert store.items_at(victim) == []
+        durable = walset.recover(victim)
+        replayed = store.replay_entries(
+            victim, durable.state.entries("index")
+        )
+        assert replayed == len(baseline[victim])
+        report = store.repair()
+        assert report.keys_repaired == 0  # replay restored everything
+        assert {
+            node: sorted(store.items_at(node)) for node in protocol.node_ids
+        } == baseline
+    walset.close()
+
+
+def test_power_loss_loses_only_the_unsynced_tail(tmp_path):
+    walset = NodeWalSet(str(tmp_path), fsync=FsyncPolicy("interval", 4))
+    protocol, store = build_store(walset)
+    for index in range(30):
+        store.put(f"key-{index}", f"value-{index}")
+    victim = max(
+        protocol.node_ids, key=lambda node: len(store.items_at(node))
+    )
+    before = len(store.items_at(victim))
+    torn = walset.power_loss(victim)
+    assert torn > 0
+    store.forget_node(victim)
+    durable = walset.recover(victim)
+    survived = store.replay_entries(victim, durable.state.entries("index"))
+    assert 0 < survived < before  # fsync interval bounds the loss
+    report = store.repair()  # the replicas restore the lost tail
+    assert report.keys_repaired > 0
+    assert len(store.items_at(victim)) == before
+    walset.close()
