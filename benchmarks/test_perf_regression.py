@@ -184,6 +184,11 @@ class TestEndToEndCounters:
         # field queries decide covering by constraint subset, and any
         # text-level covers calls hit the memo.
         assert increments["homomorphism_node_visits"] <= 10_000
+        # The predicate algebra must be pay-for-what-you-use: an
+        # exact-only workload never walks a trie or specializes a
+        # predicate query back down to its target.
+        assert increments["trie_walks"] == 0
+        assert increments["engine_specializations"] == 0
 
 
 class TestKernelSchedulerCounters:

@@ -18,17 +18,31 @@ This package implements Section IV of the paper:
   storage layer, cache maintenance, traffic metering;
 - :mod:`repro.core.engine` -- the user-side lookup engine: iterative
   search down the query partial order, target selection, cache shortcut
-  jumps, and generalization/specialization for non-indexed queries.
+  jumps, and generalization/specialization for non-indexed queries;
+- :mod:`repro.core.predicates` -- the typed predicate algebra over field
+  constraints (:class:`Exact`, :class:`Prefix`, :class:`Wildcard`,
+  :class:`Range`) with per-predicate covering;
+- :mod:`repro.core.trie` -- the trie-over-DHT index: trie nodes as DHT
+  keys, child expansion as lookups, range queries as bounded walks.
 """
 
 from repro.core.cache import CacheEntry, CachePolicy, NodeCache
 from repro.core.engine import LookupEngine, LookupError_, SearchTrace
 from repro.core.fields import ARTICLE_SCHEMA, Record, Schema, SchemaError
+from repro.core.predicates import (
+    Exact,
+    Prefix,
+    PredicateError,
+    Range,
+    Wildcard,
+)
 from repro.core.query import FieldQuery, QueryParseError
 from repro.core.scheme import (
     MSD_TARGET,
+    FieldPredicates,
     IndexScheme,
     SchemeValidationError,
+    article_predicates,
     complex_scheme,
     flat_scheme,
     simple_scheme,
@@ -36,6 +50,7 @@ from repro.core.scheme import (
 from repro.core.service import IndexService, IndexServiceError
 from repro.core.session import InteractiveSession, SessionError, SessionStep
 from repro.core.substring import PrefixIndex, PrefixQuery
+from repro.core.trie import TrieIndex
 
 __all__ = [
     "ARTICLE_SCHEMA",
@@ -63,4 +78,12 @@ __all__ = [
     "SessionStep",
     "PrefixIndex",
     "PrefixQuery",
+    "Exact",
+    "Prefix",
+    "Wildcard",
+    "Range",
+    "PredicateError",
+    "FieldPredicates",
+    "article_predicates",
+    "TrieIndex",
 ]

@@ -341,6 +341,14 @@ class LookupEngine:
         target_msd_key = target_msd.key()
 
         current = trace.query
+        if not current.is_exact():
+            # A predicate query over a trie-indexed field starts its walk
+            # at the deepest materialized trie node covering it -- the
+            # same scheme knowledge ordinary lookups use for h(q).
+            rewritten = self.service.scheme.trie_entry_for(current)
+            if rewritten is not None:
+                counters.trie_walks += 1
+                current = rewritten
         attempted_generalizations: set[frozenset[str]] = set()
         # The per-lookup timeout budget, in interaction units: every
         # exchange -- successful or failed -- and every backoff period
@@ -410,6 +418,16 @@ class LookupEngine:
             if answer.empty:
                 trace.errors += 1
             trace.generalized = True
+            if not current.is_exact() and self.service.scheme.accepts(current):
+                # Declared-predicate fallback (Section IV-C's substring
+                # recovery, generalized): replace every non-exact
+                # constraint with the target's concrete value and resume
+                # down the ordinary chains.  Only schemes that declare
+                # the predicate kinds opt in; elsewhere a failed
+                # predicate lookup stays a plain not-found.
+                counters.engine_specializations += 1
+                current = current.specialize(target)
+                continue
             fallback = self._generalize(current, attempted_generalizations)
             if fallback is None:
                 break
@@ -497,6 +515,7 @@ class LookupEngine:
     ) -> Optional[FieldQuery]:
         """Pick the returned entry that matches the target record."""
         best: Optional[FieldQuery] = None
+        best_rank: tuple[int, int] = (0, 0)
         for entry_key in entries:
             try:
                 entry = FieldQuery.parse(self.service.schema, entry_key)
@@ -504,9 +523,13 @@ class LookupEngine:
                 continue
             if not entry.covers_record(target):
                 continue
-            # Prefer the most specific matching entry (an MSD if present).
-            if best is None or len(entry.fields) > len(best.fields):
-                best = entry
+            # Prefer the most specific matching entry (an MSD if
+            # present): more constrained fields first, then higher
+            # predicate rank.  On exact-only entries this reduces to the
+            # old field-count rule.
+            rank = entry.specificity()
+            if best is None or rank > best_rank:
+                best, best_rank = entry, rank
         return best
 
     def _generalize(

@@ -66,15 +66,18 @@ class Schema:
 
     # -- query text -----------------------------------------------------------
 
-    def xpath_for(self, constraints: Mapping[str, str]) -> str:
-        """Canonical XPath for a set of field=value constraints.
+    def xpath_for(self, constraints: Mapping[str, object]) -> str:
+        """Canonical XPath for a set of field constraints.
 
-        The text equals the output of :func:`repro.xmlq.normalize.
-        normalize_xpath` on any equivalent spelling (verified by tests),
-        so every way of writing the query hashes to the same DHT key.
-        The canonical form is built directly -- nested predicates sorted
-        by their serialized text -- because this function sits on the hot
-        path of the simulation.
+        Values may be plain strings (equality, the seed semantics) or
+        predicate objects from :mod:`repro.core.predicates`, which emit
+        their own canonical spellings (prefix tags, ``"pat*"`` wildcard
+        comparisons, range bound pairs).  The text equals the output of
+        :func:`repro.xmlq.normalize.normalize_xpath` on any equivalent
+        spelling (verified by tests), so every way of writing the query
+        hashes to the same DHT key.  The canonical form is built
+        directly -- nested predicates sorted by their serialized text --
+        because this function sits on the hot path of the simulation.
         """
         if not constraints:
             raise SchemaError("a query needs at least one field constraint")
@@ -84,8 +87,12 @@ class Schema:
         predicates = []
         for field_name in self.all_field_names:
             if field_name in constraints:
+                constraint = constraints[field_name]
                 parts = self.path_of(field_name).split("/")
-                parts.append(str(constraints[field_name]))
+                if hasattr(constraint, "predicate_texts"):
+                    predicates.extend(constraint.predicate_texts(tuple(parts)))
+                    continue
+                parts.append(str(constraint))
                 nested = parts[-1]
                 for tag in reversed(parts[:-1]):
                     nested = f"{tag}[{nested}]"

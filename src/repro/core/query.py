@@ -1,16 +1,21 @@
 """Field queries: the working form of queries inside the index layer.
 
-A :class:`FieldQuery` is a conjunction of ``field = value`` constraints
-over a :class:`repro.core.fields.Schema`.  It is the structured twin of a
-canonical XPath expression: ``key()`` produces the normalized XPath text
-whose hash places the query in the DHT, and :meth:`parse` recovers the
-structure from that text.
+A :class:`FieldQuery` is a conjunction of per-field *predicates* over a
+:class:`repro.core.fields.Schema` -- :class:`repro.core.predicates.Exact`
+equality (the seed semantics), plus :class:`Prefix`, :class:`Wildcard`
+and :class:`Range` constraints (Section IV-C and the trie-over-DHT
+extension).  It is the structured twin of a canonical XPath expression:
+``key()`` produces the normalized XPath text whose hash places the query
+in the DHT, and :meth:`parse` recovers the structure from that text for
+every predicate form.
 
-Covering (Section III-B) is simple and exact on field queries: ``q'``
-covers ``q`` if and only if the constraints of ``q'`` are a subset of the
-constraints of ``q``.  The equivalence of this rule with the general
+Covering (Section III-B) factors per field: ``q'`` covers ``q`` if and
+only if every field ``q'`` constrains is also constrained by ``q`` with
+an *implied* predicate (equal value, extending prefix, contained range,
+...).  On the exact fragment this reduces to the seed's
+subset-of-constraints rule; the agreement of the full relation with the
 tree-pattern homomorphism of :mod:`repro.xmlq.pattern` is verified by
-property-based tests.
+property-based tests on the fragments where the homomorphism applies.
 """
 
 from __future__ import annotations
@@ -19,8 +24,19 @@ from collections import OrderedDict
 from typing import Iterable, Mapping, Optional
 
 from repro.core.fields import Record, Schema, SchemaError
+from repro.core.predicates import (
+    PREFIX_TAG,
+    RANGE_TAG,
+    Exact,
+    FieldPredicate,
+    PredicateError,
+    Prefix,
+    Range,
+    Wildcard,
+    coerce,
+)
 from repro.perf import counters
-from repro.xmlq.astnodes import LocationPath, LocationStep
+from repro.xmlq.astnodes import LocationStep, Predicate
 from repro.xmlq.pattern import TreePattern, pattern_from_xpath
 from repro.xmlq.xpparser import parse_xpath
 
@@ -30,18 +46,20 @@ class QueryParseError(ValueError):
 
 
 class FieldQuery:
-    """An immutable conjunction of field constraints over a schema."""
+    """An immutable conjunction of field predicates over a schema."""
 
     __slots__ = ("schema", "_items", "_key", "_hash")
 
-    def __init__(self, schema: Schema, constraints: Mapping[str, str]) -> None:
+    def __init__(
+        self, schema: Schema, constraints: Mapping[str, object]
+    ) -> None:
         if not constraints:
             raise SchemaError("a query needs at least one field constraint")
         for field_name in constraints:
             schema.path_of(field_name)  # validates field names
         self.schema = schema
-        self._items = tuple(
-            (name, str(constraints[name]))
+        self._items: tuple[tuple[str, FieldPredicate], ...] = tuple(
+            (name, coerce(constraints[name]))
             for name in schema.all_field_names
             if name in constraints
         )
@@ -117,30 +135,97 @@ class FieldQuery:
             tuple(schema.path_of(name).split("/")): name
             for name in schema.all_field_names
         }
-        constraints: dict[str, str] = {}
+        constraints: dict[str, FieldPredicate] = {}
+        # Range constraints arrive as two comparison predicates on the
+        # same field; both bounds must be present for the pair to fold.
+        range_bounds: dict[str, dict[str, int]] = {}
         for predicate in root_step.predicates:
-            if predicate.comparison is not None:
-                raise QueryParseError(
-                    f"comparison predicates are not field constraints: {text!r}"
-                )
-            tags, value = _linearize(predicate.path)
+            tags, value, op = _linearize(predicate)
             field_name = reverse.get(tuple(tags))
             if field_name is None:
                 raise QueryParseError(
                     f"no schema field at path {'/'.join(tags)!r} in {text!r}"
                 )
-            if field_name in constraints:
+            if op in (">=", "<="):
+                if field_name in constraints:
+                    raise QueryParseError(
+                        f"duplicate constraint on {field_name!r}"
+                    )
+                bounds = range_bounds.setdefault(field_name, {})
+                if op in bounds:
+                    raise QueryParseError(
+                        f"duplicate {op} bound on {field_name!r} in {text!r}"
+                    )
+                try:
+                    bounds[op] = int(value)
+                except ValueError:
+                    raise QueryParseError(
+                        f"non-numeric range bound {value!r} in {text!r}"
+                    ) from None
+                continue
+            if field_name in constraints or field_name in range_bounds:
                 raise QueryParseError(f"duplicate constraint on {field_name!r}")
-            constraints[field_name] = value
+            constraints[field_name] = cls._leaf_predicate(op, value, text)
+        for field_name, bounds in range_bounds.items():
+            if set(bounds) != {">=", "<="}:
+                raise QueryParseError(
+                    f"range on {field_name!r} needs both >= and <= bounds: "
+                    f"{text!r}"
+                )
+            try:
+                constraints[field_name] = Range(bounds[">="], bounds["<="])
+            except PredicateError as error:
+                raise QueryParseError(str(error)) from error
         if not constraints:
             raise QueryParseError(f"query has no field constraints: {text!r}")
         return cls(schema, constraints)
+
+    @classmethod
+    def _leaf_predicate(
+        cls, op: Optional[str], value: str, text: str
+    ) -> FieldPredicate:
+        """Predicate for one parsed leaf (everything but range pairs)."""
+        try:
+            if op is None:
+                if value.startswith(PREFIX_TAG):
+                    prefix = value[len(PREFIX_TAG):]
+                    if not prefix:
+                        raise QueryParseError(f"empty prefix constraint: {text!r}")
+                    return Prefix(prefix)
+                if value.startswith(RANGE_TAG):
+                    raise QueryParseError(
+                        f"range constraints are spelled as comparison "
+                        f"predicates, not {value!r}: {text!r}"
+                    )
+                return Exact(value)
+            if op == "=":
+                if "*" not in value:
+                    raise QueryParseError(
+                        f"comparison predicates are not field constraints: "
+                        f"{text!r}"
+                    )
+                return Wildcard(value)
+        except PredicateError as error:
+            raise QueryParseError(str(error)) from error
+        raise QueryParseError(
+            f"unsupported comparison operator {op!r} in {text!r}"
+        )
 
     # -- accessors ----------------------------------------------------------------
 
     @property
     def items(self) -> tuple[tuple[str, str], ...]:
-        """Constraints as (field, value) pairs in schema order."""
+        """Constraints as (field, text) pairs in schema order.
+
+        Exact constraints read as their plain value (the seed form);
+        other predicates use their construction spelling
+        (``prefix:Al``, ``Al*n``, ``range:1995:2000``).
+        """
+        return tuple((name, pred.text) for name, pred in self._items)
+
+    @property
+    def predicate_items(self) -> tuple[tuple[str, FieldPredicate], ...]:
+        """Constraints as (field, predicate) pairs in schema order."""
         return self._items
 
     @property
@@ -148,10 +233,17 @@ class FieldQuery:
         return frozenset(name for name, _ in self._items)
 
     def value(self, field_name: str) -> Optional[str]:
-        """The constrained value of a field, or None when unconstrained."""
-        for name, val in self._items:
+        """The constraint text of a field, or None when unconstrained."""
+        for name, pred in self._items:
             if name == field_name:
-                return val
+                return pred.text
+        return None
+
+    def predicate(self, field_name: str) -> Optional[FieldPredicate]:
+        """The predicate constraining a field, or None."""
+        for name, pred in self._items:
+            if name == field_name:
+                return pred
         return None
 
     def key(self) -> str:
@@ -164,19 +256,51 @@ class FieldQuery:
         """True when every schema field (queryable and admin) is constrained."""
         return len(self._items) == len(self.schema.all_field_names)
 
+    def is_exact(self) -> bool:
+        """True when every constraint is an equality (the seed fragment)."""
+        return all(pred.kind == "exact" for _, pred in self._items)
+
+    def specificity(self) -> tuple[int, int]:
+        """Ordering key for entry selection: field count, predicate rank."""
+        return (
+            len(self._items),
+            sum(pred.rank() for _, pred in self._items),
+        )
+
     # -- algebra --------------------------------------------------------------------
 
     def covers(self, other: "FieldQuery") -> bool:
-        """Covering test: every constraint of self also binds in other."""
+        """Covering test: every predicate of self is implied in other."""
         if self.schema is not other.schema:
             return False
-        mine = set(self._items)
-        theirs = set(other._items)
-        return mine <= theirs
+        theirs = dict(other._items)
+        for name, pred in self._items:
+            other_pred = theirs.get(name)
+            if other_pred is None or not pred.covers(other_pred):
+                return False
+        return True
 
     def covers_record(self, record: Record) -> bool:
-        """True when the record satisfies every constraint."""
-        return all(record.get(name) == value for name, value in self._items)
+        """True when the record satisfies every predicate."""
+        for name, pred in self._items:
+            value = record.get(name)
+            if value is None or not pred.matches(value):
+                return False
+        return True
+
+    def specialize(self, record: Record) -> "FieldQuery":
+        """The exact query binding this query's fields to the record.
+
+        The specialization step of Section IV-B: when a predicate query
+        resolves to nothing, a user who knows more about the target can
+        re-ask with the values filled in.
+        """
+        if not self.covers_record(record):
+            raise SchemaError(
+                f"{self!r} does not cover {record!r}; its specialization "
+                "would answer a different question"
+            )
+        return FieldQuery.of_record(record, [name for name, _ in self._items])
 
     def restrict(self, fields: Iterable[str]) -> "FieldQuery":
         """The sub-query keeping only the given fields (must be present)."""
@@ -184,16 +308,17 @@ class FieldQuery:
         missing = wanted - {name for name, _ in self._items}
         if missing:
             raise SchemaError(f"query does not constrain fields: {sorted(missing)}")
-        constraints = {name: val for name, val in self._items if name in wanted}
+        constraints = {name: pred for name, pred in self._items if name in wanted}
         return FieldQuery(self.schema, constraints)
 
-    def extend(self, constraints: Mapping[str, str]) -> "FieldQuery":
+    def extend(self, constraints: Mapping[str, object]) -> "FieldQuery":
         """A more specific query with additional constraints."""
-        merged = dict(self._items)
+        merged: dict[str, FieldPredicate] = dict(self._items)
         for name, value in constraints.items():
-            if name in merged and merged[name] != value:
+            pred = coerce(value)
+            if name in merged and merged[name] != pred:
                 raise SchemaError(f"conflicting constraint on {name!r}")
-            merged[name] = value
+            merged[name] = pred
         return FieldQuery(self.schema, merged)
 
     def to_pattern(self) -> TreePattern:
@@ -213,27 +338,36 @@ class FieldQuery:
         return self._hash
 
     def __repr__(self) -> str:
-        pairs = ", ".join(f"{name}={value!r}" for name, value in self._items)
+        pairs = ", ".join(f"{name}={pred.text!r}" for name, pred in self._items)
         return f"FieldQuery({pairs})"
 
 
-def _linearize(path: LocationPath) -> tuple[list[str], str]:
-    """Flatten a canonical predicate tree into (element tags, value).
+def _linearize(
+    predicate: Predicate,
+) -> tuple[list[str], str, Optional[str]]:
+    """Flatten a canonical predicate tree into (tags, value, operator).
 
-    Canonical predicates are chains ``a[b[...[value]]]`` after
+    Canonical predicates are chains ``a[b[...[leaf]]]`` after
     normalization: each step has exactly one nested predicate until the
-    value leaf.
+    leaf, which is either a bare value step (operator ``None``) or a
+    comparison ``tag op literal`` (prefix/wildcard/range spellings).
     """
     tags: list[str] = []
-    steps = path.steps
+    node = predicate
     while True:
+        steps = node.path.steps
         if len(steps) != 1:
             raise QueryParseError("predicate is not a canonical chain")
         step: LocationStep = steps[0]
+        if node.comparison is not None:
+            if step.predicates:
+                raise QueryParseError("predicate is not a canonical chain")
+            tags.append(step.name)
+            return tags, node.comparison.value, node.comparison.op
         if not step.predicates:
             # The leaf: this step's name is the constrained value.
-            return tags, step.name
-        if len(step.predicates) != 1 or step.predicates[0].comparison is not None:
+            return tags, step.name, None
+        if len(step.predicates) != 1:
             raise QueryParseError("predicate is not a canonical chain")
         tags.append(step.name)
-        steps = step.predicates[0].path.steps
+        node = step.predicates[0]

@@ -27,9 +27,11 @@ indexes"), used by the shortcut ablation.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, Mapping, Optional
 
 from repro.core.fields import Record, Schema
+from repro.core.predicates import PREDICATE_KINDS, Prefix, Wildcard
 from repro.core.query import FieldQuery
 
 #: Sentinel target: the most specific descriptor of a record.
@@ -42,6 +44,58 @@ class SchemeValidationError(ValueError):
     """Raised when a scheme's edges violate the covering discipline."""
 
 
+@dataclass(frozen=True)
+class FieldPredicates:
+    """Predicate support a scheme declares for one field.
+
+    ``kinds`` lists the non-exact predicate kinds the scheme resolves on
+    this field (``"prefix"``, ``"wildcard"``, ``"range"``); exact
+    equality is always supported.  ``trie_levels`` are the prefix depths
+    at which the trie-over-DHT index materializes interior nodes for the
+    field -- empty means no trie, in which case predicate queries fall
+    back to the engine's specialization path.
+    """
+
+    kinds: tuple[str, ...] = ()
+    trie_levels: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        kinds = tuple(self.kinds)
+        levels = tuple(int(level) for level in self.trie_levels)
+        object.__setattr__(self, "kinds", kinds)
+        object.__setattr__(self, "trie_levels", levels)
+        unknown = set(kinds) - set(PREDICATE_KINDS)
+        if unknown:
+            raise SchemeValidationError(
+                f"unknown predicate kinds: {sorted(unknown)}"
+            )
+        if any(level < 1 for level in levels):
+            raise SchemeValidationError("trie levels must be >= 1")
+        if list(levels) != sorted(set(levels)):
+            raise SchemeValidationError(
+                "trie levels must be strictly increasing"
+            )
+        if levels and not kinds:
+            raise SchemeValidationError(
+                "trie levels declared without any predicate kinds"
+            )
+
+
+def article_predicates() -> dict[str, FieldPredicates]:
+    """The default predicate declarations for the article schema.
+
+    Author and title support prefix and wildcard constraints with
+    one- and two-letter trie levels (Section IV-C's "files of an author
+    that start with the letter 'A'"); year supports numeric ranges with
+    century/decade trie levels.
+    """
+    return {
+        "author": FieldPredicates(kinds=("prefix", "wildcard"), trie_levels=(1, 2)),
+        "title": FieldPredicates(kinds=("prefix", "wildcard"), trie_levels=(1, 2)),
+        "year": FieldPredicates(kinds=("range",), trie_levels=(2, 3)),
+    }
+
+
 class IndexScheme:
     """A DAG of index classes over a schema's fields."""
 
@@ -50,6 +104,7 @@ class IndexScheme:
         name: str,
         schema: Schema,
         edges: Mapping[Iterable[str], Iterable[object]],
+        predicates: Optional[Mapping[str, FieldPredicates]] = None,
     ) -> None:
         """Build a scheme from an edge map.
 
@@ -59,6 +114,13 @@ class IndexScheme:
         is the paper's covering discipline: an index key must cover every
         entry stored under it) and every target class must itself be
         resolvable (appear as a source or be the MSD).
+
+        ``predicates`` optionally declares, per field, which non-exact
+        predicate kinds the scheme resolves (and at which trie levels
+        the trie-over-DHT index materializes interior nodes) -- see
+        :class:`FieldPredicates`.  A field with trie levels must have a
+        singleton index class, the hand-over point where trie walks
+        rejoin the ordinary covering chains.
         """
         self.name = name
         self.schema = schema
@@ -73,7 +135,9 @@ class IndexScheme:
                     target_list.append(self._as_keyset(target))
             normalized[source_set] = target_list
         self._edges = normalized
+        self.predicates: dict[str, FieldPredicates] = dict(predicates or {})
         self._validate()
+        self._validate_predicates()
 
     def _as_keyset(self, fields: Iterable[str]) -> KeySet:
         keyset = frozenset(fields)
@@ -106,6 +170,73 @@ class IndexScheme:
                         f"target class {set(target)} is not resolvable"
                     )
         # Superset discipline already rules out cycles; nothing more to check.
+
+    def _validate_predicates(self) -> None:
+        for field_name, declared in self.predicates.items():
+            if field_name not in self.schema.field_names:
+                raise SchemeValidationError(
+                    f"predicate declaration on non-queryable field "
+                    f"{field_name!r}"
+                )
+            if not isinstance(declared, FieldPredicates):
+                raise SchemeValidationError(
+                    f"predicate declaration for {field_name!r} must be a "
+                    "FieldPredicates"
+                )
+            if declared.trie_levels and frozenset({field_name}) not in self._edges:
+                raise SchemeValidationError(
+                    f"trie levels on {field_name!r} need a singleton index "
+                    "class to hand over to"
+                )
+
+    # -- predicate queries -------------------------------------------------------
+
+    def accepts(self, query: FieldQuery) -> bool:
+        """True when every non-exact predicate of the query is declared.
+
+        An accepting scheme resolves the query either through its trie
+        (when trie levels are declared) or through the engine's
+        specialization fallback; a non-accepting scheme treats the query
+        like any other non-indexed shape.
+        """
+        for name, predicate in query.predicate_items:
+            if predicate.kind == "exact":
+                continue
+            declared = self.predicates.get(name)
+            if declared is None or predicate.kind not in declared.kinds:
+                return False
+        return True
+
+    def trie_entry_for(self, query: FieldQuery) -> Optional[FieldQuery]:
+        """The trie node a predicate query's walk starts from, or None.
+
+        Knowing the trie discipline (which levels exist) is scheme
+        knowledge, exactly like knowing ``h(q)``: the user rewrites the
+        predicate into the deepest materialized trie node whose prefix
+        is shared by *every* matching value -- the predicate's anchor --
+        and descends from there by ordinary lookups.  Returns None when
+        the query is exact-only or some non-exact field has no declared
+        trie, in which case the engine keeps the seed behaviour.
+        """
+        for name, predicate in query.predicate_items:
+            if predicate.kind == "exact":
+                continue
+            declared = self.predicates.get(name)
+            if (
+                declared is None
+                or predicate.kind not in declared.kinds
+                or not declared.trie_levels
+            ):
+                return None
+            anchor = predicate.trie_anchor
+            depth = max(
+                (level for level in declared.trie_levels if level <= len(anchor)),
+                default=0,
+            )
+            if depth:
+                return FieldQuery(self.schema, {name: Prefix(anchor[:depth])})
+            return FieldQuery(self.schema, {name: Wildcard("*")})
+        return None
 
     # -- introspection ----------------------------------------------------------
 
@@ -199,7 +330,10 @@ class IndexScheme:
         return f"IndexScheme({self.name!r}, {len(self._edges)} classes)"
 
 
-def simple_scheme(schema: Optional[Schema] = None) -> IndexScheme:
+def simple_scheme(
+    schema: Optional[Schema] = None,
+    predicates: Optional[Mapping[str, FieldPredicates]] = None,
+) -> IndexScheme:
     """The paper's *simple* scheme (Figure 8, left)."""
     schema = schema or _default_schema()
     return IndexScheme(
@@ -213,10 +347,14 @@ def simple_scheme(schema: Optional[Schema] = None) -> IndexScheme:
             ("year",): [("conf", "year")],
             ("conf", "year"): [MSD_TARGET],
         },
+        predicates=predicates,
     )
 
 
-def flat_scheme(schema: Optional[Schema] = None) -> IndexScheme:
+def flat_scheme(
+    schema: Optional[Schema] = None,
+    predicates: Optional[Mapping[str, FieldPredicates]] = None,
+) -> IndexScheme:
     """The paper's *flat* scheme (Figure 8, center): everything -> MSD."""
     schema = schema or _default_schema()
     return IndexScheme(
@@ -230,10 +368,14 @@ def flat_scheme(schema: Optional[Schema] = None) -> IndexScheme:
             ("year",): [MSD_TARGET],
             ("conf", "year"): [MSD_TARGET],
         },
+        predicates=predicates,
     )
 
 
-def complex_scheme(schema: Optional[Schema] = None) -> IndexScheme:
+def complex_scheme(
+    schema: Optional[Schema] = None,
+    predicates: Optional[Mapping[str, FieldPredicates]] = None,
+) -> IndexScheme:
     """The paper's *complex* scheme (Figure 8, right).
 
     Author queries are split through author+conference and
@@ -254,6 +396,7 @@ def complex_scheme(schema: Optional[Schema] = None) -> IndexScheme:
             ("year",): [("conf", "year")],
             ("conf", "year"): [MSD_TARGET],
         },
+        predicates=predicates,
     )
 
 

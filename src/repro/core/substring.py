@@ -19,10 +19,16 @@ classes in the partial order.
 
 :class:`PrefixIndex` materializes the index entries: for each configured
 (field, prefix length), every record contributes a mapping from the
-prefix key to the record's exact entry-class query for that field.  The
-companion :meth:`LookupEngineMixin-style <PrefixIndex.search>` helper
-drives a full search that starts from partial information: prefix key ->
-exact field query -> ordinary index chain -> file.
+prefix key to the record's exact entry-class query for that field.
+
+Since the predicate-algebra refactor the *lookup* side lives in the main
+:class:`~repro.core.engine.LookupEngine`: a prefix search is an ordinary
+``FieldQuery`` whose constraint is a :class:`~repro.core.predicates.Prefix`
+predicate, so it flows through ``search_steps`` and emits the same tracer
+``index_step``/``fetch_step`` events and perf counters as every other
+lookup.  :meth:`PrefixIndex.search` is a thin convenience wrapper over
+that path.  The wider algebra (wildcards, ranges, the trie-over-DHT
+index) lives in :mod:`repro.core.predicates` and :mod:`repro.core.trie`.
 """
 
 from __future__ import annotations
@@ -31,11 +37,11 @@ from typing import Iterable, Optional
 
 from repro.core.engine import LookupEngine, SearchTrace
 from repro.core.fields import Record, Schema, SchemaError
+from repro.core.predicates import PREFIX_TAG, Prefix
 from repro.core.query import FieldQuery
 from repro.core.service import IndexService
 
-#: Marker distinguishing prefix constraints inside canonical key text.
-PREFIX_TAG = "prefix:"
+__all__ = ["PREFIX_TAG", "PrefixQuery", "PrefixIndex"]
 
 
 class PrefixQuery:
@@ -59,6 +65,10 @@ class PrefixQuery:
                 {self.field: f"{PREFIX_TAG}{self.prefix}"}
             )
         return self._key
+
+    def as_field_query(self) -> FieldQuery:
+        """The equivalent predicate query (same canonical key)."""
+        return FieldQuery(self.schema, {self.field: Prefix(self.prefix)})
 
     def covers(self, query: FieldQuery) -> bool:
         """True when every record matching ``query`` matches this prefix."""
@@ -170,64 +180,14 @@ class PrefixIndex:
     ) -> SearchTrace:
         """Full search from partial information: prefix -> ... -> file.
 
-        Walks prefix levels until an exact field query covering the
-        target is found, then hands over to the ordinary lookup engine.
-        Interactions spent on prefix levels are added to the trace.
+        Delegates to the main lookup engine with a ``Prefix`` predicate
+        query, so prefix searches traverse the exact same state machine
+        -- interactions, tracer ``index_step``/``fetch_step`` events and
+        perf counters included -- as ordinary chain lookups.
         """
         query = PrefixQuery(self.service.schema, field, prefix)
         if not query.covers_record(target):
             raise SchemaError(
                 f"{query!r} does not cover the target record {target!r}"
             )
-        interactions = 0
-        visited: list[tuple[int, str]] = []
-        current_key = query.key()
-        for _ in range(len(self.levels.get(field, ())) + 1):
-            answer = self.service.query_key(current_key, engine.user)
-            interactions += 1
-            visited.append((answer.node, current_key))
-            chosen = self._select(answer.entries, field, target)
-            if chosen is None:
-                break
-            if isinstance(chosen, FieldQuery):
-                trace = engine.search(chosen, target)
-                trace.interactions += interactions
-                trace.visited = visited + trace.visited
-                return trace
-            current_key = chosen  # a longer prefix level
-        trace = SearchTrace(query=FieldQuery.of_record(target, [field]), found=False)
-        trace.interactions = interactions
-        trace.visited = visited
-        trace.errors = 1
-        return trace
-
-    def _select(self, entries: list[str], field: str, target: Record):
-        """Pick the entry matching the target: exact query or next prefix."""
-        target_value = target[field]
-        best_prefix: Optional[str] = None
-        best_length = -1
-        for entry in entries:
-            if PREFIX_TAG in entry:
-                prefix = _prefix_of_key(entry)
-                if prefix is not None and target_value.startswith(prefix):
-                    if len(prefix) > best_length:
-                        best_prefix, best_length = entry, len(prefix)
-                continue
-            try:
-                query = FieldQuery.parse(self.service.schema, entry)
-            except Exception:
-                continue
-            if query.covers_record(target):
-                return query
-        return best_prefix
-
-
-def _prefix_of_key(key_text: str) -> Optional[str]:
-    """Extract the prefix value from a canonical prefix key."""
-    marker = key_text.find(PREFIX_TAG)
-    if marker < 0:
-        return None
-    end = key_text.find("]", marker)
-    if end < 0:
-        return None
-    return key_text[marker + len(PREFIX_TAG) : end]
+        return engine.search(query.as_field_query(), target)

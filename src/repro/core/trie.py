@@ -1,0 +1,101 @@
+"""Trie-over-DHT index: prefix/range lookups as bounded trie walks.
+
+The alternative index structure of the predicate-algebra refactor,
+following the trie-over-DHT line of work (prefix search in structured
+P2P overlays, partial-match queries over distributed tries): instead of
+hashing only whole values, each trie-indexed field materializes a small
+trie whose *nodes are DHT keys* and whose child links are ordinary index
+entries, so child expansion is a plain lookup and a range query is a
+bounded walk down the levels that cover it.
+
+The trie of a field with declared levels ``(l1 < l2 < ...)`` is::
+
+    field root  -- the universal wildcard key, e.g. /article[author[name="*"]]
+      └── prefix level l1   /article[author[name[prefix:A]]]
+            └── prefix level l2   /article[author[name[prefix:Al]]]
+                  └── exact entry  /article[author[name[Alan_Doe]]]
+                        └── (ordinary scheme chain down to the MSD)
+
+Every link is stored through ``service.index_store`` exactly like the
+scheme's own chains, so trie entries replicate, count toward storage,
+and serve through the same node-side query path.  The lookup side lives
+in :class:`~repro.core.engine.LookupEngine`: a predicate query is
+rewritten onto its deepest covering trie node
+(:meth:`IndexScheme.trie_entry_for`) and descends by ordinary
+``index_step`` exchanges -- no special message types.
+
+Which fields carry a trie, with which levels and for which predicate
+kinds, is declared on the :class:`~repro.core.scheme.IndexScheme` via
+:class:`~repro.core.scheme.FieldPredicates` -- the trie is
+scheme-pluggable, not a side-car.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+from repro.core.fields import Record, SchemaError
+from repro.core.predicates import Prefix, Wildcard
+from repro.core.query import FieldQuery
+from repro.core.scheme import FieldPredicates
+from repro.core.service import IndexService
+
+
+class TrieIndex:
+    """Materializes per-field tries over an :class:`IndexService`.
+
+    ``declarations`` defaults to the service scheme's own predicate
+    declarations; only fields with non-empty ``trie_levels`` get a trie.
+    Raises :class:`SchemaError` when nothing is trie-indexed (building a
+    trie over a scheme that declared none is a configuration mistake,
+    not a silent no-op).
+    """
+
+    def __init__(
+        self,
+        service: IndexService,
+        declarations: Optional[Mapping[str, FieldPredicates]] = None,
+    ) -> None:
+        if declarations is None:
+            declarations = service.scheme.predicates
+        self.service = service
+        self.levels: dict[str, tuple[int, ...]] = {}
+        for field, declared in declarations.items():
+            service.schema.path_of(field)
+            if declared.trie_levels:
+                self.levels[field] = declared.trie_levels
+        if not self.levels:
+            raise SchemaError("trie index needs at least one field with levels")
+
+    # -- construction -------------------------------------------------------------
+
+    def chain_for(self, record: Record, field: str) -> list[FieldQuery]:
+        """The trie path a record's field value is indexed under.
+
+        Root wildcard, then each prefix level not longer than the value,
+        then the exact single-field query, whose ordinary scheme chain
+        continues down to the MSD.
+        """
+        if field not in self.levels:
+            raise SchemaError(f"field {field!r} has no trie levels")
+        value = record[field]
+        schema = self.service.schema
+        chain: list[FieldQuery] = [FieldQuery(schema, {field: Wildcard("*")})]
+        for level in self.levels[field]:
+            if level > len(value):
+                break
+            chain.append(FieldQuery(schema, {field: Prefix(value[:level])}))
+        chain.append(FieldQuery.of_record(record, [field]))
+        return chain
+
+    def insert_record(self, record: Record) -> None:
+        """Store the record's trie links as ordinary index entries."""
+        for field in self.levels:
+            chain = self.chain_for(record, field)
+            for parent, child in zip(chain, chain[1:]):
+                self.service.index_store.put(parent.key(), child.key())
+
+    def insert_all(self, records: Iterable[Record]) -> None:
+        """Materialize the trie links of a batch of records."""
+        for record in records:
+            self.insert_record(record)

@@ -69,6 +69,9 @@ class PerfCounters:
         "service_file_fetches",
         "engine_searches",
         "engine_generalizations",
+        # predicate queries (repro.core.predicates / repro.core.trie)
+        "engine_specializations",
+        "trie_walks",
         # fault injection (repro.net.faults)
         "fault_drops",
         "fault_duplicates",

@@ -21,20 +21,28 @@ restart-chaos`` runs the durability matrix -- WAL-journaled nodes under
 rolling process kills and power losses -- and the availability table
 then gains recovered-entry counts, replay time, and the post-restart
 lookup success rate (compare against ``--durability none``).
+``--preset range-queries`` runs the predicate-query head-to-head: one
+cell resolving prefix/wildcard/range queries through the trie-over-DHT
+index, one through the paper's generalization/specialization fallback,
+with a comparison table and an optional ``--bench-out`` JSON record.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from dataclasses import replace
 
 from repro.analysis.tables import format_table
 from repro.sim.experiment import Experiment, ExperimentConfig
+from repro.sim.metrics import ExperimentResult
 from repro.sim.presets import (
     CHURN_CONFIG,
     CONCURRENT_CONFIG,
     PAPER_CONFIG,
+    RANGE_QUERIES_CONFIG,
+    RANGE_QUERIES_SMOKE_CONFIG,
     RESTART_CHAOS_CONFIG,
     RESTART_CHAOS_SMOKE_CONFIG,
     SMOKE_CONFIG,
@@ -51,7 +59,12 @@ _PRESETS = {
     "web-scale-smoke": WEB_SCALE_SMOKE_CONFIG,
     "restart-chaos": RESTART_CHAOS_CONFIG,
     "restart-chaos-smoke": RESTART_CHAOS_SMOKE_CONFIG,
+    "range-queries": RANGE_QUERIES_CONFIG,
+    "range-queries-smoke": RANGE_QUERIES_SMOKE_CONFIG,
 }
+
+#: Presets that run as a two-cell comparison (trie vs covering chains).
+_COMPARISON_PRESETS = {"range-queries", "range-queries-smoke"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -230,6 +243,28 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="root for the per-node journals (default: temporary dir)",
     )
+    predicates = parser.add_argument_group("predicate queries")
+    predicates.add_argument(
+        "--predicate-mix",
+        type=float,
+        default=None,
+        help="fraction of queries loosened into prefix/wildcard/range",
+    )
+    predicates.add_argument(
+        "--index-structure",
+        choices=("chains", "trie"),
+        default=None,
+        help="how predicate queries resolve: covering chains or trie",
+    )
+    predicates.add_argument(
+        "--bench-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "append the range-queries comparison record to a "
+            "BENCH_query.json trajectory file"
+        ),
+    )
     observability = parser.add_argument_group("observability")
     observability.add_argument(
         "--trace-out",
@@ -282,6 +317,8 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         "durability": args.durability,
         "fsync": args.fsync,
         "data_dir": args.data_dir,
+        "predicate_mix": args.predicate_mix,
+        "index_structure": args.index_structure,
         "trace": True if args.trace_out else None,
     }
     set_overrides = {key: value for key, value in overrides.items()
@@ -291,6 +328,100 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     return config
 
 
+def _cell_metrics(result: ExperimentResult) -> dict:
+    """The comparison numbers of one range-queries cell."""
+    return {
+        "interactions_per_query": round(result.avg_interactions, 4),
+        "found": result.found,
+        "searches": result.searches,
+        "predicate_queries": result.predicate_queries,
+        "nonindexed_queries": result.nonindexed_queries,
+        "error_interactions": result.total_error_interactions,
+        "normal_bytes_per_query": round(result.normal_bytes_per_query, 1),
+        "index_storage_bytes": result.index_storage_bytes,
+        "trie_walks": result.perf_counters.get("trie_walks", 0),
+        "engine_specializations": result.perf_counters.get(
+            "engine_specializations", 0
+        ),
+    }
+
+
+def run_comparison(
+    config: ExperimentConfig, bench_out: str | None, preset: str
+) -> int:
+    """Run the trie and covering-chains cells head-to-head and report."""
+    cells: dict[str, ExperimentResult] = {}
+    for structure in ("trie", "chains"):
+        cell_config = replace(config, index_structure=structure)
+        print(
+            f"running {preset} [{structure}]: {cell_config.num_nodes} nodes, "
+            f"{cell_config.num_articles:,} articles, "
+            f"{cell_config.num_queries:,} queries "
+            f"({100 * cell_config.predicate_mix:.0f}% predicate mix) ...",
+            flush=True,
+        )
+        cells[structure] = Experiment(cell_config).run()
+    trie, chains = cells["trie"], cells["chains"]
+    rows = [
+        ["interactions / query",
+         round(trie.avg_interactions, 3), round(chains.avg_interactions, 3)],
+        ["lookups found",
+         f"{trie.found}/{trie.searches}", f"{chains.found}/{chains.searches}"],
+        ["predicate queries", trie.predicate_queries, chains.predicate_queries],
+        ["queries hitting recoverable errors",
+         trie.nonindexed_queries, chains.nonindexed_queries],
+        ["wasted error interactions",
+         trie.total_error_interactions, chains.total_error_interactions],
+        ["normal traffic / query",
+         f"{trie.normal_bytes_per_query:,.0f} B",
+         f"{chains.normal_bytes_per_query:,.0f} B"],
+        ["index storage",
+         f"{trie.index_storage_bytes:,} B", f"{chains.index_storage_bytes:,} B"],
+        ["trie walks",
+         trie.perf_counters.get("trie_walks", 0),
+         chains.perf_counters.get("trie_walks", 0)],
+        ["specialization fallbacks",
+         trie.perf_counters.get("engine_specializations", 0),
+         chains.perf_counters.get("engine_specializations", 0)],
+        ["runtime",
+         f"{trie.runtime_seconds:.1f} s", f"{chains.runtime_seconds:.1f} s"],
+    ]
+    print(format_table(
+        ["metric", "trie index", "covering chains"],
+        rows,
+        title=f"{config.scheme} scheme, predicate_mix={config.predicate_mix}",
+    ))
+    if bench_out:
+        record = {
+            "preset": preset,
+            "scheme": config.scheme,
+            "cache": config.cache,
+            "workload": {
+                "num_nodes": config.num_nodes,
+                "num_articles": config.num_articles,
+                "num_queries": config.num_queries,
+                "num_authors": config.num_authors,
+                "predicate_mix": config.predicate_mix,
+                "corpus_seed": config.corpus_seed,
+                "query_seed": config.query_seed,
+            },
+            "cells": {
+                name: _cell_metrics(result) for name, result in cells.items()
+            },
+        }
+        try:
+            with open(bench_out) as handle:
+                trajectory = json.load(handle)
+        except (OSError, ValueError):
+            trajectory = []
+        trajectory.append(record)
+        with open(bench_out, "w") as handle:
+            json.dump(trajectory, handle, indent=2)
+            handle.write("\n")
+        print(f"benchmark record appended to {bench_out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -298,6 +429,8 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if args.preset in _COMPARISON_PRESETS:
+        return run_comparison(config, args.bench_out, args.preset)
     print(
         f"running {config.scheme}/{config.cache} over {config.substrate}: "
         f"{config.num_nodes} nodes, {config.num_articles:,} articles, "

@@ -34,7 +34,14 @@ from repro.analysis.stats import ExactQuantiles, LogBucketQuantiles
 from repro.core.cache import CachePolicy
 from repro.core.engine import LookupEngine, SearchTrace
 from repro.core.fields import ARTICLE_SCHEMA
-from repro.core.scheme import IndexScheme, complex_scheme, flat_scheme, simple_scheme
+from repro.core.scheme import (
+    IndexScheme,
+    article_predicates,
+    complex_scheme,
+    flat_scheme,
+    simple_scheme,
+)
+from repro.core.trie import TrieIndex
 from repro.core.service import IndexService
 from repro.dht.base import DHTProtocol
 from repro.dht.can import CANNetwork
@@ -172,6 +179,19 @@ class ExperimentConfig:
     #: contract, so the choice changes throughput only, never any
     #: measured number.
     scheduler: str = "auto"
+    #: Fraction of workload queries loosened into predicate queries
+    #: (prefix / wildcard / year-range -- see
+    #: :meth:`repro.workload.querygen.QueryGenerator._predicated`).
+    #: 0 draws no extra randomness: exact-only runs are bit-identical
+    #: to the pre-algebra simulator.
+    predicate_mix: float = 0.0
+    #: How predicate queries are resolved: "chains" (the paper's
+    #: generalization/specialization fallback over the ordinary covering
+    #: chains) or "trie" (the trie-over-DHT index of
+    #: :mod:`repro.core.trie`: per-field tries materialized as index
+    #: entries, predicate lookups rewritten onto trie nodes).  Ignored
+    #: unless ``predicate_mix`` > 0.
+    index_structure: str = "chains"
     #: Response-time collector: "exact" (every sample kept; percentiles
     #: bit-identical to the seed accumulation list), "sketch" (constant
     #: memory, <1% relative error -- see
@@ -207,6 +227,10 @@ class ExperimentConfig:
             raise ValueError(f"unknown scheduler {self.scheduler!r}")
         if self.metrics not in ("auto", "exact", "sketch"):
             raise ValueError(f"unknown metrics mode {self.metrics!r}")
+        if not 0.0 <= self.predicate_mix <= 1.0:
+            raise ValueError(f"predicate_mix must be in [0, 1]: {self.predicate_mix}")
+        if self.index_structure not in ("chains", "trie"):
+            raise ValueError(f"unknown index structure {self.index_structure!r}")
         if self.fault_latency_ticks:
             if self.fault_latency_ms:
                 raise ValueError(
@@ -301,7 +325,24 @@ class Experiment:
         )
         if len(self.corpus) != config.num_articles:
             raise ValueError("shared corpus does not match the configuration")
-        self.scheme = scheme or _SCHEME_BUILDERS[config.scheme](ARTICLE_SCHEMA)
+        if scheme is not None:
+            self.scheme = scheme
+        elif config.predicate_mix > 0:
+            # Predicate workloads need the scheme to declare the kinds it
+            # resolves.  The trie cell also declares levels (so lookups
+            # rewrite onto trie nodes); the chains cell declares kinds
+            # only, opting into the specialization fallback.
+            declarations = article_predicates()
+            if config.index_structure != "trie":
+                declarations = {
+                    field: replace(declared, trie_levels=())
+                    for field, declared in declarations.items()
+                }
+            self.scheme = _SCHEME_BUILDERS[config.scheme](
+                ARTICLE_SCHEMA, predicates=declarations
+            )
+        else:
+            self.scheme = _SCHEME_BUILDERS[config.scheme](ARTICLE_SCHEMA)
         self.protocol = self._build_substrate()
         # One seeded RNG drives churn scheduling, crash victim selection,
         # and message-fault draws: chaos runs are bit-reproducible, and a
@@ -423,6 +464,11 @@ class Experiment:
             return
         for record in self.corpus.records:
             self.service.insert_record(record)
+        if (
+            self.config.predicate_mix > 0
+            and self.config.index_structure == "trie"
+        ):
+            TrieIndex(self.service).insert_all(self.corpus.records)
         if self.config.shortcut_top_n:
             entry_classes = self.scheme.entry_classes()
             top = self.corpus.records[: self.config.shortcut_top_n]
@@ -478,6 +524,7 @@ class Experiment:
             self.corpus,
             PowerLawPopularity.for_population(len(self.corpus)),
             seed=config.query_seed,
+            predicate_mix=config.predicate_mix,
         )
         churn_positions, crash_positions = self._chaos_schedule()
 
@@ -681,6 +728,8 @@ class Experiment:
             self.trace_sink(trace)
         result.searches += 1
         result.found += int(trace.found)
+        if not trace.query.is_exact():
+            result.predicate_queries += 1
         if self._any_recovery:
             # Every lookup completing after the first restart recovery
             # counts toward the post-restart success rate -- whether

@@ -54,6 +54,9 @@ class ExperimentResult:
     found: int = 0
     avg_interactions: float = 0.0
     total_interactions: int = 0
+    #: Searches whose query carried at least one non-exact predicate
+    #: (prefix / wildcard / range); 0 for exact-only workloads.
+    predicate_queries: int = 0
 
     # Errors (Table I)
     nonindexed_queries: int = 0        # searches that hit >= 1 recoverable error

@@ -144,6 +144,31 @@ RESTART_CHAOS_SMOKE_CONFIG = replace(
     power_loss_events=1,
 )
 
+#: The predicate-query experiment: half the workload loosened into
+#: prefix/wildcard/year-range queries, resolved through the
+#: trie-over-DHT index.  The driver (``python -m repro.sim --preset
+#: range-queries``) runs this cell head-to-head against an
+#: ``index_structure="chains"`` copy (the paper's generalization /
+#: specialization fallback) and reports interactions/query and traffic
+#: for both, recorded in EXPERIMENTS.md and BENCH_query.json.
+RANGE_QUERIES_CONFIG = ExperimentConfig(
+    num_nodes=200,
+    num_articles=5_000,
+    num_queries=20_000,
+    num_authors=2_000,
+    predicate_mix=0.5,
+    index_structure="trie",
+)
+
+#: A proportionally reduced predicate-query cell for CI smoke runs.
+RANGE_QUERIES_SMOKE_CONFIG = replace(
+    RANGE_QUERIES_CONFIG,
+    num_nodes=50,
+    num_articles=500,
+    num_queries=2_000,
+    num_authors=200,
+)
+
 #: A proportionally reduced chaos cell for fast tests.
 CHURN_SMOKE_CONFIG = replace(
     CHURN_CONFIG,

@@ -11,6 +11,15 @@ year (0.05)."
 :class:`QueryGenerator` implements the two-step draw and yields
 :class:`WorkloadQuery` items pairing the broad query with the target
 article the (simulated) user is actually after.
+
+With ``predicate_mix > 0`` a fraction of the drawn queries loosen one
+constraint into a predicate -- a year shape becomes a
+:class:`~repro.core.predicates.Range` around the target's year, other
+shapes turn their first field into a :class:`Prefix` or
+:class:`Wildcard` of the target's value -- modelling users who only
+partially remember what they are looking for (Section IV-C's
+motivation).  ``predicate_mix = 0`` (the default) draws no extra
+randomness, so exact-only workloads are bit-identical to the seed.
 """
 
 from __future__ import annotations
@@ -20,6 +29,7 @@ from dataclasses import dataclass
 from typing import Iterator, Mapping, Optional, Sequence
 
 from repro.core.fields import Record
+from repro.core.predicates import Prefix, Range, Wildcard
 from repro.core.query import FieldQuery
 from repro.workload.corpus import SyntheticCorpus
 from repro.workload.popularity import PowerLawPopularity
@@ -101,7 +111,11 @@ class QueryGenerator:
         popularity: Optional[PowerLawPopularity] = None,
         structure: Optional[QueryStructureModel] = None,
         seed: int = 42,
+        predicate_mix: float = 0.0,
     ) -> None:
+        if not 0.0 <= predicate_mix <= 1.0:
+            raise ValueError(f"predicate_mix must be in [0, 1]: {predicate_mix}")
+        self.predicate_mix = predicate_mix
         self.corpus = corpus
         self.popularity = popularity or PowerLawPopularity.for_population(len(corpus))
         if self.popularity.population != len(corpus):
@@ -122,8 +136,35 @@ class QueryGenerator:
         rank = self.popularity.sample(rng)
         target = self.corpus.record_at_rank(rank)
         shape = self.structure.sample(rng)
-        constraints = {field_name: target[field_name] for field_name in shape}
+        constraints: dict[str, object] = {
+            field_name: target[field_name] for field_name in shape
+        }
+        if self.predicate_mix and rng.random() < self.predicate_mix:
+            constraints = self._predicated(rng, shape, target, constraints)
         query = FieldQuery(self.corpus.schema, constraints)
         return WorkloadQuery(
             query=query, target=target, target_rank=rank, structure=shape
         )
+
+    def _predicated(
+        self,
+        rng: random.Random,
+        shape: tuple[str, ...],
+        target: Record,
+        constraints: dict[str, object],
+    ) -> dict[str, object]:
+        """Loosen one constraint into a predicate covering the target."""
+        loosened = dict(constraints)
+        if "year" in shape:
+            year = int(target["year"])
+            loosened["year"] = Range(
+                year - rng.randint(0, 5), year + rng.randint(0, 5)
+            )
+            return loosened
+        field_name = shape[0]
+        value = target[field_name]
+        if len(value) >= 3 and rng.random() < 0.5:
+            loosened[field_name] = Wildcard(f"{value[:2]}*{value[-1]}")
+        else:
+            loosened[field_name] = Prefix(value[: rng.randint(1, min(3, len(value)))])
+        return loosened

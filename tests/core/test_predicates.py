@@ -1,0 +1,175 @@
+"""Unit tests for the predicate algebra (matching, covering, spelling)."""
+
+import pytest
+
+from repro.core.fields import SchemaError
+from repro.core.predicates import (
+    Exact,
+    PredicateError,
+    Prefix,
+    Range,
+    Wildcard,
+    coerce,
+)
+
+
+class TestValidation:
+    def test_exact_rejects_empty(self):
+        with pytest.raises(PredicateError):
+            Exact("")
+
+    def test_exact_rejects_reserved_tags(self):
+        with pytest.raises(PredicateError):
+            Exact("prefix:Al")
+        with pytest.raises(PredicateError):
+            Exact("range:1:2")
+
+    def test_exact_rejects_wildcard_and_quote_chars(self):
+        for bad in ("Al*n", 'A"B', "A'B"):
+            with pytest.raises(PredicateError):
+                Exact(bad)
+
+    def test_prefix_rejects_empty_and_non_bareword(self):
+        with pytest.raises(PredicateError):
+            Prefix("")
+        with pytest.raises(PredicateError):
+            Prefix("a b")
+
+    def test_wildcard_requires_star(self):
+        with pytest.raises(PredicateError):
+            Wildcard("Alan")
+        with pytest.raises(PredicateError):
+            Wildcard('A*"')
+
+    def test_range_rejects_empty_and_non_numeric(self):
+        with pytest.raises(PredicateError):
+            Range(2000, 1995)
+        with pytest.raises(PredicateError):
+            Range("abc", "def")
+
+    def test_predicate_error_is_schema_error(self):
+        # Callers catching SchemaError keep working across the refactor.
+        with pytest.raises(SchemaError):
+            Exact("")
+
+
+class TestMatching:
+    def test_exact(self):
+        assert Exact("Alan_Doe").matches("Alan_Doe")
+        assert not Exact("Alan_Doe").matches("Alan")
+
+    def test_prefix(self):
+        assert Prefix("Al").matches("Alan_Doe")
+        assert not Prefix("Al").matches("John")
+
+    @pytest.mark.parametrize(
+        "pattern,value,expected",
+        [
+            ("*", "anything", True),
+            ("Al*", "Alan", True),
+            ("*n", "Alan", True),
+            ("Al*n", "Alan", True),
+            ("Al*n", "Aln", True),  # '*' may span the empty string
+            ("Al*l", "Al", False),  # segments must not overlap
+            ("Al*l", "All", True),
+            ("A*a*e", "Abigail_Rose", True),
+            ("A*a*e", "Abe", False),
+            ("Al*n", "John", False),
+        ],
+    )
+    def test_wildcard(self, pattern, value, expected):
+        assert Wildcard(pattern).matches(value) is expected
+
+    def test_range(self):
+        year = Range(1995, 2000)
+        assert year.matches("1996")
+        assert year.matches("1995") and year.matches("2000")
+        assert not year.matches("1994")
+        assert not year.matches("not_a_year")
+
+
+class TestCovering:
+    """The implication truth table (sound, conservative on wildcards)."""
+
+    def test_exact_covers_only_equal_exact(self):
+        assert Exact("A").covers(Exact("A"))
+        assert not Exact("A").covers(Exact("B"))
+        assert not Exact("Alan").covers(Prefix("Alan"))
+
+    def test_prefix_covering(self):
+        assert Prefix("Al").covers(Exact("Alan_Doe"))
+        assert Prefix("Al").covers(Prefix("Alan"))
+        assert not Prefix("Alan").covers(Prefix("Al"))
+        assert Prefix("Al").covers(Wildcard("Alan*"))
+        assert not Prefix("Al").covers(Wildcard("*Al"))
+        assert not Prefix("19").covers(Range(1995, 1999))
+
+    def test_wildcard_universal_covers_everything(self):
+        star = Wildcard("*")
+        for other in (Exact("x"), Prefix("x"), Wildcard("x*"), Range(1, 2)):
+            assert star.covers(other)
+
+    def test_wildcard_covering(self):
+        assert Wildcard("Al*").covers(Exact("Alan"))
+        assert Wildcard("Al*").covers(Prefix("Alan"))
+        assert not Wildcard("Al*n").covers(Prefix("Alan"))  # tail not free
+        assert Wildcard("Al*").covers(Wildcard("Alan*"))
+        assert Wildcard("A*e").covers(Wildcard("A*e"))
+        assert not Wildcard("A*e").covers(Wildcard("A*f"))
+
+    def test_range_covering(self):
+        assert Range(1990, 2000).covers(Range(1995, 1999))
+        assert not Range(1995, 1999).covers(Range(1990, 2000))
+        assert Range(1990, 2000).covers(Exact("1995"))
+        assert not Range(1990, 2000).covers(Exact("2001"))
+        assert not Range(1990, 2000).covers(Prefix("19"))
+
+    def test_covering_implies_match_subset(self):
+        # Spot-check soundness: whenever covers() says yes, every
+        # matching value of the specific also matches the general.
+        values = ["Alan_Doe", "Alan", "Al", "John_Smith", "1995", "1999"]
+        preds = [
+            Exact("Alan_Doe"), Prefix("Al"), Prefix("Alan"),
+            Wildcard("Al*"), Wildcard("*n"), Wildcard("A*e"),
+            Range(1990, 2000), Range(1995, 1999),
+        ]
+        for general in preds:
+            for specific in preds:
+                if general.covers(specific):
+                    for value in values:
+                        if specific.matches(value):
+                            assert general.matches(value), (
+                                general, specific, value
+                            )
+
+
+class TestRanksAndAnchors:
+    def test_rank_ordering(self):
+        assert Exact("A").rank() > Prefix("Alan_Doe_Longest").rank()
+        assert Prefix("Alan").rank() > Prefix("Al").rank()
+        assert Wildcard("Al*n").rank() == 3
+        assert Range(1, 2).rank() == 0
+
+    def test_trie_anchors(self):
+        assert Exact("Alan").trie_anchor == "Alan"
+        assert Prefix("Al").trie_anchor == "Al"
+        assert Wildcard("Al*n").trie_anchor == "Al"
+        assert Wildcard("*n").trie_anchor == ""
+        assert Range(1995, 1999).trie_anchor == "199"
+        assert Range(1950, 1999).trie_anchor == "19"
+        assert Range(1995, 2000).trie_anchor == ""
+        assert Range(995, 1005).trie_anchor == ""  # differing widths
+
+
+class TestCoerce:
+    def test_passthrough_and_spellings(self):
+        assert coerce(Prefix("Al")) == Prefix("Al")
+        assert coerce("prefix:Al") == Prefix("Al")
+        assert coerce("range:1995:2000") == Range(1995, 2000)
+        assert coerce("Al*n") == Wildcard("Al*n")
+        assert coerce("Alan_Doe") == Exact("Alan_Doe")
+
+    def test_malformed_spellings_raise(self):
+        for bad in ("prefix:", "range:1995", "range::2000", "range:a:b"):
+            with pytest.raises(PredicateError):
+                coerce(bad)

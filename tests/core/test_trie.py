@@ -1,0 +1,184 @@
+"""Tests for the trie-over-DHT index and its engine-folded lookups."""
+
+import pytest
+
+from conftest_helpers import build_engine_stack
+from repro.core.engine import LookupEngine
+from repro.core.fields import ARTICLE_SCHEMA, SchemaError
+from repro.core.predicates import Prefix, Range, Wildcard
+from repro.core.query import FieldQuery
+from repro.core.scheme import FieldPredicates, article_predicates, simple_scheme
+from repro.core.trie import TrieIndex
+from repro.obs.tracer import Tracer
+from repro.perf import counters
+
+
+@pytest.fixture
+def trie_stack(paper_records):
+    scheme = simple_scheme(predicates=article_predicates())
+    service, engine = build_engine_stack(scheme)
+    for record in paper_records:
+        service.insert_record(record)
+    trie = TrieIndex(service)
+    trie.insert_all(paper_records)
+    return service, engine, trie
+
+
+class TestConstruction:
+    def test_requires_trie_levels(self):
+        scheme = simple_scheme()  # no predicate declarations
+        service, _ = build_engine_stack(scheme)
+        with pytest.raises(SchemaError):
+            TrieIndex(service)
+
+    def test_chain_structure(self, trie_stack, paper_records):
+        _, _, trie = trie_stack
+        alan = paper_records[2]  # Alan_Doe / Wavelets / INFOCOM / 1996
+        chain = [q.key() for q in trie.chain_for(alan, "author")]
+        assert chain == [
+            '/article[author[name="*"]]',
+            "/article[author[name[prefix:A]]]",
+            "/article[author[name[prefix:Al]]]",
+            "/article[author[name[Alan_Doe]]]",
+        ]
+
+    def test_year_chain_uses_declared_levels(self, trie_stack, paper_records):
+        _, _, trie = trie_stack
+        chain = [q.key() for q in trie.chain_for(paper_records[0], "year")]
+        # year declares levels (2, 3): 19 -> 198 -> 1989.
+        assert chain == [
+            '/article[year="*"]',
+            "/article[year[prefix:19]]",
+            "/article[year[prefix:198]]",
+            "/article[year[1989]]",
+        ]
+
+    def test_links_are_ordinary_index_entries(self, trie_stack):
+        service, _, _ = trie_stack
+        root = FieldQuery(ARTICLE_SCHEMA, {"author": Wildcard("*")})
+        children = service.index_store.get(root.key()).values
+        assert "/article[author[name[prefix:A]]]" in children
+        assert "/article[author[name[prefix:J]]]" in children
+
+
+class TestWalks:
+    def test_prefix_walk_counts_interactions(self, trie_stack, paper_records):
+        _, engine, _ = trie_stack
+        alan = paper_records[2]
+        # prefix:Al is itself a trie node: Al -> Alan_Doe -> author+title
+        # -> fetch.
+        trace = engine.search(
+            FieldQuery(ARTICLE_SCHEMA, {"author": Prefix("Al")}), alan
+        )
+        assert trace.found
+        assert trace.errors == 0
+        assert trace.interactions == 4
+
+    def test_shallow_prefix_descends_extra_level(
+        self, trie_stack, paper_records
+    ):
+        _, engine, _ = trie_stack
+        alan = paper_records[2]
+        trace = engine.search(
+            FieldQuery(ARTICLE_SCHEMA, {"author": Prefix("A")}), alan
+        )
+        assert trace.found and trace.errors == 0
+        assert trace.interactions == 5
+
+    def test_range_walk_from_field_root(self, trie_stack, paper_records):
+        _, engine, _ = trie_stack
+        alan = paper_records[2]  # year 1996
+        before = counters.trie_walks
+        # 1995..2000 spans the 19/20 prefixes: anchor is empty, so the
+        # walk starts at the field root and is fully bounded by the
+        # declared levels.
+        trace = engine.search(
+            FieldQuery(ARTICLE_SCHEMA, {"year": Range(1995, 2000)}), alan
+        )
+        assert trace.found and trace.errors == 0
+        assert counters.trie_walks == before + 1
+        visited_keys = [key for _, key in trace.visited]
+        assert visited_keys[0] == '/article[year="*"]'
+        assert "/article[year[prefix:19]]" in visited_keys
+
+    def test_wildcard_walk_uses_literal_anchor(self, trie_stack, paper_records):
+        _, engine, _ = trie_stack
+        alan = paper_records[2]
+        trace = engine.search(
+            FieldQuery(ARTICLE_SCHEMA, {"author": Wildcard("Al*e")}), alan
+        )
+        assert trace.found and trace.errors == 0
+        assert trace.visited[0][1] == "/article[author[name[prefix:Al]]]"
+
+    def test_exact_queries_bypass_the_trie(self, trie_stack, paper_records):
+        _, engine, _ = trie_stack
+        before = counters.trie_walks
+        trace = engine.search(
+            FieldQuery.of_record(paper_records[0], ["author"]),
+            paper_records[0],
+        )
+        assert trace.found
+        assert counters.trie_walks == before
+
+
+class TestObservability:
+    """Satellite 1: predicate lookups emit the same tracer events and
+    perf counters as ordinary chains (they *are* ordinary chains now)."""
+
+    def test_prefix_search_emits_index_and_fetch_steps(self, paper_records):
+        scheme = simple_scheme(predicates=article_predicates())
+        service, _ = build_engine_stack(scheme)
+        for record in paper_records:
+            service.insert_record(record)
+        TrieIndex(service).insert_all(paper_records)
+        tracer = Tracer()
+        engine = LookupEngine(service, user="user:traced", tracer=tracer)
+        alan = paper_records[2]
+        trace = engine.search(
+            FieldQuery(ARTICLE_SCHEMA, {"author": Prefix("Al")}), alan
+        )
+        assert trace.found
+        kinds = [event["kind"] for event in tracer.events]
+        assert kinds.count("index_step") == 3
+        assert kinds.count("fetch_step") == 1
+        index_queries = [
+            event["query"]
+            for event in tracer.events
+            if event["kind"] == "index_step"
+        ]
+        assert index_queries[0] == "/article[author[name[prefix:Al]]]"
+        ends = [e for e in tracer.events if e["kind"] == "lookup_end"]
+        assert len(ends) == 1 and ends[0]["found"] is True
+
+    def test_prefix_search_counts_service_queries(self, paper_records):
+        scheme = simple_scheme(predicates=article_predicates())
+        service, engine = build_engine_stack(scheme)
+        for record in paper_records:
+            service.insert_record(record)
+        TrieIndex(service).insert_all(paper_records)
+        before = counters.service_queries
+        engine.search(
+            FieldQuery(ARTICLE_SCHEMA, {"author": Prefix("Al")}),
+            paper_records[2],
+        )
+        assert counters.service_queries == before + 3
+
+
+class TestSchemeValidation:
+    def test_levels_without_kinds_rejected(self):
+        with pytest.raises(Exception):
+            FieldPredicates(kinds=(), trie_levels=(1, 2))
+
+    def test_levels_must_increase(self):
+        with pytest.raises(Exception):
+            FieldPredicates(kinds=("prefix",), trie_levels=(2, 2))
+
+    def test_declaration_on_unknown_field_rejected(self):
+        from repro.core.scheme import SchemeValidationError
+
+        with pytest.raises(SchemeValidationError):
+            simple_scheme(
+                predicates={
+                    "publisher": FieldPredicates(("prefix",), (1,))
+                }
+            )

@@ -1,0 +1,137 @@
+"""Simulation-level tests for predicate workloads and exact-only identity.
+
+Two acceptance criteria of the algebra refactor live here:
+
+- **bit-identity**: exact-only configurations produce results identical
+  to the pre-refactor simulator, pinned against golden numbers captured
+  on the seed (any drift in interactions, traffic, cache behaviour, or
+  index storage fails loudly);
+- **range-queries cells**: both index structures resolve a 50% predicate
+  workload completely; the trie cell walks tries (no specialization
+  fallback), the chains cell specializes (no trie walks), and the trie
+  eliminates the predicate queries' recoverable errors.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.sim.experiment import Experiment
+from repro.sim.presets import RANGE_QUERIES_SMOKE_CONFIG, SMOKE_CONFIG
+
+#: ExperimentResult numbers captured on the pre-predicate-algebra seed
+#: (SMOKE preset).  The refactor must not move any of them.
+GOLDEN_SMOKE = {
+    ("simple", "none"): dict(
+        avg_interactions=2.998,
+        total_interactions=5996,
+        found=2000,
+        nonindexed_queries=97,
+        total_error_interactions=97,
+        normal_bytes_total=4385371,
+        cache_bytes_total=0,
+        cache_hits=0,
+        first_contact_hits=0,
+        index_storage_bytes=336497,
+    ),
+    ("simple", "single"): dict(
+        avg_interactions=2.538,
+        total_interactions=5076,
+        found=2000,
+        nonindexed_queries=67,
+        normal_bytes_total=4677864,
+        cache_bytes_total=377791,
+        cache_hits=1024,
+        first_contact_hits=905,
+        index_storage_bytes=336497,
+    ),
+    ("complex", "lru10"): dict(
+        avg_interactions=2.9305,
+        total_interactions=5861,
+        found=2000,
+        nonindexed_queries=70,
+        normal_bytes_total=2585221,
+        cache_bytes_total=377791,
+        cache_hits=871,
+        first_contact_hits=830,
+        index_storage_bytes=449856,
+    ),
+}
+
+
+class TestExactOnlyBitIdentity:
+    @pytest.mark.parametrize("scheme,cache", sorted(GOLDEN_SMOKE))
+    def test_smoke_results_unchanged(self, scheme, cache):
+        config = replace(SMOKE_CONFIG, scheme=scheme, cache=cache)
+        result = Experiment(config).run()
+        golden = GOLDEN_SMOKE[(scheme, cache)]
+        for field_name, expected in golden.items():
+            actual = getattr(result, field_name)
+            if isinstance(expected, float):
+                actual = round(actual, 4)
+            assert actual == expected, (
+                f"{scheme}/{cache}: {field_name} drifted "
+                f"({actual} != golden {expected})"
+            )
+        # An exact-only run must never touch the predicate machinery.
+        assert result.predicate_queries == 0
+        assert result.perf_counters.get("trie_walks", 0) == 0
+        assert result.perf_counters.get("engine_specializations", 0) == 0
+
+
+@pytest.fixture(scope="module")
+def range_cells():
+    results = {}
+    for structure in ("trie", "chains"):
+        config = replace(RANGE_QUERIES_SMOKE_CONFIG, index_structure=structure)
+        results[structure] = Experiment(config).run()
+    return results
+
+
+class TestRangeQueriesCells:
+    def test_both_cells_resolve_everything(self, range_cells):
+        for result in range_cells.values():
+            assert result.found == result.searches
+            assert result.predicate_queries > 0
+
+    def test_same_workload_in_both_cells(self, range_cells):
+        assert (
+            range_cells["trie"].predicate_queries
+            == range_cells["chains"].predicate_queries
+        )
+
+    def test_trie_walks_replace_specializations(self, range_cells):
+        trie, chains = range_cells["trie"], range_cells["chains"]
+        predicate_queries = trie.predicate_queries
+        assert trie.perf_counters["trie_walks"] == predicate_queries
+        assert trie.perf_counters.get("engine_specializations", 0) == 0
+        assert chains.perf_counters["engine_specializations"] == predicate_queries
+        assert chains.perf_counters.get("trie_walks", 0) == 0
+
+    def test_trie_eliminates_predicate_errors(self, range_cells):
+        trie, chains = range_cells["trie"], range_cells["chains"]
+        # Every predicate query in the chains cell pays >= 1 recoverable
+        # error before specializing; the trie resolves them error-free,
+        # so only the workload's ordinary non-indexed exact shapes remain.
+        assert chains.nonindexed_queries > trie.nonindexed_queries
+        assert trie.nonindexed_queries < trie.predicate_queries // 10
+
+    def test_trie_costs_more_index_storage(self, range_cells):
+        assert (
+            range_cells["trie"].index_storage_bytes
+            > range_cells["chains"].index_storage_bytes
+        )
+
+    def test_deterministic(self):
+        config = replace(
+            RANGE_QUERIES_SMOKE_CONFIG,
+            num_queries=300,
+            num_articles=200,
+            num_nodes=20,
+            num_authors=80,
+        )
+        first = Experiment(config).run()
+        second = Experiment(config).run()
+        assert first.avg_interactions == second.avg_interactions
+        assert first.normal_bytes_total == second.normal_bytes_total
+        assert first.predicate_queries == second.predicate_queries
