@@ -1,0 +1,121 @@
+"""Wire-stack throughput guard: loopback lookups/sec and insert batching.
+
+Measures what one blocking client can push through a small loopback
+cluster -- sequential covering-chain lookups per second, and record
+publications per second with and without the pipelined (batched
+replica fan-out + async shortcut) path -- and asserts two guards:
+
+- a conservative **floor** on single-worker lookup throughput, so a
+  regression in the rpc hot path (codec, socket loop, TCP pooling)
+  fails CI rather than quietly shifting the capacity knee;
+- pipelined inserts must not be slower than lockstep inserts (they
+  batch the same messages into one concurrent round).
+
+Raw numbers land in ``benchmarks/results/rpc_throughput.json`` for the
+capacity narrative in EXPERIMENTS.md.  The floor is intentionally far
+below the locally measured rate (hundreds/sec): CI boxes are slow and
+shared, and this guard is about catching order-of-magnitude drops.
+"""
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.core.query import FieldQuery
+from repro.rpc.cluster import LocalCluster
+from repro.workload.corpus import CorpusConfig, SyntheticCorpus
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Hard floor on sequential loopback lookups/sec (locally ~300+/s).
+LOOKUP_FLOOR_PER_S = 25.0
+
+#: Lookups in the timed section (a few seconds at the floor).
+N_LOOKUPS = 150
+N_INSERTS = 60
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with LocalCluster(3, scheme="simple", cache="multi") as live:
+        yield live
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return SyntheticCorpus(CorpusConfig(num_articles=160, seed=77))
+
+
+def timed(fn, count):
+    started = time.perf_counter()
+    fn()
+    elapsed = time.perf_counter() - started
+    return count / elapsed, elapsed
+
+
+class TestRpcThroughput:
+    def test_lookup_floor_and_insert_batching(self, cluster, corpus):
+        client = cluster.client(pipelined=True)
+        lockstep = cluster.client(pipelined=False)
+        try:
+            seeded = corpus.records[:20]
+            for record in seeded:
+                client.insert_record(record)
+
+            def run_lookups():
+                for index in range(N_LOOKUPS):
+                    record = seeded[index % len(seeded)]
+                    query = FieldQuery.msd_of(record).restrict(["author"])
+                    trace = client.search(query, record)
+                    assert trace.found
+
+            lookups_per_s, lookup_elapsed = timed(run_lookups, N_LOOKUPS)
+
+            pipelined_pool = corpus.records[20 : 20 + N_INSERTS]
+            lockstep_pool = corpus.records[
+                20 + N_INSERTS : 20 + 2 * N_INSERTS
+            ]
+
+            def run_pipelined_inserts():
+                for record in pipelined_pool:
+                    client.insert_record(record)
+
+            def run_lockstep_inserts():
+                for record in lockstep_pool:
+                    lockstep.insert_record(record)
+
+            lockstep_per_s, _ = timed(run_lockstep_inserts, N_INSERTS)
+            pipelined_per_s, _ = timed(run_pipelined_inserts, N_INSERTS)
+
+            messages_per_insert = len(
+                client.insert_messages(corpus.records[-1])
+            )
+            results = {
+                "nodes": cluster.num_nodes,
+                "lookups_per_s": round(lookups_per_s, 1),
+                "lookup_elapsed_s": round(lookup_elapsed, 3),
+                "n_lookups": N_LOOKUPS,
+                "inserts_per_s_pipelined": round(pipelined_per_s, 1),
+                "inserts_per_s_lockstep": round(lockstep_per_s, 1),
+                "insert_speedup": round(pipelined_per_s / lockstep_per_s, 2),
+                "messages_per_insert": messages_per_insert,
+                "floor_per_s": LOOKUP_FLOOR_PER_S,
+            }
+            RESULTS_DIR.mkdir(exist_ok=True)
+            with open(RESULTS_DIR / "rpc_throughput.json", "w") as handle:
+                json.dump(results, handle, indent=2)
+                handle.write("\n")
+
+            assert lookups_per_s >= LOOKUP_FLOOR_PER_S, (
+                f"lookup throughput regressed: {lookups_per_s:.1f}/s "
+                f"< floor {LOOKUP_FLOOR_PER_S}/s"
+            )
+            # Batching several messages into one concurrent round must
+            # not lose to strict request/response lockstep.  Allow a
+            # small noise band rather than asserting a specific speedup.
+            assert pipelined_per_s >= 0.9 * lockstep_per_s, results
+        finally:
+            client.close()
+            lockstep.close()

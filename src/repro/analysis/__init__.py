@@ -8,8 +8,11 @@ textual tables/bars the benchmark harness prints.
 
 from repro.analysis.powerlaw import PowerLawFit, fit_power_law
 from repro.analysis.stats import (
+    ExactQuantiles,
+    LogBucketQuantiles,
     ccdf_points,
     lorenz_skew,
+    percentile,
     rank_ordered,
     summarize,
 )
@@ -18,8 +21,11 @@ from repro.analysis.tables import bar_chart, format_table
 __all__ = [
     "PowerLawFit",
     "fit_power_law",
+    "ExactQuantiles",
+    "LogBucketQuantiles",
     "ccdf_points",
     "lorenz_skew",
+    "percentile",
     "rank_ordered",
     "summarize",
     "bar_chart",

@@ -74,6 +74,7 @@ class ExactQuantiles:
         self._values: list[float] = []
 
     def add(self, value: float) -> None:
+        """Record one sample."""
         self._values.append(value)
 
     def __len__(self) -> int:
@@ -81,17 +82,30 @@ class ExactQuantiles:
 
     @property
     def count(self) -> int:
+        """Number of samples recorded so far."""
         return len(self._values)
 
     @property
     def mean(self) -> float:
+        """Arithmetic mean of the samples (raises on empty)."""
         values = self._values
         if not values:
             raise ValueError("no values")
         return sum(values) / len(values)
 
     def percentile(self, fraction: float) -> float:
+        """Exact nearest-rank percentile, ``fraction`` in [0, 1]."""
         return percentile(self._values, fraction)
+
+    def merge(self, other: "ExactQuantiles") -> "ExactQuantiles":
+        """Fold another collector's samples into this one (in place).
+
+        Returns ``self`` so merges chain; the result is exactly the
+        collector that saw both sample streams (order never matters for
+        nearest-rank percentiles).
+        """
+        self._values.extend(other._values)
+        return self
 
 
 class LogBucketQuantiles:
@@ -145,6 +159,7 @@ class LogBucketQuantiles:
         return (self._gamma - 1.0) / (self._gamma + 1.0)
 
     def add(self, value: float) -> None:
+        """Record one non-negative sample in its logarithmic bucket."""
         if value < 0:
             raise ValueError("sketch accepts non-negative samples only")
         self._count += 1
@@ -165,6 +180,7 @@ class LogBucketQuantiles:
 
     @property
     def count(self) -> int:
+        """Number of samples recorded so far."""
         return self._count
 
     @property
@@ -174,6 +190,7 @@ class LogBucketQuantiles:
 
     @property
     def mean(self) -> float:
+        """Exact arithmetic mean of the samples (raises on empty)."""
         if not self._count:
             raise ValueError("no values")
         return self._sum / self._count
@@ -200,6 +217,65 @@ class LogBucketQuantiles:
                 )
                 return min(max(estimate, self._min), self._max)
         return self._max  # numeric safety; unreachable when counts agree
+
+    # -- cross-process merging ----------------------------------------------
+    #
+    # Sketches built in worker processes travel back to the parent as
+    # plain state dictionaries and fold together there.  Because the
+    # merge is bucket-count addition plus exact min/max/sum folding, it
+    # is commutative, and associative on everything percentile() reads
+    # (counts, buckets, min, max) -- the property suite pins both.
+
+    def merge(self, other: "LogBucketQuantiles") -> "LogBucketQuantiles":
+        """Fold another sketch into this one (in place); returns self.
+
+        Both sketches must use the same ``gamma`` -- bucket indices are
+        only comparable on one geometric grid.
+        """
+        if other._gamma != self._gamma:
+            raise ValueError("cannot merge sketches with different gamma")
+        for index, count in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + count
+        self._zero_count += other._zero_count
+        self._count += other._count
+        self._sum += other._sum
+        if other._min < self._min:
+            self._min = other._min
+        if other._max > self._max:
+            self._max = other._max
+        return self
+
+    def to_state(self) -> dict:
+        """Plain-data snapshot of the sketch (picklable / JSON-safe).
+
+        Bucket indices become strings so the state survives JSON
+        round-trips unchanged; :meth:`from_state` is the exact inverse.
+        """
+        return {
+            "gamma": self._gamma,
+            "buckets": {str(index): count for index, count in self._buckets.items()},
+            "zero_count": self._zero_count,
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min if self._count else None,
+            "max": self._max if self._count else None,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "LogBucketQuantiles":
+        """Rebuild a sketch from :meth:`to_state` output."""
+        sketch = cls(gamma=state["gamma"])
+        sketch._buckets = {
+            int(index): count for index, count in state["buckets"].items()
+        }
+        sketch._zero_count = state["zero_count"]
+        sketch._count = state["count"]
+        sketch._sum = state["sum"]
+        if state["min"] is not None:
+            sketch._min = state["min"]
+        if state["max"] is not None:
+            sketch._max = state["max"]
+        return sketch
 
 
 def ccdf_points(values: Sequence[float]) -> list[tuple[float, float]]:

@@ -164,10 +164,19 @@ class LookupEngine:
         retry_backoff: tuple[int, ...] = DEFAULT_RETRY_BACKOFF,
         backoff_unit_ms: float = DEFAULT_BACKOFF_UNIT_MS,
         tracer: Optional["Tracer"] = None,
+        pipelined_shortcuts: bool = False,
     ) -> None:
+        """``pipelined_shortcuts`` makes the *synchronous* driver
+        dispatch the post-lookup cache-shortcut inserts through the
+        service's continuation-passing API instead of one blocking
+        round-trip per traversed node -- the wire client's pipelining
+        optimization.  Off by default: the simulation's sequential
+        driver must stay operation-for-operation identical to the
+        pre-kernel call stack."""
         self.service = service
         self.user = user
         self.tracer = tracer
+        self.pipelined_shortcuts = pipelined_shortcuts
         self.max_interactions = max_interactions
         self.max_retries = max_retries
         self.backoff_unit_ms = backoff_unit_ms
@@ -319,9 +328,19 @@ class LookupEngine:
         if isinstance(step, FetchStep):
             return self.service.fetch_file(step.msd, self.user)
         if isinstance(step, ShortcutStep):
-            self.service.insert_shortcut(
-                step.node, step.query_key, step.msd_key, self.user
-            )
+            if self.pipelined_shortcuts:
+                # Fire-and-forget through the continuation API: the
+                # lookup's result does not depend on the shortcut
+                # landing, so the client need not wait out one RTT per
+                # traversed node (the wire transport runs these
+                # concurrently on its loop).
+                self.service.insert_shortcut_async(
+                    step.node, step.query_key, step.msd_key, self.user
+                )
+            else:
+                self.service.insert_shortcut(
+                    step.node, step.query_key, step.msd_key, self.user
+                )
             return None
         # BackoffStep: sequential mode has no clock; the budget units the
         # generator already burned *are* the backoff.

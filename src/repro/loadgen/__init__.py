@@ -1,0 +1,86 @@
+"""Open-loop load generator and capacity model for the rpc cluster.
+
+``repro.loadgen`` measures what the real-socket stack of
+:mod:`repro.rpc` can actually sustain.  It ramps an open-loop
+store/retrieve mix (1:3 by default, the paper's workload shape) across
+multiple worker processes against a live cluster, with deterministic
+seeded Poisson arrival schedules (:mod:`~repro.loadgen.schedule`),
+constant-memory latency sketches merged across workers
+(:class:`~repro.analysis.stats.LogBucketQuantiles`), per-stage
+offered-load vs throughput/p50/p95/p99/error-rate accounting, and
+automatic detection of the capacity knee -- the stage where goodput
+flattens while latency inflects (:mod:`~repro.loadgen.report`).
+
+Run it as ``python -m repro.loadgen --nodes 5 --workers 2 --ramp
+50,100,200,400``; results append to ``BENCH_rpc.json``.
+
+Public surface:
+
+- :class:`LoadTestConfig` / :func:`run_load_test` -- programmatic runs.
+- :class:`CapacityReport` / :class:`StageSummary` / :class:`KneeReport`
+  / :func:`detect_knee` -- the capacity model.
+- :func:`stage_schedule` / :func:`stage_rng` / :func:`schedule_digest`
+  / :class:`Op` -- the deterministic schedule core.
+- :class:`WorkerConfig` / :class:`StagePlan` / :func:`run_worker` --
+  one worker process's replay loop.
+- :func:`format_capacity_report` / :func:`append_bench_record` /
+  :func:`bench_record` -- reporting and the BENCH trajectory file.
+"""
+
+from repro.loadgen.report import (
+    CapacityReport,
+    KneeReport,
+    StageSummary,
+    append_bench_record,
+    bench_record,
+    detect_knee,
+    format_capacity_report,
+)
+from repro.loadgen.runner import (
+    LoadTestConfig,
+    merge_results,
+    run_load_test,
+    worker_configs,
+)
+from repro.loadgen.schedule import (
+    DEFAULT_STORE_FRACTION,
+    RETRIEVE,
+    STORE,
+    Op,
+    combine_digests,
+    schedule_digest,
+    stage_rng,
+    stage_schedule,
+)
+from repro.loadgen.worker import (
+    StagePlan,
+    WorkerConfig,
+    WorkerResult,
+    run_worker,
+)
+
+__all__ = [
+    "CapacityReport",
+    "KneeReport",
+    "StageSummary",
+    "append_bench_record",
+    "bench_record",
+    "detect_knee",
+    "format_capacity_report",
+    "LoadTestConfig",
+    "merge_results",
+    "run_load_test",
+    "worker_configs",
+    "DEFAULT_STORE_FRACTION",
+    "RETRIEVE",
+    "STORE",
+    "Op",
+    "combine_digests",
+    "schedule_digest",
+    "stage_rng",
+    "stage_schedule",
+    "StagePlan",
+    "WorkerConfig",
+    "WorkerResult",
+    "run_worker",
+]

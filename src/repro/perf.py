@@ -105,10 +105,14 @@ class PerfCounters:
         "rpc_timeouts",
         "rpc_udp_frames",
         "rpc_tcp_frames",
+        "rpc_tcp_connects",
+        "rpc_tcp_reuses",
         "rpc_oversized_fallbacks",
         "rpc_codec_errors",
         "rpc_bytes_sent",
         "rpc_bytes_received",
+        "rpc_batches",
+        "rpc_batched_messages",
     )
 
     def __init__(self) -> None:

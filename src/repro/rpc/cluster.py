@@ -75,13 +75,33 @@ class ClusterClient:
         tracer: Optional["Tracer"] = None,
         request_timeout_ms: float = 250.0,
         max_retries: int = 3,
+        pipelined: bool = True,
+        discover_timeout_ms: float = 2000.0,
+        discover_retries: int = 2,
     ) -> None:
         """Connect, discover the membership, and build the mirror.
 
         Must be called from a thread *other than* the loop's -- the
         client surface is blocking (it drives the sequential engine).
+
+        ``pipelined`` batches an insert's replica placements into one
+        concurrent round and fire-and-forgets cache shortcuts, instead
+        of one blocking round-trip per message (``False`` restores the
+        strict request/response lockstep, for A/B measurement).
+        ``discover_timeout_ms`` / ``discover_retries`` bound every
+        membership discovery: a dead bootstrap raises
+        :class:`TransportError` after at most
+        ``(discover_retries + 1) * discover_timeout_ms`` instead of
+        stalling the caller behind the transport's own retry ladder.
         """
+        if discover_timeout_ms <= 0:
+            raise ValueError("discover_timeout_ms must be positive")
+        if discover_retries < 0:
+            raise ValueError("discover_retries cannot be negative")
         self._loop = loop
+        self.pipelined = pipelined
+        self.discover_timeout_ms = discover_timeout_ms
+        self.discover_retries = discover_retries
         self.schema = schema if schema is not None else ARTICLE_SCHEMA
         self.scheme = build_scheme(scheme, self.schema)
         self.transport = AsyncioTransport(
@@ -92,9 +112,16 @@ class ClusterClient:
             tracer.bind_clock(self.transport.clock)
             self.transport.bind_tracer(tracer)
         #: Discovered membership: node id -> daemon address.
-        self.members = self._discover(bootstrap)
-        if not self.members:
-            raise TransportError("bootstrap daemon reported no members")
+        try:
+            self.members = self._discover(bootstrap)
+            if not self.members:
+                raise TransportError("bootstrap daemon reported no members")
+        except BaseException:
+            # Failed construction must not leak the client socket.
+            asyncio.run_coroutine_threadsafe(
+                self.transport.close(), loop
+            ).result()
+            raise
         for node_id, address in self.members.items():
             self.transport.add_route(
                 IndexService.endpoint_name(node_id), address
@@ -120,45 +147,79 @@ class ClusterClient:
             cache_capacity=cache_capacity,
             local_nodes=(),
         )
-        self.engine = LookupEngine(self.service, user=user, tracer=tracer)
+        self.engine = LookupEngine(
+            self.service,
+            user=user,
+            tracer=tracer,
+            pipelined_shortcuts=pipelined,
+        )
 
     def _discover(self, bootstrap: Address) -> dict[int, Address]:
-        response = self.transport.send(
-            Message(
-                kind=MessageKind.CONTROL,
-                source="client",
-                destination=daemon_endpoint_name(*bootstrap),
-                payload=("members",),
-            )
+        """Fetch the membership, under an explicit retry/timeout budget.
+
+        Each attempt gets ``discover_timeout_ms`` wall-clock (covering
+        the transport's internal retry ladder, which would otherwise
+        stretch a dead bootstrap into multiple seconds), and at most
+        ``discover_retries`` re-attempts follow before the bounded
+        :class:`TransportError` surfaces to the caller.
+        """
+        request = Message(
+            kind=MessageKind.CONTROL,
+            source="client",
+            destination=daemon_endpoint_name(*bootstrap),
+            payload=("members",),
         )
-        assert response is not None and response.payload[0] == "members"
-        return dict(parse_member(entry) for entry in response.payload[1:])
+        last_error: Optional[Exception] = None
+        for _ in range(self.discover_retries + 1):
+            handle = asyncio.run_coroutine_threadsafe(
+                asyncio.wait_for(
+                    self.transport.request(request),
+                    self.discover_timeout_ms / 1000.0,
+                ),
+                self._loop,
+            )
+            try:
+                response = handle.result()
+            except (asyncio.TimeoutError, TransportError, OSError) as error:
+                last_error = error
+                continue
+            assert response is not None and response.payload[0] == "members"
+            return dict(
+                parse_member(entry) for entry in response.payload[1:]
+            )
+        raise TransportError(
+            f"bootstrap {bootstrap[0]}:{bootstrap[1]} did not answer "
+            f"discovery within {self.discover_retries + 1} attempts of "
+            f"{self.discover_timeout_ms:.0f}ms each"
+        ) from last_error
 
     # -- data plane ---------------------------------------------------------
 
     def _daemon_name(self, node_id: int) -> str:
         return daemon_endpoint_name(*self.members[node_id])
 
-    def insert_record(self, record: Record) -> FieldQuery:
-        """Publish a record into the cluster; returns its MSD.
+    def insert_messages(self, record: Record) -> list[Message]:
+        """The wire messages one record's publication fans out into.
 
-        Mirrors :meth:`IndexService.insert_record`, but every replica
-        placement is one wire message to the owning daemon.
+        One ``store_file`` per file replica plus one ``INDEX_INSERT``
+        per scheme mapping per index replica, each addressed to the
+        owning daemon -- the placement decisions of
+        :meth:`IndexService.insert_record`, materialized so callers can
+        choose how to deliver them (lockstep, batched, or async).
         """
-        msd = FieldQuery.msd_of(record)
-        msd_key = msd.key()
-        for node in self.file_store.responsible_nodes(msd_key):
-            self.transport.send(
-                Message(
-                    kind=MessageKind.CONTROL,
-                    source=self.engine.user,
-                    destination=self._daemon_name(node),
-                    payload=("store_file", msd_key, FILE_MARK),
-                )
+        msd_key = FieldQuery.msd_of(record).key()
+        messages = [
+            Message(
+                kind=MessageKind.CONTROL,
+                source=self.engine.user,
+                destination=self._daemon_name(node),
+                payload=("store_file", msd_key, FILE_MARK),
             )
+            for node in self.file_store.responsible_nodes(msd_key)
+        ]
         for source, target in self.scheme.mappings_for(record):
             for node in self.index_store.responsible_nodes(source.key()):
-                self.transport.send(
+                messages.append(
                     Message(
                         kind=MessageKind.INDEX_INSERT,
                         source=self.engine.user,
@@ -166,7 +227,24 @@ class ClusterClient:
                         payload=(source.key(), target.key()),
                     )
                 )
-        return msd
+        return messages
+
+    def insert_record(self, record: Record) -> FieldQuery:
+        """Publish a record into the cluster; returns its MSD.
+
+        Mirrors :meth:`IndexService.insert_record`, but every replica
+        placement is one wire message to the owning daemon.  With
+        ``pipelined`` (the default) the whole fan-out travels as one
+        concurrent batch -- the publication costs one round-trip-time
+        instead of one per message.
+        """
+        messages = self.insert_messages(record)
+        if self.pipelined:
+            self.transport.send_many(messages)
+        else:
+            for message in messages:
+                self.transport.send(message)
+        return FieldQuery.msd_of(record)
 
     def search(self, query: FieldQuery, target: Record) -> SearchTrace:
         """Covering-chain lookup over the wire (see LookupEngine.search)."""
@@ -213,11 +291,16 @@ class ClusterClient:
         Needed after a daemon restarts on a new port: its node id keeps
         its ring position (so the placement mirror is unchanged), but
         the routes to its endpoints must follow the new address.
+        Discovery runs under the same retry/timeout budget as the
+        constructor -- and only a *successful* discovery swaps the
+        routes, so a dead bootstrap leaves the client's existing view
+        intact instead of routeless.
         """
+        discovered = self._discover(bootstrap)
         for node_id, address in self.members.items():
             self.transport.remove_route(IndexService.endpoint_name(node_id))
             self.transport.remove_route(daemon_endpoint_name(*address))
-        self.members = self._discover(bootstrap)
+        self.members = discovered
         for node_id, address in self.members.items():
             self.transport.add_route(
                 IndexService.endpoint_name(node_id), address

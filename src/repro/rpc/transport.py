@@ -152,6 +152,7 @@ class AsyncioTransport:
         udp_max_bytes: int = 1400,
         dedupe_cap: int = 1024,
         dedupe_ttl_s: float = 60.0,
+        tcp_pool_cap: int = 4,
     ) -> None:
         """``request_timeout_ms`` is the first attempt's deadline; each
         retry doubles it up to ``backoff_cap_ms`` (capped exponential
@@ -161,7 +162,9 @@ class AsyncioTransport:
         entries, each discarded ``dedupe_ttl_s`` seconds after it was
         last replayed (a retransmission can only arrive within the
         sender's retry window, so a long-lived daemon need not remember
-        replies forever).
+        replies forever).  ``tcp_pool_cap`` bounds the idle TCP
+        connections kept open *per peer* for reuse (0 disables reuse and
+        restores one-connection-per-exchange).
         """
         if request_timeout_ms <= 0 or backoff_cap_ms <= 0:
             raise ValueError("timeouts must be positive milliseconds")
@@ -169,6 +172,8 @@ class AsyncioTransport:
             raise ValueError("max_retries cannot be negative")
         if dedupe_cap < 1 or dedupe_ttl_s <= 0:
             raise ValueError("dedupe cache bounds must be positive")
+        if tcp_pool_cap < 0:
+            raise ValueError("tcp_pool_cap cannot be negative")
         self.meter = meter if meter is not None else TrafficMeter()
         self.clock = clock if clock is not None else WallClock()
         self.request_timeout_ms = request_timeout_ms
@@ -195,6 +200,14 @@ class AsyncioTransport:
         ] = OrderedDict()
         self._served_cap = dedupe_cap
         self._served_ttl_ms = dedupe_ttl_s * 1000.0
+        #: Idle TCP connections kept warm per peer address for reuse.
+        self._tcp_pool: dict[
+            Address, list[tuple[asyncio.StreamReader, asyncio.StreamWriter]]
+        ] = {}
+        self._tcp_pool_cap = tcp_pool_cap
+        #: Live server-side TCP connections (clients hold them open for
+        #: reuse), closed with the transport so their handler tasks end.
+        self._server_conns: set[asyncio.StreamWriter] = set()
         self.listen_address: Optional[Address] = None
 
     # -- lifecycle ----------------------------------------------------------
@@ -241,6 +254,13 @@ class AsyncioTransport:
             self._tcp_server.close()
             await self._tcp_server.wait_closed()
             self._tcp_server = None
+        for pool in self._tcp_pool.values():
+            for _, writer in pool:
+                writer.close()
+        self._tcp_pool.clear()
+        for writer in list(self._server_conns):
+            writer.close()
+        self._server_conns.clear()
         for future in self._pending.values():
             if not future.done():
                 future.cancel()
@@ -343,6 +363,56 @@ class AsyncioTransport:
         counters.rpc_responses += 1
         return response
 
+    async def request_many(
+        self, messages: list[Message]
+    ) -> list[object]:
+        """Issue several requests concurrently -- the pipelined path.
+
+        Every message's exchange starts immediately (no request/response
+        lockstep); the returned list is aligned with ``messages``, each
+        item the response :class:`Message`, ``None`` for an ACK, or the
+        :class:`DeliveryError` that exchange raised (runtime failures
+        are per-item data, so one dead replica cannot abort the batch).
+        Misuse (unroutable name, transport not started) still raises.
+        """
+        counters.rpc_batches += 1
+        counters.rpc_batched_messages += len(messages)
+
+        async def one(message: Message) -> object:
+            try:
+                return await self.request(message)
+            except DeliveryError as error:
+                return error
+
+        return list(await asyncio.gather(*(one(m) for m in messages)))
+
+    def send_many(self, messages: list[Message]) -> list[object]:
+        """Blocking batched request from a non-loop thread.
+
+        The batch is marshalled onto the loop as one unit and every
+        exchange runs concurrently; after all of them settle, the first
+        :class:`DeliveryError` (if any) is raised -- matching the
+        sequential path's failure surface while still attempting every
+        message.  Returns the aligned response list otherwise.
+        """
+        if self._loop is None:
+            raise TransportError("transport not started")
+        if threading.get_ident() == self._loop_thread:
+            raise TransportError(
+                "blocking send_many from the event-loop thread; "
+                "use request_many"
+            )
+        if not messages:
+            return []
+        handle = asyncio.run_coroutine_threadsafe(
+            self.request_many(list(messages)), self._loop
+        )
+        results = handle.result()
+        for result in results:
+            if isinstance(result, DeliveryError):
+                raise result
+        return results
+
     async def _exchange(
         self,
         request_id: int,
@@ -394,24 +464,94 @@ class AsyncioTransport:
     async def _exchange_tcp(
         self, request_id: int, body: bytes, address: Address
     ) -> tuple[int, bytes]:
-        reader, writer = await asyncio.open_connection(*address)
-        try:
-            frame = encode_frame(FRAME_REQUEST, request_id, body)
-            writer.write(encode_stream(frame))
-            await writer.drain()
-            counters.rpc_tcp_frames += 1
-            counters.rpc_bytes_sent += len(frame) + STREAM_PREFIX_BYTES
-            prefix = await reader.readexactly(STREAM_PREFIX_BYTES)
-            reply = await reader.readexactly(int.from_bytes(prefix, "big"))
-        finally:
-            writer.close()
+        """One TCP exchange over a pooled (kept-alive) connection.
+
+        Connections park in a per-address pool between exchanges, so a
+        covering-chain's oversized fetches pay the handshake once, not
+        per request.  A pooled connection the peer closed while idle is
+        detected on the first read/write and retried once on a fresh
+        connection; a connection whose exchange was abandoned mid-flight
+        (timeout cancellation, codec error) is closed, never reused --
+        the stream position would be ambiguous.
+        """
+        frame = encode_frame(FRAME_REQUEST, request_id, body)
+        payload = encode_stream(frame)
+        conn = self._checkout_tcp(address)
+        reused = conn is not None
+        if conn is None:
+            conn = await asyncio.open_connection(*address)
+            counters.rpc_tcp_connects += 1
+        reply: Optional[bytes] = None
+        while True:
+            reader, writer = conn
+            try:
+                writer.write(payload)
+                await writer.drain()
+                counters.rpc_tcp_frames += 1
+                counters.rpc_bytes_sent += len(frame) + STREAM_PREFIX_BYTES
+                prefix = await reader.readexactly(STREAM_PREFIX_BYTES)
+                reply = await reader.readexactly(
+                    int.from_bytes(prefix, "big")
+                )
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.IncompleteReadError,
+            ):
+                writer.close()
+                if not reused:
+                    raise
+                # The parked connection went stale while idle: one retry
+                # on a demonstrably fresh connection.
+                reused = False
+                conn = await asyncio.open_connection(*address)
+                counters.rpc_tcp_connects += 1
+                continue
+            except BaseException:
+                # Includes the caller's timeout cancellation: the
+                # exchange is mid-flight, the stream cannot be reused.
+                writer.close()
+                raise
+            break
         counters.rpc_bytes_received += len(reply) + STREAM_PREFIX_BYTES
-        frame_type, reply_id, reply_body = decode_frame(reply)
-        if reply_id != request_id:
-            raise CodecError(
-                f"reply correlates to {reply_id}, expected {request_id}"
-            )
+        try:
+            frame_type, reply_id, reply_body = decode_frame(reply)
+            if reply_id != request_id:
+                raise CodecError(
+                    f"reply correlates to {reply_id}, expected {request_id}"
+                )
+        except CodecError:
+            writer.close()
+            raise
+        if reused:
+            counters.rpc_tcp_reuses += 1
+        self._checkin_tcp(address, conn)
         return frame_type, reply_body
+
+    def _checkout_tcp(
+        self, address: Address
+    ) -> Optional[tuple[asyncio.StreamReader, asyncio.StreamWriter]]:
+        """An idle pooled connection to ``address``, if one is alive."""
+        pool = self._tcp_pool.get(address)
+        while pool:
+            conn = pool.pop()
+            if not conn[1].is_closing():
+                return conn
+        return None
+
+    def _checkin_tcp(
+        self,
+        address: Address,
+        conn: tuple[asyncio.StreamReader, asyncio.StreamWriter],
+    ) -> None:
+        """Park a healthy connection for reuse (bounded per address)."""
+        if conn[1].is_closing() or self._tcp_pool_cap == 0:
+            conn[1].close()
+            return
+        pool = self._tcp_pool.setdefault(address, [])
+        pool.append(conn)
+        while len(pool) > self._tcp_pool_cap:
+            pool.pop(0)[1].close()
 
     def _deliver_local(
         self, handler: Endpoint, message: Message
@@ -590,6 +730,7 @@ class AsyncioTransport:
     ) -> None:
         peer = writer.get_extra_info("peername") or ("?", 0)
         addr: Address = (str(peer[0]), int(peer[1]))
+        self._server_conns.add(writer)
         try:
             while True:
                 try:
@@ -614,5 +755,11 @@ class AsyncioTransport:
                 await writer.drain()
                 counters.rpc_tcp_frames += 1
                 counters.rpc_bytes_sent += len(reply) + STREAM_PREFIX_BYTES
+        except (ConnectionResetError, BrokenPipeError):
+            pass
         finally:
-            writer.close()
+            self._server_conns.discard(writer)
+            try:
+                writer.close()
+            except RuntimeError:
+                pass  # loop already closed under a hard teardown

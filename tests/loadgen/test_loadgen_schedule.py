@@ -1,0 +1,87 @@
+"""Unit tests for the deterministic schedule core."""
+
+import pytest
+
+from repro.loadgen.schedule import (
+    RETRIEVE,
+    STORE,
+    combine_digests,
+    schedule_digest,
+    stage_rng,
+    stage_schedule,
+)
+
+
+class TestStageSchedule:
+    def test_same_cell_reproduces_exactly(self):
+        first = stage_schedule(7, 0, 0, 50.0, 5.0, num_store_records=10,
+                               num_base_records=20, num_entry_classes=3)
+        second = stage_schedule(7, 0, 0, 50.0, 5.0, num_store_records=10,
+                                num_base_records=20, num_entry_classes=3)
+        assert first == second
+        assert schedule_digest(first) == schedule_digest(second)
+
+    def test_different_cells_differ(self):
+        base = stage_schedule(7, 0, 0, 50.0, 5.0)
+        assert stage_schedule(8, 0, 0, 50.0, 5.0) != base
+        assert stage_schedule(7, 1, 0, 50.0, 5.0) != base
+        assert stage_schedule(7, 0, 1, 50.0, 5.0) != base
+
+    def test_arrivals_sorted_and_within_duration(self):
+        ops = stage_schedule(3, 2, 1, 80.0, 4.0)
+        times = [op.at_s for op in ops]
+        assert times == sorted(times)
+        assert all(0.0 <= at < 4.0 for at in times)
+
+    def test_mix_extremes(self):
+        all_stores = stage_schedule(1, 0, 0, 100.0, 3.0, store_fraction=1.0,
+                                    num_store_records=5)
+        assert {op.kind for op in all_stores} == {STORE}
+        all_retrieves = stage_schedule(1, 0, 0, 100.0, 3.0, store_fraction=0.0,
+                                       num_base_records=5, num_entry_classes=2)
+        assert {op.kind for op in all_retrieves} == {RETRIEVE}
+
+    def test_indices_in_range(self):
+        ops = stage_schedule(5, 0, 0, 200.0, 3.0, num_store_records=7,
+                             num_base_records=11, num_entry_classes=2)
+        for op in ops:
+            if op.kind == STORE:
+                assert 0 <= op.record_index < 7
+            else:
+                assert 0 <= op.record_index < 11
+                assert 0 <= op.entry_class < 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stage_schedule(1, 0, 0, 0.0, 5.0)
+        with pytest.raises(ValueError):
+            stage_schedule(1, 0, 0, 50.0, 0.0)
+        with pytest.raises(ValueError):
+            stage_schedule(1, 0, 0, 50.0, 5.0, store_fraction=1.5)
+
+    def test_rng_is_process_stable(self):
+        # String seeding hashes with SHA-512; a fixed cell must produce a
+        # fixed first draw forever (guards against hash()-based seeding).
+        rng = stage_rng(42, 0, 0)
+        again = stage_rng(42, 0, 0)
+        assert [rng.random() for _ in range(5)] == [
+            again.random() for _ in range(5)
+        ]
+
+
+class TestDigests:
+    def test_digest_sensitive_to_every_field(self):
+        ops = stage_schedule(9, 0, 0, 60.0, 2.0, num_store_records=4,
+                             num_base_records=4, num_entry_classes=2)
+        base = schedule_digest(ops)
+        perturbed = list(ops)
+        first = perturbed[0]
+        perturbed[0] = type(first)(
+            first.at_s + 1e-9, first.kind, first.record_index,
+            first.entry_class,
+        )
+        assert schedule_digest(perturbed) != base
+
+    def test_combine_is_order_sensitive(self):
+        assert combine_digests(["a", "b"]) != combine_digests(["b", "a"])
+        assert combine_digests(["a", "b"]) == combine_digests(["a", "b"])

@@ -1,0 +1,88 @@
+"""Regression tests: membership discovery is bounded, never unbounded.
+
+A ``ClusterClient`` pointed at a dead bootstrap must fail with a clear
+:class:`TransportError` within its explicit retry budget -- not stall
+behind the transport's own retry ladder -- and ``refresh_members``
+against a dead bootstrap must leave the existing membership view
+intact.
+"""
+
+import socket
+import time
+
+import pytest
+
+from repro.net.transport import TransportError
+from repro.rpc.cluster import ClusterClient, LocalCluster
+
+
+def dead_address():
+    """An address that was never listening (bind, read, close)."""
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    address = probe.getsockname()
+    probe.close()
+    return address
+
+
+class TestDiscoveryBudget:
+    def test_dead_bootstrap_fails_within_budget(self, loop_factory):
+        loop = loop_factory()
+        started = time.monotonic()
+        with pytest.raises(TransportError) as excinfo:
+            ClusterClient(
+                loop,
+                dead_address(),
+                discover_timeout_ms=150.0,
+                discover_retries=1,
+            )
+        elapsed = time.monotonic() - started
+        # 2 attempts x 150ms plus slack; the point is "well under the
+        # transport's own multi-second retry ladder".
+        assert elapsed < 2.0
+        assert "did not answer discovery" in str(excinfo.value)
+        assert "2 attempts" in str(excinfo.value)
+
+    def test_constructor_validates_budget(self, loop_factory):
+        loop = loop_factory()
+        with pytest.raises(ValueError):
+            ClusterClient(loop, dead_address(), discover_timeout_ms=0.0)
+        with pytest.raises(ValueError):
+            ClusterClient(loop, dead_address(), discover_retries=-1)
+
+    def test_refresh_members_keeps_view_on_dead_bootstrap(self):
+        with LocalCluster(2) as cluster:
+            client = cluster.client(
+                discover_timeout_ms=150.0, discover_retries=0
+            )
+            try:
+                before = dict(client.members)
+                with pytest.raises(TransportError):
+                    client.refresh_members(dead_address())
+                assert client.members == before
+                # The surviving view still routes: a live daemon answers.
+                assert client.ping(sorted(client.members)[0])
+            finally:
+                client.close()
+
+
+@pytest.fixture
+def loop_factory():
+    """Background loops torn down after the test."""
+    import asyncio
+    import threading
+
+    loops = []
+
+    def make():
+        event_loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=event_loop.run_forever, daemon=True)
+        thread.start()
+        loops.append((event_loop, thread))
+        return event_loop
+
+    yield make
+    for event_loop, thread in loops:
+        event_loop.call_soon_threadsafe(event_loop.stop)
+        thread.join(timeout=5)
+        event_loop.close()

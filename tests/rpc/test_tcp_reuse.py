@@ -1,0 +1,227 @@
+"""TCP connection reuse and batched (pipelined) request tests.
+
+The transports here are built with a tiny ``udp_max_bytes`` so every
+exchange takes the TCP fallback path -- the one connection pooling
+accelerates -- without needing megabyte payloads.
+"""
+
+import asyncio
+import socket
+import threading
+
+import pytest
+
+from repro.net.message import Message, MessageKind
+from repro.net.transport import DeliveryError, TransportError
+from repro.perf import snapshot
+from repro.rpc.transport import AsyncioTransport
+
+
+@pytest.fixture
+def loop():
+    event_loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=event_loop.run_forever, daemon=True)
+    thread.start()
+    yield event_loop
+    event_loop.call_soon_threadsafe(event_loop.stop)
+    thread.join(timeout=5)
+    event_loop.close()
+
+
+def run(loop, coroutine):
+    return asyncio.run_coroutine_threadsafe(coroutine, loop).result(timeout=10)
+
+
+def make_server(loop, **options):
+    transport = AsyncioTransport(
+        request_timeout_ms=300.0, max_retries=1, udp_max_bytes=64, **options
+    )
+    run(loop, transport.start("127.0.0.1", 0))
+    return transport
+
+
+def make_client(loop, **options):
+    transport = AsyncioTransport(
+        request_timeout_ms=300.0, max_retries=1, udp_max_bytes=64, **options
+    )
+    run(loop, transport.start())
+    return transport
+
+
+def echo_handler(message):
+    return message.reply(MessageKind.QUERY_RESPONSE, message.payload)
+
+
+def request_to(name, payload=("x" * 100,)):
+    return Message(
+        kind=MessageKind.QUERY_REQUEST,
+        source="user:0",
+        destination=name,
+        payload=payload,
+    )
+
+
+def dead_address():
+    """An address nothing will ever listen on."""
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    address = probe.getsockname()
+    probe.close()
+    return address
+
+
+class TestConnectionReuse:
+    def test_sequential_requests_share_one_connection(self, loop):
+        server, client = make_server(loop), make_client(loop)
+        try:
+            server.register("node:1", echo_handler)
+            client.add_route("node:1", server.listen_address)
+            before = snapshot()
+            for _ in range(5):
+                response = client.send(request_to("node:1"))
+                assert response is not None
+            after = snapshot()
+            assert after["rpc_tcp_connects"] == before["rpc_tcp_connects"] + 1
+            assert after["rpc_tcp_reuses"] == before["rpc_tcp_reuses"] + 4
+        finally:
+            run(loop, client.close())
+            run(loop, server.close())
+
+    def test_pool_cap_zero_disables_reuse(self, loop):
+        server = make_server(loop)
+        client = make_client(loop, tcp_pool_cap=0)
+        try:
+            server.register("node:1", echo_handler)
+            client.add_route("node:1", server.listen_address)
+            before = snapshot()
+            for _ in range(3):
+                assert client.send(request_to("node:1")) is not None
+            after = snapshot()
+            assert after["rpc_tcp_connects"] == before["rpc_tcp_connects"] + 3
+            assert after["rpc_tcp_reuses"] == before["rpc_tcp_reuses"]
+        finally:
+            run(loop, client.close())
+            run(loop, server.close())
+
+    def test_stale_pooled_connection_retried_on_fresh_one(self, loop):
+        server, client = make_server(loop), make_client(loop)
+        try:
+            server.register("node:1", echo_handler)
+            client.add_route("node:1", server.listen_address)
+            assert client.send(request_to("node:1")) is not None
+
+            # The server drops the idle connection the client pooled.
+            def drop_server_conns():
+                for writer in list(server._server_conns):
+                    writer.close()
+
+            run(loop, asyncio.sleep(0))
+            loop.call_soon_threadsafe(drop_server_conns)
+            run(loop, asyncio.sleep(0.05))
+
+            before = snapshot()
+            payload = ("after-stale-" + "y" * 100,)
+            response = client.send(request_to("node:1", payload))
+            assert response is not None
+            assert response.payload == payload
+            after = snapshot()
+            # The stale checkout burned one fresh connect; no double retry.
+            assert after["rpc_tcp_connects"] == before["rpc_tcp_connects"] + 1
+        finally:
+            run(loop, client.close())
+            run(loop, server.close())
+
+    def test_pool_stays_bounded_under_concurrency(self, loop):
+        server = make_server(loop)
+        client = make_client(loop, tcp_pool_cap=2)
+        try:
+            server.register("node:1", echo_handler)
+            client.add_route("node:1", server.listen_address)
+            messages = [request_to("node:1", (f"m{i}",)) for i in range(8)]
+            results = client.send_many(messages)
+            assert len(results) == 8
+            pooled = sum(len(pool) for pool in client._tcp_pool.values())
+            assert pooled <= 2
+        finally:
+            run(loop, client.close())
+            run(loop, server.close())
+
+
+class TestBatchedRequests:
+    def test_send_many_returns_aligned_responses(self, loop):
+        server, client = make_server(loop), make_client(loop)
+        try:
+            server.register("node:1", echo_handler)
+            client.add_route("node:1", server.listen_address)
+            before = snapshot()
+            messages = [request_to("node:1", (f"req-{i}",)) for i in range(6)]
+            results = client.send_many(messages)
+            assert [r.payload for r in results] == [m.payload for m in messages]
+            after = snapshot()
+            assert after["rpc_batches"] == before["rpc_batches"] + 1
+            assert (
+                after["rpc_batched_messages"]
+                == before["rpc_batched_messages"] + 6
+            )
+        finally:
+            run(loop, client.close())
+            run(loop, server.close())
+
+    def test_request_many_reports_failures_per_item(self, loop):
+        server, client = make_server(loop), make_client(loop)
+        try:
+            server.register("node:1", echo_handler)
+            client.add_route("node:1", server.listen_address)
+            client.add_route("node:dead", dead_address())
+            messages = [
+                request_to("node:1", ("ok-1",)),
+                request_to("node:dead", ("doomed",)),
+                request_to("node:1", ("ok-2",)),
+            ]
+            results = run(loop, client.request_many(messages))
+            assert results[0].payload == ("ok-1",)
+            assert isinstance(results[1], DeliveryError)
+            assert results[2].payload == ("ok-2",)
+        finally:
+            run(loop, client.close())
+            run(loop, server.close())
+
+    def test_send_many_raises_first_failure_after_all_settle(self, loop):
+        server, client = make_server(loop), make_client(loop)
+        try:
+            server.register("node:1", echo_handler)
+            client.add_route("node:1", server.listen_address)
+            client.add_route("node:dead", dead_address())
+            with pytest.raises(DeliveryError):
+                client.send_many(
+                    [request_to("node:dead"), request_to("node:1")]
+                )
+        finally:
+            run(loop, client.close())
+            run(loop, server.close())
+
+    def test_send_many_refuses_loop_thread(self, loop):
+        client = make_client(loop)
+        try:
+            failure = []
+
+            def on_loop():
+                try:
+                    client.send_many([request_to("node:1")])
+                except TransportError as error:
+                    failure.append(error)
+
+            run(loop, asyncio.sleep(0))
+            done = threading.Event()
+            loop.call_soon_threadsafe(lambda: (on_loop(), done.set()))
+            assert done.wait(timeout=5)
+            assert failure and "event-loop thread" in str(failure[0])
+        finally:
+            run(loop, client.close())
+
+    def test_send_many_empty_batch_is_noop(self, loop):
+        client = make_client(loop)
+        try:
+            assert client.send_many([]) == []
+        finally:
+            run(loop, client.close())

@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.baselines",
     "repro.rpc",
+    "repro.loadgen",
 ]
 
 
