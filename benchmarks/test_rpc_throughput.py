@@ -24,7 +24,17 @@ import time
 import pytest
 
 from repro.core.query import FieldQuery
+from repro.net.message import Message, MessageKind
 from repro.rpc.cluster import LocalCluster
+from repro.rpc.codec import (
+    FRAME_REQUEST,
+    StreamUnframer,
+    decode_frame,
+    decode_frame_signed,
+    encode_frame,
+    encode_message,
+    encode_stream,
+)
 from repro.workload.corpus import CorpusConfig, SyntheticCorpus
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -35,6 +45,18 @@ LOOKUP_FLOOR_PER_S = 25.0
 #: Lookups in the timed section (a few seconds at the floor).
 N_LOOKUPS = 150
 N_INSERTS = 60
+
+#: Hard floor on zero-copy stream unframing (locally ~1M+ frames/s).
+UNFRAME_FLOOR_PER_S = 50_000.0
+
+#: Frames in the unframer's timed section.
+N_FRAMES = 20_000
+
+#: Ceiling on decode_frame_signed's cost over decode_frame for an
+#: UNSIGNED frame -- the "signing off costs nothing" guard.  The signed
+#: entry point does the same structural work plus one version compare,
+#: so parity with a generous noise band is the contract.
+UNSIGNED_DECODE_OVERHEAD_MAX = 1.5
 
 
 @pytest.fixture(scope="module")
@@ -119,3 +141,75 @@ class TestRpcThroughput:
         finally:
             client.close()
             lockstep.close()
+
+
+def lookup_frame() -> bytes:
+    message = Message(
+        kind=MessageKind.QUERY_REQUEST,
+        source="user:bench",
+        destination="node:42",
+        payload=("author=knuth&title=taocp",),
+    )
+    return encode_frame(FRAME_REQUEST, 7, encode_message(message))
+
+
+class TestCodecFloors:
+    def test_unframer_zero_copy_floor(self):
+        """The TCP reassembly hot path: whole frames per chunk must
+        come back as views, fast, and byte-correct."""
+        frame = lookup_frame()
+        chunk = encode_stream(frame) * 50  # 50 frames per feed() call
+        unframer = StreamUnframer()
+        produced = 0
+        started = time.perf_counter()
+        while produced < N_FRAMES:
+            frames = unframer.feed(chunk)
+            produced += len(frames)
+        elapsed = time.perf_counter() - started
+        frames_per_s = produced / elapsed
+        assert isinstance(frames, list) and len(frames) == 50
+        assert isinstance(frames[0], memoryview), "zero-copy path lost"
+        assert bytes(frames[0]) == frame
+        assert unframer.pending_bytes == 0
+
+        results = {
+            "frames_per_s": round(frames_per_s),
+            "n_frames": produced,
+            "frame_bytes": len(frame),
+            "floor_per_s": UNFRAME_FLOOR_PER_S,
+        }
+        RESULTS_DIR.mkdir(exist_ok=True)
+        with open(RESULTS_DIR / "stream_unframer.json", "w") as handle:
+            json.dump(results, handle, indent=2)
+            handle.write("\n")
+        assert frames_per_s >= UNFRAME_FLOOR_PER_S, results
+
+    def test_unsigned_decode_pays_no_signing_tax(self):
+        """decode_frame_signed on a v1 frame must track decode_frame:
+        deployments that never sign keep their old hot path."""
+        frame = lookup_frame()
+        rounds = 30_000
+
+        def best_of(fn, repeats=5):
+            best = float("inf")
+            for _ in range(repeats):
+                started = time.perf_counter()
+                for _ in range(rounds):
+                    fn(frame)
+                best = min(best, time.perf_counter() - started)
+            return best
+
+        plain = best_of(decode_frame)
+        signed_entry = best_of(decode_frame_signed)
+        ratio = signed_entry / plain
+        results = {
+            "decode_frame_s": round(plain, 4),
+            "decode_frame_signed_s": round(signed_entry, 4),
+            "ratio": round(ratio, 3),
+            "ceiling": UNSIGNED_DECODE_OVERHEAD_MAX,
+        }
+        RESULTS_DIR.mkdir(exist_ok=True)
+        with open(RESULTS_DIR / "unsigned_decode_overhead.json", "w") as handle:
+            json.dump(results, handle, indent=2)
+            handle.write("\n")
+        assert ratio <= UNSIGNED_DECODE_OVERHEAD_MAX, results

@@ -46,6 +46,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--replication", type=int, default=1)
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument(
+        "--signed", action="store_true",
+        help=(
+            "give every daemon an ed25519 identity and require signed "
+            "frames end to end (version-2 wire format)"
+        ),
+    )
+    parser.add_argument(
         "--trace-out", default=None, metavar="PATH",
         help="write the lookup trace (JSONL) here and print its summary",
     )
@@ -75,7 +82,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     print(
         f"booting {args.nodes} daemons "
-        f"({args.substrate}/{args.scheme}/cache={args.cache}) ..."
+        f"({args.substrate}/{args.scheme}/cache={args.cache}"
+        f"{', signed frames required' if args.signed else ''}) ..."
     )
     cluster = LocalCluster(
         args.nodes,
@@ -83,6 +91,7 @@ def main(argv: list[str] | None = None) -> int:
         scheme=args.scheme,
         cache=args.cache,
         replication=args.replication,
+        signed=args.signed,
     )
     with cluster:
         client = cluster.client(tracer=tracer)

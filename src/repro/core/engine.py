@@ -369,6 +369,11 @@ class LookupEngine:
                 counters.trie_walks += 1
                 current = rewritten
         attempted_generalizations: set[frozenset[str]] = set()
+        # The node whose answer pointed us at the descriptor we are about
+        # to fetch: if the fetch then comes back empty, that answer was
+        # contradicted, which the trust ledger (when attached) holds
+        # against the referrer.
+        referrer: Optional[int] = None
         # The per-lookup timeout budget, in interaction units: every
         # exchange -- successful or failed -- and every backoff period
         # drains it.  (In async mode, backoff additionally takes virtual
@@ -386,6 +391,8 @@ class LookupEngine:
                 trace.visited.append((node, current.key()))
                 trace.found = found
                 trace.result_msd = current.key() if found else None
+                if not found and referrer is not None:
+                    self._record_contradiction(referrer)
                 if self.tracer is not None:
                     self.tracer.fetch_step(
                         trace.span_id,
@@ -421,11 +428,13 @@ class LookupEngine:
                 if trace.hit_interaction is None:
                     trace.hit_interaction = trace.interactions
                 current = target_msd
+                referrer = answer.node
                 continue
 
             chosen = self._select_entry(answer.entries, target)
             if chosen is not None:
                 current = chosen
+                referrer = answer.node
                 continue
 
             # No usable entry: generalize.  It counts as a *recoverable
@@ -454,6 +463,19 @@ class LookupEngine:
 
         if trace.found:
             yield from self._shortcut_steps(trace, target_msd_key)
+
+    def _record_contradiction(self, referrer: int) -> None:
+        """Penalize the node whose answer a later fetch contradicted."""
+        trust = self.service.trust
+        if trust is None:
+            return
+        peer = self.service.endpoint_name(referrer)
+        score = trust.record_contradiction(peer)
+        counters.sec_trust_updates += 1
+        if self.tracer is not None:
+            self.tracer.trust_update(
+                peer=peer, score=score, cause="contradiction"
+            )
 
     def explore(self, query: FieldQuery) -> list[str]:
         """One interactive step: the raw result set for a query.

@@ -19,7 +19,10 @@ are measured, not estimated.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+if TYPE_CHECKING:
+    from repro.sec.trust import TrustLedger
 
 from repro.core.cache import CachePolicy, NodeCache
 from repro.core.fields import Record, Schema
@@ -68,6 +71,7 @@ class IndexService:
         cache_policy: CachePolicy = CachePolicy.NONE,
         cache_capacity: Optional[int] = None,
         local_nodes: Optional[Iterable[int]] = None,
+        trust: Optional["TrustLedger"] = None,
     ) -> None:
         """``local_nodes`` restricts which substrate nodes this service
         instance *hosts* (registers endpoints and caches for).  ``None``
@@ -75,6 +79,11 @@ class IndexService:
         networked daemon passes its own node id(s) so remote node names
         resolve over the wire instead of to local handlers, and a pure
         client passes an empty set to host none at all.
+
+        ``trust`` attaches a :class:`repro.sec.trust.TrustLedger`:
+        replica failover then tries trusted replicas first, and every
+        exchange outcome feeds the ledger (signature failures hardest).
+        ``None`` -- the default -- adds no per-exchange work at all.
         """
         if index_store.protocol is not file_store.protocol:
             raise IndexServiceError(
@@ -96,6 +105,7 @@ class IndexService:
         # warmed cache.  None = in-memory only (the default).
         self.journal = None
         self._registered: set[str] = set()
+        self.trust = trust
         # With replication > 1, queries rotate across the key's replicas
         # -- the paper's hot-spot relief: "any optimization of the
         # underlying P2P DHT substrate for hot-spot avoidance (e.g.,
@@ -275,11 +285,15 @@ class IndexService:
             try:
                 response = self.transport.send(request)
             except DeliveryError as error:
+                if self.trust is not None:
+                    self._trust_penalty(node, error)
                 if not error.retry_elsewhere:
                     raise
                 last_error = error
                 continue
             assert response is not None
+            if self.trust is not None:
+                self.trust.record_success(self.endpoint_name(node))
             self.transport.meter.touch_node(self.endpoint_name(node))
             return self._parse_answer(node, response)
         assert last_error is not None
@@ -317,7 +331,56 @@ class IndexService:
             return nodes
         self._replica_rotation += 1
         start = self._replica_rotation % len(nodes)
-        return nodes[start:] + nodes[:start]
+        order = nodes[start:] + nodes[:start]
+        if self.trust is not None:
+            order = self._trusted_first(order)
+        return order
+
+    def _trusted_first(self, order: list[int]) -> list[int]:
+        """Stable partition of a replica order: trusted replicas first.
+
+        Rotation still decides the order *within* each trust class, so
+        hot-key load stays spread; distrusted replicas remain reachable
+        as last-resort failover candidates rather than being banned
+        (trust is a ranking signal, not a membership decision).
+        """
+        trust = self.trust
+        assert trust is not None
+        trusted = [
+            node for node in order if trust.is_trusted(self.endpoint_name(node))
+        ]
+        if len(trusted) == len(order):
+            return order
+        flagged = [
+            node
+            for node in order
+            if not trust.is_trusted(self.endpoint_name(node))
+        ]
+        return trusted + flagged
+
+    def _trust_penalty(self, node: int, error: DeliveryError) -> None:
+        """Feed a failed exchange into the trust ledger (trust attached).
+
+        Signature failures are near-certain evidence of malice and cut
+        trust hardest; drops/timeouts are weak evidence (benign loss
+        looks identical) and shave it lightly.  Crashes and departures
+        are the benign-failure model's territory and not penalized.
+        """
+        trust = self.trust
+        assert trust is not None
+        name = self.endpoint_name(node)
+        if error.reason == DeliveryError.VERIFY_FAILED:
+            score = trust.record_verify_failure(name)
+            cause = "verify_failure"
+        elif error.reason in (DeliveryError.DROPPED, DeliveryError.TIMEOUT):
+            score = trust.record_timeout(name)
+            cause = "timeout"
+        else:
+            return
+        counters.sec_trust_updates += 1
+        tracer = self.transport.tracer
+        if tracer is not None:
+            tracer.trust_update(peer=name, score=score, cause=cause)
 
     def _pick_replica(self, store: DHTStorage, key: str) -> int:
         """The first replica this request would try (see _replica_order)."""
@@ -350,11 +413,15 @@ class IndexService:
             try:
                 response = self.transport.send(request)
             except DeliveryError as error:
+                if self.trust is not None:
+                    self._trust_penalty(node, error)
                 if not error.retry_elsewhere:
                     raise
                 last_error = error
                 continue
             assert response is not None
+            if self.trust is not None:
+                self.trust.record_success(self.endpoint_name(node))
             self.transport.meter.touch_node(self.endpoint_name(node))
             return node, bool(response.payload)
         assert last_error is not None
@@ -444,9 +511,19 @@ class IndexService:
 
             def on_result(response: Optional[Message]) -> None:
                 assert response is not None
+                if self.trust is not None:
+                    self.trust.record_success(self.endpoint_name(node))
                 on_done(self._parse_answer(node, response))
 
             def on_fail(error: DeliveryError) -> None:
+                if self.trust is not None:
+                    # Continuations run long after other lookups moved the
+                    # current span; re-activate ours for the trust event.
+                    if tracer is not None:
+                        with tracer.activated(span):
+                            self._trust_penalty(node, error)
+                    else:
+                        self._trust_penalty(node, error)
                 if error.retry_elsewhere and index + 1 < len(order):
                     attempt(index + 1)
                 else:
@@ -494,9 +571,17 @@ class IndexService:
 
             def on_result(response: Optional[Message]) -> None:
                 assert response is not None
+                if self.trust is not None:
+                    self.trust.record_success(self.endpoint_name(node))
                 on_done((node, bool(response.payload)))
 
             def on_fail(error: DeliveryError) -> None:
+                if self.trust is not None:
+                    if tracer is not None:
+                        with tracer.activated(span):
+                            self._trust_penalty(node, error)
+                    else:
+                        self._trust_penalty(node, error)
                 if error.retry_elsewhere and index + 1 < len(order):
                     attempt(index + 1)
                 else:

@@ -17,6 +17,7 @@ from repro.loadgen.report import (
     format_capacity_report,
 )
 from repro.loadgen.runner import LoadTestConfig, run_load_test
+from repro.rpc.loop import install_uvloop
 
 
 def parse_ramp(text: str) -> tuple[float, ...]:
@@ -111,6 +112,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="run workers on threads in-process instead of spawned processes",
     )
     parser.add_argument(
+        "--uvloop",
+        action="store_true",
+        help=(
+            "run the cluster and client loops on uvloop when the "
+            "package is importable (falls back to stock asyncio)"
+        ),
+    )
+    parser.add_argument(
         "--out",
         default="BENCH_rpc.json",
         help="benchmark trajectory file to append to (default BENCH_rpc.json)",
@@ -129,6 +138,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     options = build_parser().parse_args(argv)
     extra_meta = {"label": options.label} if options.label else {}
+    if options.uvloop:
+        # Installing the policy here covers the cluster's background
+        # loop and the in-process client loops; spawned worker
+        # processes keep the stock loop (they are CPU-light senders).
+        extra_meta["loop"] = (
+            "uvloop" if install_uvloop() else "asyncio (uvloop unavailable)"
+        )
     config = LoadTestConfig(
         num_nodes=options.nodes,
         workers=options.workers,

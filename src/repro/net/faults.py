@@ -495,3 +495,18 @@ class FaultyTransport:
         if not candidates:
             return None
         return candidates[self._rng.randrange(len(candidates))]
+
+
+#: Adversarial (Byzantine) extensions live in :mod:`repro.net.adversary`
+#: and are re-exported here lazily (PEP 562) -- a plain ``from
+#: repro.net.faults import AdversaryPlan`` works without creating an
+#: import cycle (the adversary module subclasses FaultyTransport).
+_ADVERSARY_EXPORTS = ("AdversaryPlan", "AdversarialTransport", "NO_ADVERSARY")
+
+
+def __getattr__(name: str):
+    if name in _ADVERSARY_EXPORTS:
+        from repro.net import adversary
+
+        return getattr(adversary, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

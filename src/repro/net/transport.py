@@ -61,6 +61,12 @@ class DeliveryError(TransportError):
     #: the engine's retry logic and the service's failover policy treat
     #: the two reasons identically.
     TIMEOUT = "timeout"
+    #: A response arrived but failed signature verification (the sender
+    #: could not prove the claimed identity -- see :mod:`repro.sec`).  The
+    #: answer is discarded as if the node were unreachable, and because a
+    #: forger will keep forging, failover to another replica is the only
+    #: productive retry.
+    VERIFY_FAILED = "verify_failed"
 
     def __init__(self, reason: str, destination: str) -> None:
         super().__init__(f"delivery failed ({reason}): {destination!r}")
@@ -70,7 +76,7 @@ class DeliveryError(TransportError):
     @property
     def retry_elsewhere(self) -> bool:
         """Whether another replica could answer where this node did not."""
-        return self.reason in (self.CRASHED, self.UNREGISTERED)
+        return self.reason in (self.CRASHED, self.UNREGISTERED, self.VERIFY_FAILED)
 
 
 Endpoint = Callable[[Message], Optional[Message]]

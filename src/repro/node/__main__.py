@@ -37,6 +37,7 @@ import sys
 
 from repro.dht import DEFAULT_BITS
 from repro.rpc.daemon import SCHEMES, SUBSTRATES, NodeDaemon
+from repro.rpc.loop import install_uvloop
 
 
 def parse_host_port(text: str) -> tuple[str, int]:
@@ -100,6 +101,28 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: interval)"
         ),
     )
+    parser.add_argument(
+        "--identity-dir", default=None, metavar="PATH",
+        help=(
+            "persist an ed25519 identity under PATH and sign every "
+            "frame; the node id derives from the public key unless "
+            "--node-id or a recovered snapshot overrides it"
+        ),
+    )
+    parser.add_argument(
+        "--require-signed", action="store_true",
+        help=(
+            "reject unsigned requests with a verify_failed error "
+            "(needs --identity-dir)"
+        ),
+    )
+    parser.add_argument(
+        "--uvloop", action="store_true",
+        help=(
+            "run on uvloop when the package is importable "
+            "(falls back to the stock asyncio loop otherwise)"
+        ),
+    )
     return parser
 
 
@@ -116,6 +139,8 @@ async def run(args: argparse.Namespace) -> int:
         node_id=None if args.node_id is None else int(args.node_id, 16),
         data_dir=args.data_dir,
         fsync=args.fsync,
+        identity_dir=args.identity_dir,
+        require_signed=args.require_signed,
     )
     bound_host, bound_port = await daemon.start(bootstrap=args.bootstrap)
     loop = asyncio.get_running_loop()
@@ -128,6 +153,14 @@ async def run(args: argparse.Namespace) -> int:
         f"READY {bound_host}:{bound_port} node={daemon.node_id:x}",
         flush=True,
     )
+    if daemon.identity is not None:
+        # A separate line AFTER the 3-token READY protocol, like
+        # RECOVERY below, so wrappers that split READY keep working.
+        print(
+            f"IDENTITY pub={daemon.identity.public_key.hex()} "
+            f"backend={daemon.identity.backend}",
+            flush=True,
+        )
     if daemon.recovery is not None:
         # A separate line AFTER the 3-token READY protocol, so wrappers
         # that split READY keep working.
@@ -147,7 +180,16 @@ async def run(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.require_signed and args.identity_dir is None:
+        parser.error("--require-signed needs --identity-dir")
+    if args.uvloop:
+        active = install_uvloop()
+        print(
+            "LOOP uvloop" if active else "LOOP asyncio (uvloop unavailable)",
+            flush=True,
+        )
     try:
         return asyncio.run(run(args))
     except KeyboardInterrupt:

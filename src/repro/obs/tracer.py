@@ -358,6 +358,44 @@ class Tracer:
             {"node": node, "query": query, "msd": msd},
         )
 
+    # -- security events (adversarial runs, repro.sec) ----------------------
+
+    def sec_verify_fail(self, *, destination: str, role: str) -> None:
+        """A response failed signature verification and was discarded.
+
+        ``role`` names the adversary class that produced the forged
+        frame (``poisoner`` / ``liar`` / ``sybil``) in simulation runs,
+        or ``unknown`` on a real transport where only the failure is
+        observable.
+        """
+        lookup, exchange = self.current if self.current is not None else (None, None)
+        self._emit(
+            "sec_verify_fail",
+            lookup,
+            exchange,
+            {"destination": destination, "role": role},
+        )
+
+    def poisoned_result(self, *, destination: str, key: str) -> None:
+        """A fabricated (unverified) answer was delivered to a lookup."""
+        lookup, exchange = self.current if self.current is not None else (None, None)
+        self._emit(
+            "poisoned_result",
+            lookup,
+            exchange,
+            {"destination": destination, "key": key},
+        )
+
+    def trust_update(self, *, peer: str, score: float, cause: str) -> None:
+        """The trust ledger re-scored a peer (see repro.sec.trust)."""
+        lookup, exchange = self.current if self.current is not None else (None, None)
+        self._emit(
+            "trust_update",
+            lookup,
+            exchange,
+            {"peer": peer, "score": round(score, 6), "cause": cause},
+        )
+
     # -- export -------------------------------------------------------------
 
     def jsonl_lines(self) -> Iterator[str]:

@@ -113,6 +113,16 @@ class PerfCounters:
         "rpc_bytes_received",
         "rpc_batches",
         "rpc_batched_messages",
+        # security layer (repro.sec + repro.net.adversary)
+        "sec_sign_calls",
+        "sec_verify_calls",
+        "sec_verify_failures",
+        "sec_poisoned_answers",
+        "sec_poisoned_results",
+        "sec_forged_referrals",
+        "sec_eclipse_drops",
+        "sec_sybil_joins",
+        "sec_trust_updates",
     )
 
     def __init__(self) -> None:

@@ -50,6 +50,7 @@ from repro.rpc.transport import (
     AsyncioTransport,
     daemon_endpoint_name,
 )
+from repro.sec import NodeIdentity
 from repro.storage.durable import tear_wal
 from repro.storage.store import DHTStorage
 
@@ -78,6 +79,8 @@ class ClusterClient:
         pipelined: bool = True,
         discover_timeout_ms: float = 2000.0,
         discover_retries: int = 2,
+        identity: Optional[NodeIdentity] = None,
+        require_signed: bool = False,
     ) -> None:
         """Connect, discover the membership, and build the mirror.
 
@@ -105,7 +108,10 @@ class ClusterClient:
         self.schema = schema if schema is not None else ARTICLE_SCHEMA
         self.scheme = build_scheme(scheme, self.schema)
         self.transport = AsyncioTransport(
-            request_timeout_ms=request_timeout_ms, max_retries=max_retries
+            request_timeout_ms=request_timeout_ms,
+            max_retries=max_retries,
+            identity=identity,
+            require_signed=require_signed,
         )
         asyncio.run_coroutine_threadsafe(self.transport.start(), loop).result()
         if tracer is not None:
@@ -344,11 +350,21 @@ class LocalCluster:
         max_retries: int = 3,
         data_root: Optional[str] = None,
         fsync: str = "interval",
+        signed: bool = False,
     ) -> None:
         """``data_root`` makes the cluster durable: each daemon gets a
         data dir under it (keyed by daemon index, stable across
         restarts), enabling :meth:`kill_node` / :meth:`restart_node`
-        crash-recovery cycles.  ``fsync`` is each WAL's sync policy."""
+        crash-recovery cycles.  ``fsync`` is each WAL's sync policy.
+
+        ``signed`` gives every daemon a deterministic ed25519 identity
+        and makes the whole cluster require signed frames: each daemon
+        signs its traffic and rejects unsigned requests, and
+        :meth:`client` hands out signing clients by default.  Node ids
+        stay the seeded ``cluster-node-<i>`` values (identities sign;
+        they do not re-place the ring), so replica placement is
+        identical to an unsigned cluster.
+        """
         if num_nodes < 1:
             raise ValueError("a cluster needs at least one node")
         self.num_nodes = num_nodes
@@ -362,6 +378,7 @@ class LocalCluster:
         self.max_retries = max_retries
         self.data_root = data_root
         self.fsync = fsync
+        self.signed = signed
         self.daemons: list[NodeDaemon] = []
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
@@ -415,6 +432,11 @@ class LocalCluster:
             # Keyed by daemon index, NOT by port: a restarted daemon
             # must find the same directory on its new ephemeral port.
             data_dir = os.path.join(self.data_root, f"daemon-{index}")
+        identity = None
+        if self.signed:
+            # Keyed by daemon index too: a restarted daemon keeps its
+            # keypair, so peers' cached pubkey expectations stay valid.
+            identity = NodeIdentity(f"cluster-identity-{index}")
         return NodeDaemon(
             self.host,
             0,
@@ -428,6 +450,8 @@ class LocalCluster:
             max_retries=self.max_retries,
             data_dir=data_dir,
             fsync=self.fsync,
+            identity=identity,
+            require_signed=self.signed,
         )
 
     # -- restart / power-loss chaos ------------------------------------------
@@ -510,6 +534,9 @@ class LocalCluster:
             request_timeout_ms=self.request_timeout_ms,
             max_retries=self.max_retries,
         )
+        if self.signed:
+            options["identity"] = NodeIdentity("cluster-client")
+            options["require_signed"] = True
         options.update(overrides)
         return ClusterClient(self._loop, self.daemons[0].address, **options)
 

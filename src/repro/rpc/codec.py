@@ -52,12 +52,40 @@ followed by a type-dependent body:
   or the codec-internal ``oversized`` that asks the sender to repeat the
   request over TCP).
 
+Signed frames (version 2)
+=========================
+
+A frame may optionally carry an ed25519 signature proving which keypair
+produced it (see :mod:`repro.sec`).  Signed frames stamp wire version 2
+into the envelope and append a fixed 98-byte trailer after the body::
+
+    offset  size  field
+    ------  ----  -----------------------------------------------------
+    0       1     public key length (must be 32)
+    1       32    ed25519 public key
+    33      1     signature length (must be 64)
+    34      64    ed25519 signature
+
+The signature covers every frame byte up to and including the signature
+length marker (envelope, body, public key) -- i.e. ``frame[:-64]`` -- so
+neither the request id, the body, nor the claimed key can be swapped
+without invalidating it.  REQUEST/RESPONSE bodies inside a signed frame
+set flag bit 1 (``_FLAG_SIGNED``); the decoder enforces that the flag
+and the trailer agree, and a version-1 decoder rejects the flag as
+unknown, so a signed frame can never be replayed down-versioned.  The
+codec only checks *structure* (lengths, flag/trailer agreement);
+verifying the signature itself is the caller's job via
+:func:`repro.sec.verify_signature` over ``SignedEnvelope.signed``.
+Unsigned frames keep encoding exactly as version 1, bit-identically.
+
 Transport mapping: a frame travels as one UDP datagram, or over a TCP
 stream prefixed with a u32 frame length (``encode_stream`` /
 :class:`StreamUnframer`).  Decoding rejects bad magic, unknown versions,
 unknown type/kind/category codes, truncated bodies, and trailing bytes
 with :class:`CodecError` -- a real socket can deliver garbage, so the
-decoder never raises anything else.
+decoder never raises anything else.  Decoders accept ``bytes`` or
+``memoryview`` input: the stream unframer hands out zero-copy views
+over the receive buffer on its fast path.
 
 Determinism: encoding depends only on the message's fields (no clocks,
 no randomness), so equal messages encode to equal bytes and the measured
@@ -67,13 +95,23 @@ sizes used by the byte-accounting cross-check are reproducible.
 from __future__ import annotations
 
 import struct
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.net.message import Message, MessageKind, TrafficCategory
+
+if TYPE_CHECKING:  # layering: the codec never imports crypto at runtime
+    from repro.sec.identity import NodeIdentity
+
+#: Bytes-like frame input: decoders accept either without copying.
+Buffer = Union[bytes, memoryview]
 
 #: First bytes of every frame.
 MAGIC = b"RP"
 #: Wire protocol version stamped into (and required of) every frame.
 WIRE_VERSION = 1
+#: Wire version of frames carrying the signed-envelope trailer.
+WIRE_VERSION_SIGNED = 2
 
 #: Frame types.
 FRAME_REQUEST = 1
@@ -97,6 +135,16 @@ WIRE_PER_ENTRY_BYTES = 4
 OVERSIZED_REASON = "oversized"
 
 _FLAG_EXPLICIT_SIZE = 0x01
+#: Set on message bodies travelling inside a signed (version-2) frame.
+#: A version-1 decoder rejects it as an unknown flag bit by design.
+_FLAG_SIGNED = 0x02
+_KNOWN_FLAGS = _FLAG_EXPLICIT_SIZE | _FLAG_SIGNED
+
+#: Signed-trailer field sizes (ed25519).
+SIGNED_PUBKEY_BYTES = 32
+SIGNED_SIGNATURE_BYTES = 64
+#: Total signed-trailer size: len byte + pubkey + len byte + signature.
+SIGNED_TRAILER_BYTES = 1 + SIGNED_PUBKEY_BYTES + 1 + SIGNED_SIGNATURE_BYTES
 
 #: Stable wire codes for every message kind.  New kinds append; existing
 #: codes never change (they are the versioned part of the protocol).
@@ -133,8 +181,12 @@ class CodecError(ValueError):
 # -- message body -----------------------------------------------------------
 
 
-def encode_message(message: Message) -> bytes:
-    """Serialize one message into a REQUEST/RESPONSE frame body."""
+def encode_message(message: Message, *, signed: bool = False) -> bytes:
+    """Serialize one message into a REQUEST/RESPONSE frame body.
+
+    ``signed=True`` sets the signed-flag bit: the body is destined for a
+    version-2 frame whose trailer :func:`sign_frame` appends.
+    """
     kind_code = KIND_CODES.get(message.kind)
     if kind_code is None:  # pragma: no cover - enum is closed today
         raise CodecError(f"kind has no wire code: {message.kind!r}")
@@ -150,7 +202,7 @@ def encode_message(message: Message) -> bytes:
         raise CodecError("endpoint name exceeds 65535 UTF-8 bytes")
     if len(message.payload) > _U16_MAX:
         raise CodecError("payload exceeds 65535 entries")
-    flags = 0
+    flags = _FLAG_SIGNED if signed else 0
     if message.explicit_size is not None:
         if not 0 <= message.explicit_size <= _U64_MAX:
             raise CodecError(
@@ -182,11 +234,11 @@ class _Reader:
 
     __slots__ = ("data", "pos")
 
-    def __init__(self, data: bytes) -> None:
+    def __init__(self, data: Buffer) -> None:
         self.data = data
         self.pos = 0
 
-    def take(self, count: int) -> bytes:
+    def take(self, count: int) -> Buffer:
         end = self.pos + count
         if end > len(self.data):
             raise CodecError(
@@ -211,7 +263,8 @@ class _Reader:
 
     def text(self, count: int) -> str:
         try:
-            return self.take(count).decode("utf-8")
+            # str(buffer, encoding) decodes bytes and memoryview alike.
+            return str(self.take(count), "utf-8")
         except UnicodeDecodeError as error:
             raise CodecError(f"invalid UTF-8 in frame: {error}") from None
 
@@ -222,8 +275,15 @@ class _Reader:
             )
 
 
-def decode_message(body: bytes) -> Message:
-    """Parse a REQUEST/RESPONSE frame body back into a message."""
+def decode_message(body: Buffer, *, signed: bool = False) -> Message:
+    """Parse a REQUEST/RESPONSE frame body back into a message.
+
+    ``signed`` states whether the enclosing frame carried the version-2
+    signature trailer; the body's signed-flag bit must agree, so a
+    trailer cannot be stripped from (or bolted onto) a body unnoticed.
+    In the default unsigned mode the signed flag is simply unknown --
+    exactly the version-1 decoder behavior.
+    """
     reader = _Reader(body)
     kind_code = reader.u8()
     kind = _KINDS_BY_CODE.get(kind_code)
@@ -234,8 +294,11 @@ def decode_message(body: bytes) -> Message:
     if category is None:
         raise CodecError(f"unknown traffic category code: {category_code}")
     flags = reader.u8()
-    if flags & ~_FLAG_EXPLICIT_SIZE:
+    known = _KNOWN_FLAGS if signed else _FLAG_EXPLICIT_SIZE
+    if flags & ~known:
         raise CodecError(f"unknown flag bits set: {flags:#x}")
+    if signed and not flags & _FLAG_SIGNED:
+        raise CodecError("signed frame carries a body without the signed flag")
     hops = reader.u16()
     if hops < 1:
         raise CodecError("route_hops must be >= 1 on the wire")
@@ -270,28 +333,125 @@ def encode_frame(frame_type: int, request_id: int, body: bytes = b"") -> bytes:
     ) + body
 
 
-def decode_frame(data: bytes) -> tuple[int, int, bytes]:
-    """Split a frame into ``(frame_type, request_id, body)``.
+@dataclass(frozen=True)
+class SignedEnvelope:
+    """The signature trailer of a version-2 frame, structurally valid.
 
-    The body is *not* parsed here -- REQUEST/RESPONSE bodies go through
-    :func:`decode_message`, ERROR bodies through :func:`decode_error`.
+    ``signed`` is the exact byte span the signature covers
+    (``frame[:-64]``); pass the triple to
+    :func:`repro.sec.verify_signature` to check authenticity.
+    """
+
+    public_key: bytes
+    signature: bytes
+    signed: bytes
+
+
+def sign_frame(
+    frame_type: int,
+    request_id: int,
+    body: bytes,
+    identity: "NodeIdentity",
+) -> bytes:
+    """Build a version-2 frame signed by ``identity``.
+
+    REQUEST/RESPONSE bodies must have been encoded with
+    ``encode_message(..., signed=True)`` so the flag bit matches the
+    trailer; ACK/ERROR bodies carry no flags and sign as-is.
+    """
+    if frame_type not in _FRAME_TYPES:
+        raise CodecError(f"unknown frame type: {frame_type}")
+    if not 0 <= request_id <= _U64_MAX:
+        raise CodecError(f"request id out of u64 range: {request_id}")
+    if len(identity.public_key) != SIGNED_PUBKEY_BYTES:
+        raise CodecError(
+            f"public key must be {SIGNED_PUBKEY_BYTES} bytes, "
+            f"got {len(identity.public_key)}"
+        )
+    span = (
+        MAGIC
+        + bytes((WIRE_VERSION_SIGNED, frame_type))
+        + request_id.to_bytes(8, "big")
+        + body
+        + bytes((SIGNED_PUBKEY_BYTES,))
+        + identity.public_key
+        + bytes((SIGNED_SIGNATURE_BYTES,))
+    )
+    signature = identity.sign(span)
+    if len(signature) != SIGNED_SIGNATURE_BYTES:  # pragma: no cover - defense
+        raise CodecError(
+            f"signature must be {SIGNED_SIGNATURE_BYTES} bytes, "
+            f"got {len(signature)}"
+        )
+    return span + signature
+
+
+def decode_frame_signed(
+    data: Buffer,
+) -> tuple[int, int, Buffer, Optional[SignedEnvelope]]:
+    """Split a frame into ``(frame_type, request_id, body, envelope)``.
+
+    Version-1 frames return ``envelope=None``; version-2 frames have
+    their 98-byte trailer bounds-checked (exact length markers, nothing
+    left over for the body to go negative) and stripped, with the
+    envelope carrying the public key, the signature, and the signed
+    span.  The body is *not* parsed here -- REQUEST/RESPONSE bodies go
+    through :func:`decode_message`, ERROR bodies through
+    :func:`decode_error` -- and the signature is *not* verified here:
+    the codec has no crypto, only structure.
     """
     if len(data) < ENVELOPE_BYTES:
         raise CodecError(
             f"truncated envelope: {len(data)} < {ENVELOPE_BYTES} bytes"
         )
     if data[:2] != MAGIC:
-        raise CodecError(f"bad magic: {data[:2]!r}")
+        raise CodecError(f"bad magic: {bytes(data[:2])!r}")
     version = data[2]
-    if version != WIRE_VERSION:
+    if version not in (WIRE_VERSION, WIRE_VERSION_SIGNED):
         raise CodecError(
-            f"unsupported wire version {version} (speak {WIRE_VERSION})"
+            f"unsupported wire version {version} (speak {WIRE_VERSION} "
+            f"or {WIRE_VERSION_SIGNED})"
         )
     frame_type = data[3]
     if frame_type not in _FRAME_TYPES:
         raise CodecError(f"unknown frame type: {frame_type}")
     request_id = int.from_bytes(data[4:12], "big")
-    return frame_type, request_id, data[ENVELOPE_BYTES:]
+    if version == WIRE_VERSION:
+        return frame_type, request_id, data[ENVELOPE_BYTES:], None
+    if len(data) < ENVELOPE_BYTES + SIGNED_TRAILER_BYTES:
+        raise CodecError(
+            f"truncated signed trailer: frame of {len(data)} bytes cannot "
+            f"hold envelope + {SIGNED_TRAILER_BYTES}-byte trailer"
+        )
+    trailer_at = len(data) - SIGNED_TRAILER_BYTES
+    if data[trailer_at] != SIGNED_PUBKEY_BYTES:
+        raise CodecError(
+            f"bad public key length marker: {data[trailer_at]} "
+            f"(must be {SIGNED_PUBKEY_BYTES})"
+        )
+    sig_len_at = trailer_at + 1 + SIGNED_PUBKEY_BYTES
+    if data[sig_len_at] != SIGNED_SIGNATURE_BYTES:
+        raise CodecError(
+            f"bad signature length marker: {data[sig_len_at]} "
+            f"(must be {SIGNED_SIGNATURE_BYTES})"
+        )
+    envelope = SignedEnvelope(
+        public_key=bytes(data[trailer_at + 1:sig_len_at]),
+        signature=bytes(data[sig_len_at + 1:]),
+        signed=bytes(data[:sig_len_at + 1]),
+    )
+    return frame_type, request_id, data[ENVELOPE_BYTES:trailer_at], envelope
+
+
+def decode_frame(data: Buffer) -> tuple[int, int, Buffer]:
+    """Split a frame into ``(frame_type, request_id, body)``.
+
+    Accepts both wire versions, discarding the signature trailer of a
+    version-2 frame after the structural checks; callers that care who
+    signed use :func:`decode_frame_signed` instead.
+    """
+    frame_type, request_id, body, _ = decode_frame_signed(data)
+    return frame_type, request_id, body
 
 
 def encode_error(reason: str) -> bytes:
@@ -329,16 +489,46 @@ class StreamUnframer:
     Feed arbitrary chunks; complete frames come back in order.  TCP may
     deliver half a frame or three at once -- this class owns the
     reassembly buffer so the transport code never slices bytes itself.
+
+    Zero-copy fast path: when nothing is buffered (the overwhelmingly
+    common case -- most reads start on a frame boundary), every complete
+    frame comes back as a :class:`memoryview` over the chunk the caller
+    passed in, with no bytes copied; only a trailing partial frame is
+    copied into the reassembly buffer.  The views pin the source chunk
+    alive until the caller drops them, which decoders do within the same
+    receive callback.  The slow path (resuming a split frame) still
+    copies, as it must.
     """
 
     def __init__(self, max_frame_bytes: int = 64 * 1024 * 1024) -> None:
         self._buffer = bytearray()
         self._max = max_frame_bytes
 
-    def feed(self, data: bytes) -> list[bytes]:
+    def feed(self, data: bytes) -> list[Buffer]:
         """Append stream bytes; return every frame completed by them."""
+        frames: list[Buffer] = []
+        if not self._buffer:
+            view = memoryview(data)
+            size = len(view)
+            pos = 0
+            while size - pos >= STREAM_PREFIX_BYTES:
+                length = int.from_bytes(
+                    view[pos:pos + STREAM_PREFIX_BYTES], "big"
+                )
+                if length > self._max:
+                    raise CodecError(
+                        f"stream frame of {length} bytes exceeds "
+                        f"limit {self._max}"
+                    )
+                end = pos + STREAM_PREFIX_BYTES + length
+                if end > size:
+                    break
+                frames.append(view[pos + STREAM_PREFIX_BYTES:end])
+                pos = end
+            if pos < size:
+                self._buffer.extend(view[pos:])
+            return frames
         self._buffer.extend(data)
-        frames: list[bytes] = []
         while len(self._buffer) >= STREAM_PREFIX_BYTES:
             length = int.from_bytes(self._buffer[:STREAM_PREFIX_BYTES], "big")
             if length > self._max:

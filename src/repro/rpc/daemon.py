@@ -86,6 +86,7 @@ from repro.rpc.transport import (
     AsyncioTransport,
     daemon_endpoint_name,
 )
+from repro.sec import NodeIdentity
 from repro.storage.durable import DurableNodeState, RecoveryReport
 from repro.storage.store import DHTStorage
 
@@ -162,11 +163,24 @@ class NodeDaemon:
         max_retries: int = 3,
         data_dir: Optional[str] = None,
         fsync: str = "interval",
+        identity_dir: Optional[str] = None,
+        identity: Optional[NodeIdentity] = None,
+        require_signed: bool = False,
     ) -> None:
         """``data_dir`` switches the daemon to durable mode: node state
         persists there (WAL + snapshot) and a restart recovers it.
         ``fsync`` is the log's sync policy (``always`` / ``interval[:N]``
-        / ``never``; see :class:`repro.storage.durable.FsyncPolicy`)."""
+        / ``never``; see :class:`repro.storage.durable.FsyncPolicy`).
+
+        ``identity_dir`` gives the daemon a persistent ed25519 keypair
+        (created on first start, reloaded forever after -- the same
+        load-or-create contract as the durable state): frames are
+        signed, incoming signed frames verified, and -- absent an
+        explicit ``node_id`` or recovered identity -- the node id is
+        derived from the public key, so a node cannot choose its ring
+        position independently of a key it can sign with.  ``identity``
+        passes a ready-made keypair instead (in-process clusters);
+        ``require_signed`` additionally rejects unsigned peers."""
         self.host = host
         self.requested_port = port
         self.substrate_name = substrate
@@ -177,8 +191,16 @@ class NodeDaemon:
         self.cache_policy, self.cache_capacity = CachePolicy.parse(cache)
         self._explicit_node_id = node_id
         self.node_id: int = 0
+        if identity_dir is not None and identity is not None:
+            raise ValueError("give identity_dir or identity, not both")
+        self.identity: Optional[NodeIdentity] = identity
+        if identity_dir is not None:
+            self.identity = NodeIdentity.load_or_create(identity_dir)
         self.transport = AsyncioTransport(
-            request_timeout_ms=request_timeout_ms, max_retries=max_retries
+            request_timeout_ms=request_timeout_ms,
+            max_retries=max_retries,
+            identity=self.identity,
+            require_signed=require_signed,
         )
         #: Known members, self included: node id -> daemon address.
         self.peers: dict[int, Address] = {}
@@ -227,11 +249,15 @@ class NodeDaemon:
         )
         # Identity priority: explicit argument, then the recovered
         # identity (a restarted daemon must keep its ring position even
-        # on a new ephemeral port), then the address hash.
+        # on a new ephemeral port), then the keypair-derived id (the
+        # ring position is bound to a key the node can sign with), then
+        # the address hash.
         if self._explicit_node_id is not None:
             self.node_id = self._explicit_node_id
         elif recovered_id is not None:
             self.node_id = recovered_id
+        elif self.identity is not None:
+            self.node_id = self.identity.node_id(self.bits)
         else:
             self.node_id = hash_key(f"{host}:{port}", self.bits)
         self.protocol = build_substrate(

@@ -1,0 +1,53 @@
+"""Event-loop selection: optional uvloop acceleration.
+
+uvloop is a drop-in libuv-backed replacement for the stock asyncio
+event loop that roughly doubles socket throughput on Linux.  It is an
+optional dependency: :func:`install_uvloop` activates it when the
+package is importable and degrades to the default loop when it is not,
+so the daemon and the load generator accept ``--uvloop`` everywhere
+and never hard-require the package.
+
+Installation happens through the event-loop *policy*, so it covers not
+just ``asyncio.run`` in the calling process but every
+``asyncio.new_event_loop()`` made afterwards -- including the
+background loop :class:`~repro.rpc.cluster.LocalCluster` spins up.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def uvloop_module() -> Optional[object]:
+    """The imported ``uvloop`` module, or ``None`` when unavailable."""
+    try:
+        import uvloop
+    except ImportError:
+        return None
+    return uvloop
+
+
+def uvloop_available() -> bool:
+    """Whether the optional ``uvloop`` package is importable."""
+    return uvloop_module() is not None
+
+
+def install_uvloop(*, require: bool = False) -> bool:
+    """Switch the asyncio event-loop policy to uvloop if importable.
+
+    Returns ``True`` when uvloop is now the active policy and ``False``
+    when the package is missing (the stock loop stays in place).  With
+    ``require`` a missing package raises :class:`RuntimeError` instead
+    of falling back -- for deployments that must not silently lose the
+    throughput headroom they were sized for.
+    """
+    module = uvloop_module()
+    if module is None:
+        if require:
+            raise RuntimeError(
+                "uvloop requested but not importable; install it or "
+                "drop the requirement"
+            )
+        return False
+    module.install()
+    return True

@@ -68,16 +68,20 @@ from repro.rpc.codec import (
     FRAME_REQUEST,
     FRAME_RESPONSE,
     OVERSIZED_REASON,
+    SIGNED_TRAILER_BYTES,
     STREAM_PREFIX_BYTES,
     CodecError,
+    SignedEnvelope,
     decode_error,
-    decode_frame,
+    decode_frame_signed,
     decode_message,
     encode_error,
     encode_frame,
     encode_message,
     encode_stream,
+    sign_frame,
 )
+from repro.sec import NodeIdentity, verify_signature
 
 if TYPE_CHECKING:
     from repro.obs.tracer import Tracer
@@ -153,6 +157,8 @@ class AsyncioTransport:
         dedupe_cap: int = 1024,
         dedupe_ttl_s: float = 60.0,
         tcp_pool_cap: int = 4,
+        identity: Optional[NodeIdentity] = None,
+        require_signed: bool = False,
     ) -> None:
         """``request_timeout_ms`` is the first attempt's deadline; each
         retry doubles it up to ``backoff_cap_ms`` (capped exponential
@@ -165,7 +171,18 @@ class AsyncioTransport:
         replies forever).  ``tcp_pool_cap`` bounds the idle TCP
         connections kept open *per peer* for reuse (0 disables reuse and
         restores one-connection-per-exchange).
+
+        ``identity`` switches on the signed-envelope wire extension
+        (version-2 frames, see :mod:`repro.rpc.codec`): every outgoing
+        frame is ed25519-signed, and every *incoming* signed frame is
+        verified -- a bad signature surfaces as a typed
+        ``DeliveryError(verify_failed)`` on the client side, or a
+        ``verify_failed`` ERROR reply on the serving side.  Unsigned
+        peers still interop (their frames stay version 1) unless
+        ``require_signed`` is set, which rejects unsigned traffic too.
         """
+        if require_signed and identity is None:
+            raise ValueError("require_signed needs an identity to sign with")
         if request_timeout_ms <= 0 or backoff_cap_ms <= 0:
             raise ValueError("timeouts must be positive milliseconds")
         if max_retries < 0:
@@ -180,6 +197,8 @@ class AsyncioTransport:
         self.max_retries = max_retries
         self.backoff_cap_ms = backoff_cap_ms
         self.udp_max_bytes = udp_max_bytes
+        self.identity = identity
+        self.require_signed = require_signed
         self.tracer: Optional["Tracer"] = None
         self._endpoints: dict[str, Endpoint] = {}
         self._ever_registered: set[str] = set()
@@ -329,15 +348,17 @@ class AsyncioTransport:
         if handler is not None:
             return self._deliver_local(handler, message)
         address = self._resolve(message.destination)
-        body = encode_message(message)
+        signing = self.identity is not None
+        body = encode_message(message, signed=signing)
         self.meter.record(message)
         counters.rpc_requests += 1
         request_id = self._next_request_id
         self._next_request_id += 1
-        use_tcp = ENVELOPE_BYTES + len(body) > self.udp_max_bytes
-        frame_type, reply_body = await self._exchange(
+        use_tcp = self._frame_overhead + len(body) > self.udp_max_bytes
+        frame_type, reply_body, envelope = await self._exchange(
             request_id, body, address, message.destination, use_tcp
         )
+        self._verify_reply(envelope, message.destination)
         if frame_type == FRAME_ERROR:
             reason = decode_error(reply_body)
             if reason == OVERSIZED_REASON:
@@ -347,9 +368,10 @@ class AsyncioTransport:
                 counters.rpc_oversized_fallbacks += 1
                 retry_id = self._next_request_id
                 self._next_request_id += 1
-                frame_type, reply_body = await self._exchange(
+                frame_type, reply_body, envelope = await self._exchange(
                     retry_id, body, address, message.destination, True
                 )
+                self._verify_reply(envelope, message.destination)
                 if frame_type == FRAME_ERROR:
                     raise DeliveryError(
                         decode_error(reply_body), message.destination
@@ -358,10 +380,56 @@ class AsyncioTransport:
                 raise DeliveryError(reason, message.destination)
         if frame_type == FRAME_ACK:
             return None
-        response = decode_message(reply_body)
+        response = decode_message(reply_body, signed=envelope is not None)
         self.meter.record(response)
         counters.rpc_responses += 1
         return response
+
+    def _verify_reply(
+        self, envelope: Optional[SignedEnvelope], destination: str
+    ) -> None:
+        """Check a reply's signature (or its absence) before trusting it.
+
+        A bad signature -- or an unsigned reply under ``require_signed``
+        -- surfaces as ``DeliveryError(verify_failed)``: transient and
+        ``retry_elsewhere``, so the service fails over to another
+        replica exactly as the simulated adversary path does.
+        """
+        if envelope is None:
+            if self.require_signed:
+                counters.sec_verify_failures += 1
+                raise DeliveryError(DeliveryError.VERIFY_FAILED, destination)
+            return
+        if not verify_signature(
+            envelope.public_key, envelope.signed, envelope.signature
+        ):
+            counters.sec_verify_failures += 1
+            if self.tracer is not None:
+                self.tracer.sec_verify_fail(
+                    destination=destination, role="unknown"
+                )
+            raise DeliveryError(DeliveryError.VERIFY_FAILED, destination)
+
+    @property
+    def _frame_overhead(self) -> int:
+        """Frame bytes beyond the body: envelope, plus the signed trailer."""
+        if self.identity is not None:
+            return ENVELOPE_BYTES + SIGNED_TRAILER_BYTES
+        return ENVELOPE_BYTES
+
+    def _request_frame(self, request_id: int, body: bytes) -> bytes:
+        """An outgoing REQUEST frame, signed when an identity is set."""
+        if self.identity is not None:
+            return sign_frame(FRAME_REQUEST, request_id, body, self.identity)
+        return encode_frame(FRAME_REQUEST, request_id, body)
+
+    def _reply_frame(
+        self, frame_type: int, request_id: int, body: bytes = b""
+    ) -> bytes:
+        """An outgoing reply frame, signed when an identity is set."""
+        if self.identity is not None:
+            return sign_frame(frame_type, request_id, body, self.identity)
+        return encode_frame(frame_type, request_id, body)
 
     async def request_many(
         self, messages: list[Message]
@@ -420,7 +488,7 @@ class AsyncioTransport:
         address: Address,
         destination: str,
         use_tcp: bool,
-    ) -> tuple[int, bytes]:
+    ) -> tuple[int, bytes, Optional[SignedEnvelope]]:
         """One request with its timeout/retry loop; returns the reply."""
         timeout_ms = self.request_timeout_ms
         for attempt in range(self.max_retries + 1):
@@ -451,11 +519,11 @@ class AsyncioTransport:
 
     async def _exchange_udp(
         self, request_id: int, body: bytes, address: Address
-    ) -> tuple[int, bytes]:
+    ) -> tuple[int, bytes, Optional[SignedEnvelope]]:
         assert self._loop is not None and self._udp is not None
         future: asyncio.Future = self._loop.create_future()
         self._pending[request_id] = future
-        frame = encode_frame(FRAME_REQUEST, request_id, body)
+        frame = self._request_frame(request_id, body)
         self._udp.sendto(frame, address)
         counters.rpc_udp_frames += 1
         counters.rpc_bytes_sent += len(frame)
@@ -463,7 +531,7 @@ class AsyncioTransport:
 
     async def _exchange_tcp(
         self, request_id: int, body: bytes, address: Address
-    ) -> tuple[int, bytes]:
+    ) -> tuple[int, bytes, Optional[SignedEnvelope]]:
         """One TCP exchange over a pooled (kept-alive) connection.
 
         Connections park in a per-address pool between exchanges, so a
@@ -474,7 +542,7 @@ class AsyncioTransport:
         (timeout cancellation, codec error) is closed, never reused --
         the stream position would be ambiguous.
         """
-        frame = encode_frame(FRAME_REQUEST, request_id, body)
+        frame = self._request_frame(request_id, body)
         payload = encode_stream(frame)
         conn = self._checkout_tcp(address)
         reused = conn is not None
@@ -515,7 +583,9 @@ class AsyncioTransport:
             break
         counters.rpc_bytes_received += len(reply) + STREAM_PREFIX_BYTES
         try:
-            frame_type, reply_id, reply_body = decode_frame(reply)
+            frame_type, reply_id, reply_body, envelope = decode_frame_signed(
+                reply
+            )
             if reply_id != request_id:
                 raise CodecError(
                     f"reply correlates to {reply_id}, expected {request_id}"
@@ -526,7 +596,7 @@ class AsyncioTransport:
         if reused:
             counters.rpc_tcp_reuses += 1
         self._checkin_tcp(address, conn)
-        return frame_type, reply_body
+        return frame_type, bytes(reply_body), envelope
 
     def _checkout_tcp(
         self, address: Address
@@ -638,12 +708,14 @@ class AsyncioTransport:
     def _on_datagram(self, data: bytes, addr: Address) -> None:
         counters.rpc_bytes_received += len(data)
         try:
-            frame_type, request_id, body = decode_frame(data)
+            frame_type, request_id, body, envelope = decode_frame_signed(data)
         except CodecError:
             counters.rpc_codec_errors += 1
             return
         if frame_type == FRAME_REQUEST:
-            reply = self._serve_request(request_id, body, addr, via_udp=True)
+            reply = self._serve_request(
+                request_id, body, addr, via_udp=True, envelope=envelope
+            )
             if self._udp is not None:
                 self._udp.sendto(reply, addr)
                 counters.rpc_udp_frames += 1
@@ -651,27 +723,54 @@ class AsyncioTransport:
             return
         future = self._pending.pop(request_id, None)
         if future is not None and not future.done():
-            future.set_result((frame_type, body))
+            future.set_result((frame_type, bytes(body), envelope))
 
     def _serve_request(
-        self, request_id: int, body: bytes, addr: Address, via_udp: bool
+        self,
+        request_id: int,
+        body: bytes,
+        addr: Address,
+        via_udp: bool,
+        envelope: Optional[SignedEnvelope] = None,
     ) -> bytes:
         """Handle one incoming REQUEST; returns the reply frame."""
         cache_key = (addr, request_id)
         cached = self._cached_reply(cache_key)
         if cached is not None:
             return cached
+        if envelope is not None and not verify_signature(
+            envelope.public_key, envelope.signed, envelope.signature
+        ):
+            # A forged request is refused before the handler runs; the
+            # reply is NOT cached (the honest sender may retransmit the
+            # authentic frame under the same id).
+            counters.sec_verify_failures += 1
+            return self._reply_frame(
+                FRAME_ERROR,
+                request_id,
+                encode_error(DeliveryError.VERIFY_FAILED),
+            )
+        if self.require_signed and envelope is None:
+            reply = self._reply_frame(
+                FRAME_ERROR,
+                request_id,
+                encode_error(DeliveryError.VERIFY_FAILED),
+            )
+            self._remember_reply(cache_key, reply)
+            return reply
         try:
-            message = decode_message(body)
+            message = decode_message(body, signed=envelope is not None)
         except CodecError:
             counters.rpc_codec_errors += 1
-            return encode_frame(FRAME_ERROR, request_id, encode_error("codec"))
+            return self._reply_frame(
+                FRAME_ERROR, request_id, encode_error("codec")
+            )
         handler = self._endpoints.get(message.destination)
         if handler is None:
             # Over the wire every unknown name is a runtime condition
             # (the peer cannot distinguish "never existed" from
             # "departed"), so it maps to the departed reason.
-            reply = encode_frame(
+            reply = self._reply_frame(
                 FRAME_ERROR,
                 request_id,
                 encode_error(DeliveryError.UNREGISTERED),
@@ -681,17 +780,23 @@ class AsyncioTransport:
         self.meter.record(message)
         response = handler(message)
         if response is None:
-            reply = encode_frame(FRAME_ACK, request_id)
+            reply = self._reply_frame(FRAME_ACK, request_id)
         else:
             self.meter.record(response)
-            response_body = encode_message(response)
-            if via_udp and ENVELOPE_BYTES + len(response_body) > self.udp_max_bytes:
+            response_body = encode_message(
+                response, signed=self.identity is not None
+            )
+            if (
+                via_udp
+                and self._frame_overhead + len(response_body)
+                > self.udp_max_bytes
+            ):
                 # Do not cache: the sender repeats over TCP with a fresh
                 # id and must get the real response there.
-                return encode_frame(
+                return self._reply_frame(
                     FRAME_ERROR, request_id, encode_error(OVERSIZED_REASON)
                 )
-            reply = encode_frame(FRAME_RESPONSE, request_id, response_body)
+            reply = self._reply_frame(FRAME_RESPONSE, request_id, response_body)
         self._remember_reply(cache_key, reply)
         return reply
 
@@ -742,14 +847,16 @@ class AsyncioTransport:
                 )
                 counters.rpc_bytes_received += len(frame) + STREAM_PREFIX_BYTES
                 try:
-                    frame_type, request_id, body = decode_frame(frame)
+                    frame_type, request_id, body, envelope = (
+                        decode_frame_signed(frame)
+                    )
                 except CodecError:
                     counters.rpc_codec_errors += 1
                     break
                 if frame_type != FRAME_REQUEST:
                     break
                 reply = self._serve_request(
-                    request_id, body, addr, via_udp=False
+                    request_id, body, addr, via_udp=False, envelope=envelope
                 )
                 writer.write(encode_stream(reply))
                 await writer.drain()

@@ -1,0 +1,27 @@
+"""Security layer: node identities, signed frames, and peer trust.
+
+``repro.sec`` gives every node an ed25519 keypair (``NodeIdentity``),
+derives DHT node ids from public keys, and keeps a per-peer
+``TrustLedger`` that the index service consults to deprioritize
+low-trust replicas during failover.  The wire-level half lives in
+``repro.rpc.codec`` (the version-2 signed envelope); this package owns
+the keys and the policy.
+"""
+
+from repro.sec.identity import (
+    PUBLIC_KEY_BYTES,
+    SEED_BYTES,
+    SIGNATURE_BYTES,
+    NodeIdentity,
+    verify_signature,
+)
+from repro.sec.trust import TrustLedger
+
+__all__ = [
+    "PUBLIC_KEY_BYTES",
+    "SEED_BYTES",
+    "SIGNATURE_BYTES",
+    "NodeIdentity",
+    "TrustLedger",
+    "verify_signature",
+]

@@ -1,0 +1,131 @@
+"""Pure-python ed25519 (RFC 8032) fallback backend.
+
+Used only when the ``cryptography`` package is unavailable, so that
+signed frames work in every container the suite runs in.  The point
+arithmetic uses extended homogeneous coordinates; speed is a few
+milliseconds per operation, which is fine for the small message counts
+the tests and the loopback smoke push through it.  This is a reference
+implementation, not a hardened one: it makes no constant-time claims.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+_P = 2**255 - 19
+_L = 2**252 + 27742317777372353535851937790883648493
+_D = (-121665 * pow(121666, _P - 2, _P)) % _P
+_I = pow(2, (_P - 1) // 4, _P)
+
+_IDENTITY = (0, 1, 1, 0)
+
+
+def _sha512(data: bytes) -> bytes:
+    return hashlib.sha512(data).digest()
+
+
+def _recover_x(y: int, sign: int) -> int:
+    xx = (y * y - 1) * pow(_D * y * y + 1, _P - 2, _P) % _P
+    x = pow(xx, (_P + 3) // 8, _P)
+    if (x * x - xx) % _P != 0:
+        x = x * _I % _P
+    if (x * x - xx) % _P != 0:
+        raise ValueError("point not on curve")
+    if x % 2 != sign:
+        x = _P - x
+    return x
+
+
+_BY = 4 * pow(5, _P - 2, _P) % _P
+_BX = _recover_x(_BY, 0)
+_B = (_BX, _BY, 1, _BX * _BY % _P)
+
+
+def _add(p: tuple[int, int, int, int], q: tuple[int, int, int, int]) -> tuple[int, int, int, int]:
+    x1, y1, z1, t1 = p
+    x2, y2, z2, t2 = q
+    a = (y1 - x1) * (y2 - x2) % _P
+    b = (y1 + x1) * (y2 + x2) % _P
+    c = 2 * t1 * t2 * _D % _P
+    d = 2 * z1 * z2 % _P
+    e = b - a
+    f = d - c
+    g = d + c
+    h = b + a
+    return (e * f % _P, g * h % _P, f * g % _P, e * h % _P)
+
+
+def _scalar_mult(p: tuple[int, int, int, int], e: int) -> tuple[int, int, int, int]:
+    q = _IDENTITY
+    while e:
+        if e & 1:
+            q = _add(q, p)
+        p = _add(p, p)
+        e >>= 1
+    return q
+
+
+def _encode_point(p: tuple[int, int, int, int]) -> bytes:
+    x, y, z, _ = p
+    inv_z = pow(z, _P - 2, _P)
+    x = x * inv_z % _P
+    y = y * inv_z % _P
+    return (y | ((x & 1) << 255)).to_bytes(32, "little")
+
+
+def _decode_point(data: bytes) -> tuple[int, int, int, int]:
+    if len(data) != 32:
+        raise ValueError("point must be 32 bytes")
+    raw = int.from_bytes(data, "little")
+    sign = raw >> 255
+    y = raw & ((1 << 255) - 1)
+    if y >= _P:
+        raise ValueError("point coordinate out of range")
+    x = _recover_x(y, sign)
+    return (x, y, 1, x * y % _P)
+
+
+def _clamp(digest: bytes) -> int:
+    a = int.from_bytes(digest[:32], "little")
+    a &= (1 << 254) - 8
+    a |= 1 << 254
+    return a
+
+
+def public_key(seed: bytes) -> bytes:
+    """Derive the 32-byte public key from a 32-byte private seed."""
+    if len(seed) != 32:
+        raise ValueError("seed must be 32 bytes")
+    a = _clamp(_sha512(seed))
+    return _encode_point(_scalar_mult(_B, a))
+
+
+def sign(seed: bytes, message: bytes) -> bytes:
+    """Produce the 64-byte RFC 8032 signature of ``message``."""
+    digest = _sha512(seed)
+    a = _clamp(digest)
+    prefix = digest[32:]
+    pub = _encode_point(_scalar_mult(_B, a))
+    r = int.from_bytes(_sha512(prefix + message), "little") % _L
+    r_point = _encode_point(_scalar_mult(_B, r))
+    h = int.from_bytes(_sha512(r_point + pub + message), "little") % _L
+    s = (r + h * a) % _L
+    return r_point + s.to_bytes(32, "little")
+
+
+def verify(pub: bytes, message: bytes, signature: bytes) -> bool:
+    """Check a signature; returns False on any malformed input."""
+    if len(pub) != 32 or len(signature) != 64:
+        return False
+    try:
+        a_point = _decode_point(pub)
+        r_point = _decode_point(signature[:32])
+    except ValueError:
+        return False
+    s = int.from_bytes(signature[32:], "little")
+    if s >= _L:
+        return False
+    h = int.from_bytes(_sha512(signature[:32] + pub + message), "little") % _L
+    left = _scalar_mult(_B, s)
+    right = _add(r_point, _scalar_mult(a_point, h))
+    return _encode_point(left) == _encode_point(right)

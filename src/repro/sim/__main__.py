@@ -25,6 +25,12 @@ lookup success rate (compare against ``--durability none``).
 cell resolving prefix/wildcard/range queries through the trie-over-DHT
 index, one through the paper's generalization/specialization fallback,
 with a comparison table and an optional ``--bench-out`` JSON record.
+``--preset adversarial`` runs the security head-to-head: the same
+Byzantine population (index poisoners, lying routers, a Sybil flood,
+eclipse sets) once with signature verification off -- the undefended
+baseline, measuring the poisoned-result rate -- and once with signed
+frames plus the trust ledger on, measuring recovery; ``--bench-out``
+appends the comparison to a BENCH_sec.json trajectory file.
 """
 
 from __future__ import annotations
@@ -37,34 +43,13 @@ from dataclasses import replace
 from repro.analysis.tables import format_table
 from repro.sim.experiment import Experiment, ExperimentConfig
 from repro.sim.metrics import ExperimentResult
-from repro.sim.presets import (
-    CHURN_CONFIG,
-    CONCURRENT_CONFIG,
-    PAPER_CONFIG,
-    RANGE_QUERIES_CONFIG,
-    RANGE_QUERIES_SMOKE_CONFIG,
-    RESTART_CHAOS_CONFIG,
-    RESTART_CHAOS_SMOKE_CONFIG,
-    SMOKE_CONFIG,
-    WEB_SCALE_CONFIG,
-    WEB_SCALE_SMOKE_CONFIG,
-)
-
-_PRESETS = {
-    "paper": PAPER_CONFIG,
-    "smoke": SMOKE_CONFIG,
-    "churn": CHURN_CONFIG,
-    "concurrent": CONCURRENT_CONFIG,
-    "web-scale": WEB_SCALE_CONFIG,
-    "web-scale-smoke": WEB_SCALE_SMOKE_CONFIG,
-    "restart-chaos": RESTART_CHAOS_CONFIG,
-    "restart-chaos-smoke": RESTART_CHAOS_SMOKE_CONFIG,
-    "range-queries": RANGE_QUERIES_CONFIG,
-    "range-queries-smoke": RANGE_QUERIES_SMOKE_CONFIG,
-}
+from repro.sim.presets import get_preset, preset_names
 
 #: Presets that run as a two-cell comparison (trie vs covering chains).
 _COMPARISON_PRESETS = {"range-queries", "range-queries-smoke"}
+
+#: Presets that run as a security comparison (verification off vs on).
+_SEC_PRESETS = {"adversarial", "adversarial-smoke"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -109,7 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--preset",
-        choices=sorted(_PRESETS),
+        choices=preset_names(),
         default=None,
         help="start from a named configuration (flags still override)",
     )
@@ -265,6 +250,48 @@ def build_parser() -> argparse.ArgumentParser:
             "BENCH_query.json trajectory file"
         ),
     )
+    adversary = parser.add_argument_group("adversarial model")
+    adversary.add_argument(
+        "--poisoners",
+        type=int,
+        default=None,
+        help="nodes answering lookups with fabricated index entries",
+    )
+    adversary.add_argument(
+        "--liars",
+        type=int,
+        default=None,
+        help="nodes forging shortcut referrals to nonexistent keys",
+    )
+    adversary.add_argument(
+        "--sybil-joins",
+        type=int,
+        default=None,
+        help="adversary-controlled joins flooded in over the feed",
+    )
+    adversary.add_argument(
+        "--eclipse-victims",
+        type=int,
+        default=None,
+        help="honest nodes whose lookup traffic the adversary drops",
+    )
+    adversary.add_argument(
+        "--eclipse-drop",
+        type=float,
+        default=None,
+        help="drop probability for lookups to eclipsed nodes (default 1.0)",
+    )
+    adversary.add_argument(
+        "--verify-signatures",
+        action="store_const",
+        const=True,
+        default=None,
+        help=(
+            "switch the repro.sec defence on: forged responses are "
+            "rejected and the trust ledger deprioritizes misbehaving "
+            "replicas"
+        ),
+    )
     observability = parser.add_argument_group("observability")
     observability.add_argument(
         "--trace-out",
@@ -279,7 +306,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
-    config = _PRESETS[args.preset] if args.preset else ExperimentConfig()
+    config = get_preset(args.preset) if args.preset else ExperimentConfig()
     if args.scale is not None:
         if args.scale <= 0:
             raise SystemExit("--scale must be positive")
@@ -319,6 +346,12 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         "data_dir": args.data_dir,
         "predicate_mix": args.predicate_mix,
         "index_structure": args.index_structure,
+        "adversary_poisoners": args.poisoners,
+        "adversary_liars": args.liars,
+        "adversary_sybil_joins": args.sybil_joins,
+        "adversary_eclipse_victims": args.eclipse_victims,
+        "adversary_eclipse_drop": args.eclipse_drop,
+        "verify_signatures": args.verify_signatures,
         "trace": True if args.trace_out else None,
     }
     set_overrides = {key: value for key, value in overrides.items()
@@ -422,6 +455,124 @@ def run_comparison(
     return 0
 
 
+def _sec_cell_metrics(result: ExperimentResult) -> dict:
+    """The comparison numbers of one adversarial cell."""
+    return {
+        "success_rate": round(result.success_rate, 4),
+        "found": result.found,
+        "searches": result.searches,
+        "poisoned_results": result.poisoned_results,
+        "poisoned_result_rate": round(result.poisoned_result_rate, 4),
+        "forged_answers": result.forged_answers,
+        "verify_failures": result.verify_failures,
+        "eclipse_drops": result.eclipse_drops,
+        "adversarial_nodes": result.adversarial_nodes,
+        "sybil_joins": result.sybil_joins,
+        "eclipsed_nodes": result.eclipsed_nodes,
+        "low_trust_peers": result.low_trust_peers,
+        "lookups_gave_up": result.lookups_gave_up,
+        "service_failovers": result.service_failovers,
+        "retries_per_lookup": round(result.retries_per_lookup, 4),
+    }
+
+
+def run_sec_comparison(
+    config: ExperimentConfig, bench_out: str | None, preset: str
+) -> int:
+    """Run the adversarial cell with verification off and on, and report.
+
+    Same seeds, same Byzantine population (recruitment draws from the
+    chaos RNG before any fault draw) -- the only difference between the
+    cells is the repro.sec defence.
+    """
+    cells: dict[str, ExperimentResult] = {}
+    for name, verify in (("verify-off", False), ("verify-on", True)):
+        cell_config = replace(config, verify_signatures=verify)
+        print(
+            f"running {preset} [{name}]: {cell_config.num_nodes} nodes, "
+            f"{cell_config.adversary_poisoners} poisoners, "
+            f"{cell_config.adversary_liars} liars, "
+            f"{cell_config.adversary_sybil_joins} sybil joins, "
+            f"{cell_config.adversary_eclipse_victims} eclipsed, "
+            f"{cell_config.num_queries:,} queries ...",
+            flush=True,
+        )
+        cells[name] = Experiment(cell_config).run()
+    off, on = cells["verify-off"], cells["verify-on"]
+    rows = [
+        ["lookup success rate",
+         f"{100 * off.success_rate:.2f}%", f"{100 * on.success_rate:.2f}%"],
+        ["poisoned file results",
+         f"{off.poisoned_results} ({100 * off.poisoned_result_rate:.2f}%)",
+         f"{on.poisoned_results} ({100 * on.poisoned_result_rate:.2f}%)"],
+        ["forged index answers delivered",
+         off.forged_answers, on.forged_answers],
+        ["forgeries caught by verification",
+         off.verify_failures, on.verify_failures],
+        ["lookups eaten by eclipse sets",
+         off.eclipse_drops, on.eclipse_drops],
+        ["adversarial nodes (of which Sybils)",
+         f"{off.adversarial_nodes} ({off.sybil_joins})",
+         f"{on.adversarial_nodes} ({on.sybil_joins})"],
+        ["peers below trust threshold",
+         off.low_trust_peers, on.low_trust_peers],
+        ["replica failovers (service)",
+         off.service_failovers, on.service_failovers],
+        ["retries / lookup",
+         round(off.retries_per_lookup, 4), round(on.retries_per_lookup, 4)],
+        ["lookups that gave up", off.lookups_gave_up, on.lookups_gave_up],
+        ["runtime",
+         f"{off.runtime_seconds:.1f} s", f"{on.runtime_seconds:.1f} s"],
+    ]
+    print(format_table(
+        ["metric", "verification off", "verification on"],
+        rows,
+        title=(
+            f"{config.scheme} scheme under attack, "
+            f"{config.num_nodes} nodes, churn_seed={config.churn_seed}"
+        ),
+    ))
+    if bench_out:
+        record = {
+            "preset": preset,
+            "scheme": config.scheme,
+            "cache": config.cache,
+            "workload": {
+                "num_nodes": config.num_nodes,
+                "num_articles": config.num_articles,
+                "num_queries": config.num_queries,
+                "num_authors": config.num_authors,
+                "replication": config.replication,
+                "fault_drop_probability": config.fault_drop_probability,
+                "corpus_seed": config.corpus_seed,
+                "query_seed": config.query_seed,
+                "churn_seed": config.churn_seed,
+            },
+            "adversary": {
+                "poisoners": config.adversary_poisoners,
+                "liars": config.adversary_liars,
+                "sybil_joins": config.adversary_sybil_joins,
+                "eclipse_victims": config.adversary_eclipse_victims,
+                "eclipse_drop": config.adversary_eclipse_drop,
+            },
+            "cells": {
+                name: _sec_cell_metrics(result)
+                for name, result in cells.items()
+            },
+        }
+        try:
+            with open(bench_out) as handle:
+                trajectory = json.load(handle)
+        except (OSError, ValueError):
+            trajectory = []
+        trajectory.append(record)
+        with open(bench_out, "w") as handle:
+            json.dump(trajectory, handle, indent=2)
+            handle.write("\n")
+        print(f"benchmark record appended to {bench_out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -431,6 +582,8 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     if args.preset in _COMPARISON_PRESETS:
         return run_comparison(config, args.bench_out, args.preset)
+    if args.preset in _SEC_PRESETS:
+        return run_sec_comparison(config, args.bench_out, args.preset)
     print(
         f"running {config.scheme}/{config.cache} over {config.substrate}: "
         f"{config.num_nodes} nodes, {config.num_articles:,} articles, "

@@ -50,10 +50,12 @@ from repro.dht.idspace import hash_key
 from repro.dht.kademlia import KademliaNetwork
 from repro.dht.pastry import PastryNetwork
 from repro.dht.ring import IdealRing
+from repro.net.adversary import ROLE_SYBIL, AdversarialTransport, AdversaryPlan
 from repro.net.faults import MS_PER_TICK, FaultPlan, FaultyTransport
 from repro.net.latency import parse_latency_model
 from repro.net.transport import SimulatedTransport
 from repro.obs.tracer import Tracer
+from repro.sec import TrustLedger
 from repro.sim.kernel import EventKernel
 from repro.sim.metrics import ExperimentResult
 from repro.storage.durable import FsyncPolicy, NodeWalSet
@@ -198,6 +200,24 @@ class ExperimentConfig:
     #: :class:`repro.analysis.stats.LogBucketQuantiles`), or "auto"
     #: (exact below ``_WEB_SCALE_QUERIES`` queries, sketch at or above).
     metrics: str = "auto"
+    #: Adversarial (Byzantine) population -- see
+    #: :mod:`repro.net.adversary`.  Poisoners fabricate index entries
+    #: and serve forged files; liars forge shortcut referrals; Sybils
+    #: are adversary-controlled joiners flooded into the overlay over
+    #: the feed; eclipse victims have their lookup traffic dropped with
+    #: probability ``adversary_eclipse_drop``.  All zero keeps the run
+    #: bit-identical to the benign simulator.
+    adversary_poisoners: int = 0
+    adversary_liars: int = 0
+    adversary_sybil_joins: int = 0
+    adversary_eclipse_victims: int = 0
+    adversary_eclipse_drop: float = 1.0
+    #: The repro.sec defence: signed-frame verification (forged
+    #: responses surface as typed ``verify_failed`` delivery errors and
+    #: trigger replica failover) plus a per-peer trust ledger that
+    #: deprioritizes misbehaving replicas.  Off is the undefended
+    #: baseline the adversarial comparison measures against.
+    verify_signatures: bool = False
 
     def __post_init__(self) -> None:
         if self.scheme not in _SCHEME_BUILDERS:
@@ -244,6 +264,8 @@ class ExperimentConfig:
             )
         # Delegates range checks on the probabilities / latency.
         self.fault_plan()
+        # Delegates range checks on the adversary counts / drop rate.
+        self.adversary_plan()
 
     @property
     def effective_fault_latency_ms(self) -> float:
@@ -259,6 +281,22 @@ class ExperimentConfig:
             seed=self.churn_seed,
         )
 
+    def adversary_plan(self) -> AdversaryPlan:
+        """The Byzantine-population plan this configuration describes."""
+        return AdversaryPlan(
+            poisoners=self.adversary_poisoners,
+            liars=self.adversary_liars,
+            sybil_joins=self.adversary_sybil_joins,
+            eclipse_victims=self.adversary_eclipse_victims,
+            eclipse_drop=self.adversary_eclipse_drop,
+            seed=self.churn_seed,
+        )
+
+    @property
+    def has_adversary(self) -> bool:
+        """Whether any Byzantine behavior is active in this cell."""
+        return not self.adversary_plan().is_zero
+
     @property
     def has_chaos(self) -> bool:
         """Whether any failure mechanism is active in this cell."""
@@ -268,6 +306,7 @@ class ExperimentConfig:
             or self.restart_events
             or self.power_loss_events
             or not self.fault_plan().is_zero
+            or self.has_adversary
         )
 
     @property
@@ -348,9 +387,27 @@ class Experiment:
         # and message-fault draws: chaos runs are bit-reproducible, and a
         # zero fault plan makes the wrapper draw-free and transparent.
         self._chaos_rng = random.Random(config.churn_seed)
-        self.transport = FaultyTransport(
-            SimulatedTransport(), config.fault_plan(), rng=self._chaos_rng
-        )
+        if config.has_adversary or config.verify_signatures:
+            # The adversarial wrapper is only constructed when someone
+            # misbehaves (or verification is measured), so every benign
+            # cell keeps the exact seed transport object.
+            self.transport: FaultyTransport = AdversarialTransport(
+                SimulatedTransport(),
+                config.fault_plan(),
+                adversary=config.adversary_plan(),
+                rng=self._chaos_rng,
+                verify=config.verify_signatures,
+            )
+        else:
+            self.transport = FaultyTransport(
+                SimulatedTransport(), config.fault_plan(), rng=self._chaos_rng
+            )
+        #: Per-peer trust ledger (the repro.sec defence), or None when
+        #: ``config.verify_signatures`` is off -- the service then pays
+        #: zero trust overhead, like an untraced run pays no tracer.
+        self.trust: Optional[TrustLedger] = None
+        if config.verify_signatures:
+            self.trust = TrustLedger()
         #: The lookup tracer, or None when ``config.trace`` is off.
         self.tracer: Optional[Tracer] = None
         if config.trace:
@@ -387,7 +444,18 @@ class Experiment:
             self.transport,
             cache_policy=policy,
             cache_capacity=capacity,
+            trust=self.trust,
         )
+        if config.has_adversary:
+            # Recruitment draws from the chaos RNG before any per-message
+            # fault draw, so the compromised population is fixed by the
+            # seed alone (and identical across verify on/off cells).
+            self.transport.recruit(
+                [
+                    self.service.endpoint_name(node)
+                    for node in self.protocol.node_ids
+                ]
+            )
         #: The per-node durability journal (``durability="wal"``), else
         #: None.  Attaching it journals every acknowledged store/cache
         #: mutation -- population included -- so a killed node's state
@@ -409,6 +477,10 @@ class Experiment:
         self._dht_hops_total = 0
         self._dht_lookups = 0
         self._join_counter = config.num_nodes
+        self._sybil_counter = 0
+        #: Sybil-flood schedule: query positions at which one adversary-
+        #: controlled node joins (filled by :meth:`_chaos_schedule`).
+        self._sybil_positions: set[int] = set()
         self.churn_keys_moved = 0
         self.repair_keys = 0
         self.repair_bytes = 0
@@ -549,6 +621,23 @@ class Experiment:
             setattr(result, counter, result.perf_counters.get(counter, 0))
         result.repair_keys = self.repair_keys
         result.repair_bytes = self.repair_bytes
+        counts = result.perf_counters
+        result.verify_failures = counts.get("sec_verify_failures", 0)
+        result.poisoned_results = counts.get("sec_poisoned_results", 0)
+        result.forged_answers = counts.get(
+            "sec_poisoned_answers", 0
+        ) + counts.get("sec_forged_referrals", 0)
+        result.eclipse_drops = counts.get("sec_eclipse_drops", 0)
+        result.sybil_joins = counts.get("sec_sybil_joins", 0)
+        if isinstance(self.transport, AdversarialTransport):
+            result.adversarial_nodes = len(self.transport.roles)
+            result.eclipsed_nodes = len(self.transport.eclipsed)
+        if self.trust is not None:
+            result.low_trust_peers = len(self.trust.flagged())
+        if result.searches:
+            result.poisoned_result_rate = (
+                result.poisoned_results / result.searches
+            )
         result.restarts = self._restarts
         result.power_losses = self._power_losses
         result.recovered_entries = self._recovered_entries
@@ -715,6 +804,8 @@ class Experiment:
     ) -> None:
         """Apply the chaos schedule due at one query position."""
         self._process_recoveries(position)
+        if position in self._sybil_positions:
+            self._sybil_join_event()
         if position in churn_positions:
             self._churn_event()
         if position in crash_positions:
@@ -795,6 +886,17 @@ class Experiment:
                 stride * (event + 1): flags[event]
                 for event in range(total_restarts)
             }
+        self._sybil_positions = set()
+        if config.adversary_sybil_joins:
+            # Spread uniformly, like crashes; placement draws no RNG, so
+            # the benign chaos stream is unchanged by a Sybil flood.
+            stride = max(
+                1, config.num_queries // (config.adversary_sybil_joins + 1)
+            )
+            self._sybil_positions = {
+                stride * (event + 1)
+                for event in range(config.adversary_sybil_joins)
+            }
         return churn_positions, crash_positions
 
     def _collect(self, result: ExperimentResult) -> None:
@@ -862,6 +964,31 @@ class Experiment:
         for store in (self.index_store, self.file_store):
             report = store.repair()
             self.churn_keys_moved += report.keys_repaired
+            self.repair_keys += report.keys_repaired
+            self.repair_bytes += report.bytes_copied
+
+    def _sybil_join_event(self) -> None:
+        """One Sybil-flood step: an adversary-controlled node joins.
+
+        The Sybil takes the ordinary join path -- it becomes responsible
+        for key ranges and the repair pass replicates real entries onto
+        it -- then the transport marks it, after which it withholds
+        every answer those entries should have produced.  That is what
+        makes a Sybil worse than a crash: the overlay believes the keys
+        are well-replicated.
+        """
+        while True:
+            self._sybil_counter += 1
+            joiner = hash_key(f"sybil-{self._sybil_counter}", self.config.bits)
+            if joiner not in self.protocol:
+                break
+        self.protocol.add_node(joiner)
+        self.service.register_nodes()
+        assert isinstance(self.transport, AdversarialTransport)
+        self.transport.mark(self.service.endpoint_name(joiner), ROLE_SYBIL)
+        perf.counters.sec_sybil_joins += 1
+        for store in (self.index_store, self.file_store):
+            report = store.repair()
             self.repair_keys += report.keys_repaired
             self.repair_bytes += report.bytes_copied
 

@@ -120,6 +120,19 @@ class ExperimentResult:
     post_restart_found: int = 0
     post_restart_success_rate: float = 0.0
 
+    # Adversarial (Byzantine) runs -- see repro.net.adversary and
+    # repro.sec.  All zero unless the config plants an adversary or
+    # switches signature verification on.
+    adversarial_nodes: int = 0         # poisoners + liars + marked Sybils
+    sybil_joins: int = 0               # adversary-controlled joins executed
+    eclipsed_nodes: int = 0            # victims whose lookups get dropped
+    poisoned_results: int = 0          # forged file fetches delivered
+    poisoned_result_rate: float = 0.0  # poisoned_results / searches
+    forged_answers: int = 0            # fabricated index answers delivered
+    verify_failures: int = 0           # forgeries caught by verification
+    eclipse_drops: int = 0             # lookup messages eaten by eclipses
+    low_trust_peers: int = 0           # peers below the trust threshold
+
     runtime_seconds: float = 0.0
 
     # Hot-path perf counters accumulated during this run (the increments
@@ -204,7 +217,7 @@ class ExperimentResult:
             ["injected latency", f"{self.fault_latency_ms:,.0f} ms"],
             ["keys re-replicated by repair", self.repair_keys],
             ["repair traffic", f"{self.repair_bytes:,} B"],
-        ] + self.restart_rows()
+        ] + self.restart_rows() + self.adversarial_rows()
 
     def restart_rows(self) -> list[list[object]]:
         """Restart-chaos rows; empty unless restarts happened, so the
@@ -225,6 +238,24 @@ class ExperimentResult:
              f"({self.post_restart_found}/{self.post_restart_searches})"],
         ]
 
+    def adversarial_rows(self) -> list[list[object]]:
+        """Adversarial-run rows; empty on a benign run, so the earlier
+        availability reports are byte-identical."""
+        if not (self.adversarial_nodes or self.eclipsed_nodes):
+            return []
+        return [
+            ["adversarial nodes (of which Sybil joins)",
+             f"{self.adversarial_nodes} ({self.sybil_joins})"],
+            ["eclipsed nodes", self.eclipsed_nodes],
+            ["forged index answers delivered", self.forged_answers],
+            ["poisoned file results",
+             f"{self.poisoned_results} "
+             f"({100 * self.poisoned_result_rate:.2f}% of lookups)"],
+            ["forgeries caught by verification", self.verify_failures],
+            ["lookups eaten by eclipse sets", self.eclipse_drops],
+            ["peers below trust threshold", self.low_trust_peers],
+        ]
+
     def validate(self) -> None:
         """Internal consistency checks (used by tests)."""
         if self.found > self.searches:
@@ -237,3 +268,9 @@ class ExperimentResult:
             raise ValueError("success rate outside [0, 1]")
         if self.lookups_gave_up > self.searches:
             raise ValueError("more abandoned lookups than searches")
+        if not 0.0 <= self.poisoned_result_rate <= 1.0:
+            raise ValueError("poisoned-result rate outside [0, 1]")
+        if self.poisoned_results and self.verify_failures:
+            # Forgery is either delivered (verify off) or caught (on);
+            # a run recording both means the transport double-counted.
+            raise ValueError("poisoned results recorded despite verification")

@@ -166,8 +166,9 @@ class TestEnvelope:
             decode_frame(bytes(frame))
 
     def test_wrong_version_rejected(self):
+        # Version 2 is the signed envelope (tests/sec); 3 is from the future.
         frame = bytearray(encode_frame(FRAME_ACK, 1))
-        frame[2] = WIRE_VERSION + 1
+        frame[2] = WIRE_VERSION + 2
         with pytest.raises(CodecError, match="version"):
             decode_frame(bytes(frame))
 

@@ -109,3 +109,93 @@ def test_ready_line_reports_the_bound_port(daemon_process):
     assert host == "127.0.0.1"
     assert port > 0
     assert node_id > 0
+
+
+def spawn_identity_daemon(identity_dir, *extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.node",
+            "--listen", "127.0.0.1:0",
+            "--identity-dir", str(identity_dir),
+            *extra,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def read_identity_lines(process):
+    ready = process.stdout.readline().strip()
+    identity = process.stdout.readline().strip()
+    assert identity.startswith("IDENTITY pub="), identity
+    return ready, identity
+
+
+def stop(process):
+    if process.poll() is None:
+        process.terminate()
+    process.wait(timeout=10)
+
+
+def test_identity_dir_pins_node_id_across_restarts(tmp_path):
+    """--identity-dir persists the keypair; the pubkey-derived node id
+    and the IDENTITY line survive a restart on a new port."""
+    identity_dir = tmp_path / "node0"
+    first = spawn_identity_daemon(identity_dir)
+    try:
+        ready_a, identity_a = read_identity_lines(first)
+    finally:
+        stop(first)
+    second = spawn_identity_daemon(identity_dir)
+    try:
+        ready_b, identity_b = read_identity_lines(second)
+    finally:
+        stop(second)
+    (_, port_a), node_a = parse_ready(ready_a)
+    (_, port_b), node_b = parse_ready(ready_b)
+    assert node_a == node_b, "identity-derived node id changed"
+    assert identity_a == identity_b, "public key changed across restart"
+    assert (identity_dir / "identity.key").exists()
+
+
+def test_require_signed_daemon_serves_a_signing_client(loop, tmp_path):
+    from repro.sec import NodeIdentity
+
+    process = spawn_identity_daemon(tmp_path / "signed", "--require-signed")
+    try:
+        ready, _ = read_identity_lines(process)
+        address, node_id = parse_ready(ready)
+        client = ClusterClient(
+            loop,
+            address,
+            identity=NodeIdentity("cli-test-client"),
+            require_signed=True,
+        )
+        try:
+            assert client.ping(node_id)
+        finally:
+            client.close()
+    finally:
+        stop(process)
+
+
+def test_require_signed_without_identity_dir_is_a_usage_error():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.run(
+        [
+            sys.executable, "-m", "repro.node",
+            "--listen", "127.0.0.1:0",
+            "--require-signed",
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=30,
+    )
+    assert process.returncode == 2
+    assert "--identity-dir" in process.stderr

@@ -1,0 +1,65 @@
+"""Unit tests for optional uvloop activation (repro.rpc.loop).
+
+The container intentionally does not ship uvloop, so the real-absence
+path is exercised directly and the presence path through a stub module
+injected into ``sys.modules``.
+"""
+
+import asyncio
+import sys
+import types
+
+import pytest
+
+from repro.rpc.loop import install_uvloop, uvloop_available, uvloop_module
+
+UVLOOP_INSTALLED = uvloop_available()
+
+
+class FakeUvloop(types.ModuleType):
+    def __init__(self):
+        super().__init__("uvloop")
+        self.installed = 0
+
+    def install(self):
+        self.installed += 1
+
+
+@pytest.fixture
+def fake_uvloop(monkeypatch):
+    module = FakeUvloop()
+    monkeypatch.setitem(sys.modules, "uvloop", module)
+    return module
+
+
+@pytest.mark.skipif(UVLOOP_INSTALLED, reason="uvloop actually installed here")
+class TestAbsent:
+    def test_not_available(self):
+        assert uvloop_module() is None
+        assert not uvloop_available()
+
+    def test_install_falls_back(self):
+        assert install_uvloop() is False
+        # The stock policy still hands out working loops.
+        loop = asyncio.new_event_loop()
+        try:
+            assert loop.run_until_complete(asyncio.sleep(0, result=7)) == 7
+        finally:
+            loop.close()
+
+    def test_require_raises(self):
+        with pytest.raises(RuntimeError, match="uvloop"):
+            install_uvloop(require=True)
+
+
+class TestPresent:
+    def test_available_through_the_stub(self, fake_uvloop):
+        assert uvloop_available()
+        assert uvloop_module() is fake_uvloop
+
+    def test_install_activates(self, fake_uvloop):
+        assert install_uvloop() is True
+        assert fake_uvloop.installed == 1
+
+    def test_require_is_satisfied(self, fake_uvloop):
+        assert install_uvloop(require=True) is True

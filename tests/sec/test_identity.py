@@ -1,0 +1,144 @@
+"""Unit tests for node identities: keys, signatures, ids, persistence."""
+
+import os
+
+import pytest
+
+from repro.sec import (
+    PUBLIC_KEY_BYTES,
+    SEED_BYTES,
+    SIGNATURE_BYTES,
+    NodeIdentity,
+    verify_signature,
+)
+from repro.sec.identity import _HAVE_CRYPTOGRAPHY
+
+
+class TestKeys:
+    def test_same_seed_same_keypair(self):
+        a = NodeIdentity("node-7")
+        b = NodeIdentity("node-7")
+        assert a.public_key == b.public_key
+        assert a.seed == b.seed
+
+    def test_different_seeds_different_keys(self):
+        assert NodeIdentity("a").public_key != NodeIdentity("b").public_key
+
+    def test_seed_kinds(self):
+        """bytes, int, and str seeds all work; None is random."""
+        raw = os.urandom(SEED_BYTES)
+        assert NodeIdentity(raw).seed == raw
+        assert NodeIdentity(7).public_key == NodeIdentity(7).public_key
+        assert NodeIdentity(None).public_key != NodeIdentity(None).public_key
+
+    def test_bad_seed_rejected(self):
+        with pytest.raises(ValueError):
+            NodeIdentity(b"short")
+        with pytest.raises(TypeError):
+            NodeIdentity(3.14)
+
+    def test_key_sizes(self):
+        identity = NodeIdentity("sized")
+        assert len(identity.public_key) == PUBLIC_KEY_BYTES
+        assert len(identity.sign(b"payload")) == SIGNATURE_BYTES
+
+
+class TestSignatures:
+    def test_sign_verify_round_trip(self):
+        identity = NodeIdentity("signer")
+        data = b"the signed span"
+        assert verify_signature(identity.public_key, data, identity.sign(data))
+
+    def test_tampered_data_fails(self):
+        identity = NodeIdentity("signer")
+        signature = identity.sign(b"original")
+        assert not verify_signature(identity.public_key, b"tampered", signature)
+
+    def test_wrong_key_fails(self):
+        data = b"span"
+        signature = NodeIdentity("signer").sign(data)
+        other = NodeIdentity("other")
+        assert not verify_signature(other.public_key, data, signature)
+
+    def test_bad_lengths_fail_without_raising(self):
+        identity = NodeIdentity("signer")
+        signature = identity.sign(b"span")
+        assert not verify_signature(identity.public_key[:-1], b"span", signature)
+        assert not verify_signature(identity.public_key, b"span", signature[:-1])
+        assert not verify_signature(b"", b"span", b"")
+
+    def test_garbage_signature_fails(self):
+        identity = NodeIdentity("signer")
+        assert not verify_signature(
+            identity.public_key, b"span", bytes(SIGNATURE_BYTES)
+        )
+
+
+@pytest.mark.skipif(
+    not _HAVE_CRYPTOGRAPHY, reason="cryptography package not installed"
+)
+class TestBackendParity:
+    """The pure RFC 8032 fallback interoperates with cryptography."""
+
+    def test_same_public_key(self):
+        seed = b"\x11" * SEED_BYTES
+        fast = NodeIdentity(seed, backend="cryptography")
+        pure = NodeIdentity(seed, backend="pure")
+        assert fast.public_key == pure.public_key
+
+    def test_same_signature_bytes(self):
+        """ed25519 is deterministic: both backends emit identical bytes."""
+        seed = b"\x22" * SEED_BYTES
+        data = b"cross-backend span"
+        fast = NodeIdentity(seed, backend="cryptography")
+        pure = NodeIdentity(seed, backend="pure")
+        assert fast.sign(data) == pure.sign(data)
+
+    def test_cross_verification(self):
+        seed = b"\x33" * SEED_BYTES
+        data = b"span"
+        signature = NodeIdentity(seed, backend="pure").sign(data)
+        public = NodeIdentity(seed, backend="cryptography").public_key
+        assert verify_signature(public, data, signature)
+
+
+class TestNodeIds:
+    def test_id_is_pubkey_derived_and_stable(self):
+        a = NodeIdentity("node-3")
+        assert a.node_id(64) == NodeIdentity("node-3").node_id(64)
+
+    def test_id_respects_bits(self):
+        identity = NodeIdentity("node-3")
+        assert identity.node_id(16) < 2**16
+        assert identity.node_id(160) < 2**160
+        # The shorter id is the prefix of the longer one.
+        assert identity.node_id(160) >> (160 - 16) == identity.node_id(16)
+
+    def test_bits_range_checked(self):
+        with pytest.raises(ValueError):
+            NodeIdentity("x").node_id(0)
+        with pytest.raises(ValueError):
+            NodeIdentity("x").node_id(257)
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        identity = NodeIdentity("persisted")
+        key_path = identity.save(tmp_path)
+        assert key_path.name == "identity.key"
+        loaded = NodeIdentity.load(tmp_path)
+        assert loaded.public_key == identity.public_key
+        assert loaded.seed == identity.seed
+
+    def test_key_file_is_private(self, tmp_path):
+        key_path = NodeIdentity("private").save(tmp_path)
+        assert (key_path.stat().st_mode & 0o777) == 0o600
+
+    def test_load_or_create_creates_then_reuses(self, tmp_path):
+        first = NodeIdentity.load_or_create(tmp_path / "node")
+        second = NodeIdentity.load_or_create(tmp_path / "node")
+        assert first.public_key == second.public_key
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            NodeIdentity.load(tmp_path / "nowhere")

@@ -1,0 +1,101 @@
+"""Unit tests for the per-peer trust ledger."""
+
+import pytest
+
+from repro.sec import TrustLedger
+from repro.sec.trust import (
+    CONTRADICTION_FACTOR,
+    SUCCESS_RECOVERY,
+    TIMEOUT_FACTOR,
+    VERIFY_FAILURE_FACTOR,
+)
+
+
+class TestScores:
+    def test_unknown_peers_are_fully_trusted(self):
+        ledger = TrustLedger()
+        assert ledger.score("node:1") == 1.0
+        assert ledger.is_trusted("node:1")
+        assert len(ledger) == 0
+
+    def test_verify_failure_drops_hardest(self):
+        ledger = TrustLedger()
+        assert ledger.record_verify_failure("p") == VERIFY_FAILURE_FACTOR
+        # A second forgery pins the peer below any recovery horizon.
+        assert ledger.record_verify_failure("p") == pytest.approx(
+            VERIFY_FAILURE_FACTOR**2
+        )
+        assert not ledger.is_trusted("p")
+
+    def test_failure_severity_ordering(self):
+        """verify failure < contradiction < timeout in surviving trust."""
+        assert VERIFY_FAILURE_FACTOR < CONTRADICTION_FACTOR < TIMEOUT_FACTOR
+
+    def test_timeouts_alone_take_a_while_to_flag(self):
+        ledger = TrustLedger()
+        for _ in range(6):
+            ledger.record_timeout("slow")
+        assert ledger.is_trusted("slow")  # 0.9^6 ~ 0.53
+        ledger.record_timeout("slow")
+        assert not ledger.is_trusted("slow")
+
+    def test_success_recovers_additively(self):
+        ledger = TrustLedger()
+        ledger.record_contradiction("p")  # 0.5
+        rounds = 0
+        while not ledger.is_trusted("p") or ledger.score("p") < 1.0:
+            ledger.record_success("p")
+            rounds += 1
+            assert rounds < 100, "recovery never converged"
+        assert ledger.score("p") == 1.0
+
+    def test_success_on_full_trust_is_free(self):
+        ledger = TrustLedger()
+        ledger.record_success("p")
+        assert ledger.score("p") == 1.0
+        assert ledger.updates == 0
+        assert len(ledger) == 0
+
+    def test_recovery_is_capped_at_one(self):
+        ledger = TrustLedger()
+        ledger.record_timeout("p")
+        for _ in range(20):
+            ledger.record_success("p")
+        assert ledger.score("p") == 1.0
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            TrustLedger(threshold=1.5)
+
+
+class TestPrioritize:
+    def test_empty_ledger_returns_input_order(self):
+        ledger = TrustLedger()
+        peers = ["node:3", "node:1", "node:2"]
+        assert ledger.prioritize(peers) == peers
+
+    def test_stable_partition(self):
+        ledger = TrustLedger()
+        ledger.record_verify_failure("node:2")
+        ledger.record_verify_failure("node:4")
+        ordered = ledger.prioritize(["node:1", "node:2", "node:3", "node:4"])
+        assert ordered == ["node:1", "node:3", "node:2", "node:4"]
+
+    def test_all_trusted_population_is_order_identical(self):
+        ledger = TrustLedger()
+        ledger.record_timeout("node:9")  # known but still trusted
+        peers = ["node:2", "node:9", "node:1"]
+        assert ledger.prioritize(peers) == peers
+
+    def test_flagged_is_sorted(self):
+        ledger = TrustLedger()
+        ledger.record_verify_failure("node:b")
+        ledger.record_verify_failure("node:a")
+        ledger.record_timeout("node:c")
+        assert ledger.flagged() == ["node:a", "node:b"]
+
+    def test_update_counter_counts_changes(self):
+        ledger = TrustLedger()
+        ledger.record_timeout("p")
+        ledger.record_success("p")
+        assert ledger.updates == 2

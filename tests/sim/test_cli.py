@@ -263,3 +263,66 @@ class TestTraceFlag:
         report = capsys.readouterr().out
         assert "lookup outcomes" in report
         assert "200 lookups" in report
+
+
+class TestAdversarialFlags:
+    def test_adversarial_preset_loads(self):
+        from repro.sim.presets import ADVERSARIAL_CONFIG
+
+        assert parse(["--preset", "adversarial"]) == ADVERSARIAL_CONFIG
+
+    def test_adversary_flags_build_a_cell(self):
+        config = parse(
+            [
+                "--poisoners", "3",
+                "--liars", "2",
+                "--sybil-joins", "4",
+                "--eclipse-victims", "1",
+                "--eclipse-drop", "0.8",
+                "--verify-signatures",
+            ]
+        )
+        assert config.adversary_poisoners == 3
+        assert config.adversary_liars == 2
+        assert config.adversary_sybil_joins == 4
+        assert config.adversary_eclipse_victims == 1
+        assert config.adversary_eclipse_drop == 0.8
+        assert config.verify_signatures is True
+        assert config.has_adversary
+
+    def test_preset_adversary_survives_overrides(self):
+        config = parse(["--preset", "adversarial-smoke", "--queries", "500"])
+        assert config.adversary_poisoners == 6
+        assert config.num_queries == 500
+
+    def test_benign_by_default(self):
+        config = parse([])
+        assert not config.has_adversary
+        assert config.verify_signatures is False
+
+    def test_sec_comparison_runs_and_appends_bench(self, tmp_path, capsys):
+        import json
+
+        bench = tmp_path / "BENCH_sec.json"
+        code = main(
+            [
+                "--preset", "adversarial-smoke",
+                "--nodes", "30",
+                "--articles", "200",
+                "--queries", "400",
+                "--authors", "80",
+                "--bench-out", str(bench),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "verification off" in output
+        assert "verification on" in output
+        trajectory = json.loads(bench.read_text())
+        record = trajectory[-1]
+        assert record["preset"] == "adversarial-smoke"
+        off = record["cells"]["verify-off"]
+        on = record["cells"]["verify-on"]
+        assert off["poisoned_results"] > 0
+        assert on["poisoned_results"] == 0
+        assert on["success_rate"] > off["success_rate"]
