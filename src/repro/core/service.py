@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 if TYPE_CHECKING:
+    from repro.sec.identity import NodeIdentity
     from repro.sec.trust import TrustLedger
 
 from repro.core.cache import CachePolicy, NodeCache
@@ -72,6 +73,8 @@ class IndexService:
         cache_capacity: Optional[int] = None,
         local_nodes: Optional[Iterable[int]] = None,
         trust: Optional["TrustLedger"] = None,
+        entry_identity: Optional["NodeIdentity"] = None,
+        trusted_publishers: Optional[Iterable[bytes]] = None,
     ) -> None:
         """``local_nodes`` restricts which substrate nodes this service
         instance *hosts* (registers endpoints and caches for).  ``None``
@@ -81,9 +84,29 @@ class IndexService:
         client passes an empty set to host none at all.
 
         ``trust`` attaches a :class:`repro.sec.trust.TrustLedger`:
-        replica failover then tries trusted replicas first, and every
-        exchange outcome feeds the ledger (signature failures hardest).
-        ``None`` -- the default -- adds no per-exchange work at all.
+        replica failover then tries trusted replicas first, every
+        exchange outcome feeds the ledger (signature failures hardest),
+        and an *empty* query answer is cross-checked against the key's
+        next replica before being believed -- a replica that withholds
+        entries another replica still serves is recorded as contradicted
+        (withholding passes every signature check, so replication is the
+        only defence against it).  ``None`` -- the default -- adds no
+        per-exchange work at all.
+
+        ``entry_identity`` switches on publisher-signed index entries
+        (:mod:`repro.sec.entries`): every mapping this service inserts
+        is stored as an attestation -- the raw entry plus this
+        identity's public key and an ed25519 signature over
+        ``(index key, entry)`` -- and every query answer is verified
+        against the trusted publisher set, dropping entries that are
+        unattested, forged, or signed by an untrusted key.  This is the
+        content-authentication layer that catches a Byzantine responder
+        *fabricating* entries: transport signatures cannot (a lying
+        node signs its forgery with its own valid key).
+        ``trusted_publishers`` extends the accepted set beyond this
+        service's own key (e.g. other publishers in a shared overlay);
+        passing it without ``entry_identity`` builds a verify-only
+        service that publishes nothing.
         """
         if index_store.protocol is not file_store.protocol:
             raise IndexServiceError(
@@ -106,6 +129,15 @@ class IndexService:
         self.journal = None
         self._registered: set[str] = set()
         self.trust = trust
+        self.entry_identity = entry_identity
+        #: Publisher keys whose entry attestations are accepted, or None
+        #: when entry authentication is off (answers pass unverified).
+        self._trusted_publishers: Optional[frozenset[bytes]] = None
+        if entry_identity is not None or trusted_publishers is not None:
+            accepted = set(trusted_publishers or ())
+            if entry_identity is not None:
+                accepted.add(bytes(entry_identity.public_key))
+            self._trusted_publishers = frozenset(accepted)
         # With replication > 1, queries rotate across the key's replicas
         # -- the paper's hot-spot relief: "any optimization of the
         # underlying P2P DHT substrate for hot-spot avoidance (e.g.,
@@ -210,13 +242,28 @@ class IndexService:
         msd = FieldQuery.msd_of(record)
         self.file_store.put(msd.key(), file_payload)
         for source, target in self.scheme.mappings_for(record):
-            self.index_store.put(source.key(), target.key())
+            self.index_store.put(
+                source.key(), self._stored_entry(source.key(), target.key())
+            )
         return msd
 
     def insert_shortcut_mapping(self, record: Record, fields) -> None:
         """Add a permanent deep-link index entry (Section IV-C)."""
         source, target = self.scheme.shortcut_mapping(record, fields)
-        self.index_store.put(source.key(), target.key())
+        self.index_store.put(
+            source.key(), self._stored_entry(source.key(), target.key())
+        )
+
+    def _stored_entry(self, source_key: str, target_key: str) -> str:
+        """The stored form of one index mapping: the raw target key, or
+        -- with entry authentication on -- its publisher attestation.
+        Deterministic (ed25519 signatures are), so deletion recomputes
+        the same string to find the value it removes."""
+        if self.entry_identity is None:
+            return target_key
+        from repro.sec.entries import attest_entry
+
+        return attest_entry(source_key, target_key, self.entry_identity)
 
     def delete_record(self, record: Record) -> None:
         """Delete a record and recursively clean dangling index entries.
@@ -236,12 +283,13 @@ class IndexService:
         for source, target in mappings:
             if self._resolvable(target):
                 continue
-            source_key, target_key = source.key(), target.key()
+            source_key = source.key()
+            stored = self._stored_entry(source_key, target.key())
             if (
                 source_key in self.index_store
-                and target_key in self.index_store.values(source_key)
+                and stored in self.index_store.values(source_key)
             ):
-                self.index_store.remove_value(source_key, target_key)
+                self.index_store.remove_value(source_key, stored)
 
     def _resolvable(self, query: FieldQuery) -> bool:
         key = query.key()
@@ -268,7 +316,14 @@ class IndexService:
         counters.service_queries += 1
         tracer = self.transport.tracer
         last_error: Optional[DeliveryError] = None
-        for attempt, node in enumerate(self._replica_order(self.index_store, key)):
+        order = self._replica_order(self.index_store, key)
+        #: Empty answers awaiting a second opinion (trust ledger only):
+        #: an empty answer passes every signature check whether the
+        #: replica honestly holds nothing or maliciously withholds, so
+        #: it is only believed once another replica agrees (or none are
+        #: left to ask).  A later non-empty answer contradicts them.
+        withheld: list[QueryAnswer] = []
+        for attempt, node in enumerate(order):
             if attempt:
                 counters.service_failovers += 1
                 if tracer is not None:
@@ -295,27 +350,91 @@ class IndexService:
             if self.trust is not None:
                 self.trust.record_success(self.endpoint_name(node))
             self.transport.meter.touch_node(self.endpoint_name(node))
-            return self._parse_answer(node, response)
+            answer = self._parse_answer(node, key, response)
+            if (
+                self.trust is not None
+                and answer.empty
+                and attempt + 1 < len(order)
+            ):
+                withheld.append(answer)
+                continue
+            if withheld and not answer.empty:
+                for earlier in withheld:
+                    self._contradiction_penalty(earlier.node)
+            return answer
+        if withheld:
+            # Every remaining replica erred; the uncorroborated empty
+            # answer is still an answer.
+            return withheld[0]
         assert last_error is not None
         raise last_error
 
-    @staticmethod
-    def _parse_answer(node: int, response: Message) -> QueryAnswer:
-        """Decode one query response payload into a structured answer."""
+    def _parse_answer(
+        self, node: int, key: str, response: Message
+    ) -> QueryAnswer:
+        """Decode one query response payload into a structured answer.
+
+        With entry authentication on, each index entry must be a valid
+        publisher attestation over ``(key, entry)`` by a trusted key;
+        anything else is dropped (``sec_entry_verify_failures``) and the
+        serving node takes a verify-failure trust penalty.  Shortcut
+        entries are cache *hints* -- the engine verifies them by
+        following them -- and pass unauthenticated.
+        """
         entries: list[str] = []
         shortcuts: list[str] = []
         file_found = False
+        rejected = 0
         for item in response.payload:
             if item == IndexService.FILE_FOUND_MARK:
                 file_found = True
             elif item.startswith(SHORTCUT_MARK):
                 shortcuts.append(item[len(SHORTCUT_MARK):])
+            elif self._trusted_publishers is not None:
+                from repro.sec.entries import verify_entry
+
+                entry = verify_entry(key, item, self._trusted_publishers)
+                if entry is None:
+                    rejected += 1
+                else:
+                    entries.append(entry)
             else:
                 entries.append(item)
+        if rejected:
+            tracer = self.transport.tracer
+            if tracer is not None:
+                tracer.sec_verify_fail(
+                    destination=self.endpoint_name(node), role="entry"
+                )
+            if self.trust is not None:
+                score = self.trust.record_verify_failure(
+                    self.endpoint_name(node)
+                )
+                counters.sec_trust_updates += 1
+                if tracer is not None:
+                    tracer.trust_update(
+                        peer=self.endpoint_name(node),
+                        score=score,
+                        cause="verify_failure",
+                    )
         return QueryAnswer(
             node=node, entries=entries, shortcuts=shortcuts,
             file_found=file_found,
         )
+
+    def _contradiction_penalty(self, node: int) -> None:
+        """Record that ``node`` withheld an answer another replica holds."""
+        trust = self.trust
+        assert trust is not None
+        name = self.endpoint_name(node)
+        score = trust.record_contradiction(name)
+        counters.sec_contradictions += 1
+        counters.sec_trust_updates += 1
+        tracer = self.transport.tracer
+        if tracer is not None:
+            tracer.trust_update(
+                peer=name, score=score, cause="contradiction"
+            )
 
     def _replica_order(self, store: DHTStorage, key: str) -> list[int]:
         """The replicas of a key in the order this request tries them.
@@ -491,6 +610,9 @@ class IndexService:
         # other lookups moved the tracer's current-span pointer: capture
         # the requesting span now and re-activate it per attempt.
         span = tracer.current if tracer is not None else None
+        # Second-opinion state, mirroring the synchronous path: empty
+        # answers are deferred until another replica corroborates them.
+        withheld: list[QueryAnswer] = []
 
         def attempt(index: int) -> None:
             node = order[index]
@@ -513,7 +635,28 @@ class IndexService:
                 assert response is not None
                 if self.trust is not None:
                     self.trust.record_success(self.endpoint_name(node))
-                on_done(self._parse_answer(node, response))
+                if tracer is not None:
+                    with tracer.activated(span):
+                        answer = self._parse_answer(node, key, response)
+                else:
+                    answer = self._parse_answer(node, key, response)
+                if (
+                    self.trust is not None
+                    and answer.empty
+                    and index + 1 < len(order)
+                ):
+                    withheld.append(answer)
+                    attempt(index + 1)
+                    return
+                if withheld and not answer.empty:
+                    if tracer is not None:
+                        with tracer.activated(span):
+                            for earlier in withheld:
+                                self._contradiction_penalty(earlier.node)
+                    else:
+                        for earlier in withheld:
+                            self._contradiction_penalty(earlier.node)
+                on_done(answer)
 
             def on_fail(error: DeliveryError) -> None:
                 if self.trust is not None:
@@ -526,6 +669,10 @@ class IndexService:
                         self._trust_penalty(node, error)
                 if error.retry_elsewhere and index + 1 < len(order):
                     attempt(index + 1)
+                elif withheld:
+                    # Every remaining replica erred; the uncorroborated
+                    # empty answer is still an answer.
+                    on_done(withheld[0])
                 else:
                     on_error(error)
 

@@ -19,13 +19,30 @@ every benign fault capability and the full endpoint protocol:
 
 Mechanics: compromised behavior is applied to the *response* after the
 honest handler ran, which models a node that participates in the
-protocol but lies about its state.  With ``verify=True`` (signed
-frames), every forged response is instead surfaced as a typed
-``DeliveryError(VERIFY_FAILED)`` -- an ed25519 forgery is detected with
-certainty, and the per-message cost of real signature checks is paid in
-the rpc-stack tests, not re-simulated here -- which triggers the
-service's replica failover and (when a trust ledger is attached)
-deprioritizes the forger for future exchanges.
+protocol but lies about its state.  Transport (frame) signatures are
+deliberately **not** the modelled defence against that node: a lying
+endpoint signs its forged response with its own perfectly valid key
+and passes every frame check.  What ``verify=True`` models is
+*content* authentication -- the end-to-end layer of
+:mod:`repro.sec.entries`:
+
+- fabricated index entries and forged referrals fail **publisher
+  attestation** (each stored entry carries its publisher's ed25519
+  signature over ``(index key, entry)``; a responder holds no trusted
+  publisher key, so its fabrications cannot verify), and
+- forged file results fail the **content-addressed descriptor** check
+  (the descriptor is the hash the lookup asked for; forged content
+  does not hash to it),
+
+so those forgeries surface as a typed ``DeliveryError(VERIFY_FAILED)``
+-- detected with certainty; the per-entry cost of real signature
+checks is paid in the ``repro.sec`` unit tests, not re-simulated here
+-- which triggers the service's replica failover and (when a trust
+ledger is attached) deprioritizes the forger for future exchanges.
+**Withholding is not caught**: a Sybil's empty answer is perfectly
+valid signed content and is delivered even with verification on -- the
+defence against it is the service's cross-replica second opinion
+(contradiction tracking), not any signature.
 
 ``DeliveryError(VERIFY_FAILED)`` flows through the index service's
 failover loop, which owns all trust-ledger updates (one owner, no
@@ -118,10 +135,13 @@ NO_ADVERSARY = AdversaryPlan()
 class AdversarialTransport(FaultyTransport):
     """A :class:`FaultyTransport` whose population includes malicious nodes.
 
-    ``verify`` models signed-frame verification being switched on:
-    forged responses raise ``DeliveryError(VERIFY_FAILED)`` instead of
-    being delivered; the index service's failover loop turns those into
-    trust-ledger penalties and replica failovers.
+    ``verify`` models content authentication being switched on
+    (publisher-signed entries and content-addressed descriptors, see
+    the module docstring): *fabricated* responses raise
+    ``DeliveryError(VERIFY_FAILED)`` instead of being delivered, and
+    the index service's failover loop turns those into trust-ledger
+    penalties and replica failovers.  Withheld (empty) answers pass --
+    no signature scheme catches a node that refuses to speak.
     """
 
     def __init__(
@@ -260,8 +280,25 @@ class AdversarialTransport(FaultyTransport):
         self, message: Message, response: Message, role: str
     ) -> Message:
         """Replace an honest response with the role's forgery -- or, with
-        verification on, reject it as a detected forgery."""
+        content verification on, reject the *fabrications* among them.
+
+        Withholding (the Sybil behavior) is never rejected here: an
+        empty answer is valid signed content whoever sends it, so it is
+        delivered in both modes and left to the service's cross-replica
+        second opinion.
+        """
+        if role == ROLE_SYBIL and message.kind is not MessageKind.FILE_REQUEST:
+            # Sybils withhold: they hold real key ranges (the join/repair
+            # path replicated entries onto them) but answer with nothing.
+            # No signature catches this -- the forged answer contains no
+            # forged content -- so it passes even with verify on.
+            counters.sec_poisoned_answers += 1
+            return self._forged_response(response, ())
         if self.verify:
+            # The forgery would carry fabricated content: index entries
+            # without a valid publisher attestation, or file bytes that
+            # do not hash to the content-addressed descriptor.  Either
+            # way the client detects it with certainty.
             counters.sec_verify_failures += 1
             tracer = self.inner.tracer
             if tracer is not None:
@@ -292,17 +329,18 @@ class AdversarialTransport(FaultyTransport):
             # honest entries the node should have returned are gone.
             counters.sec_forged_referrals += 1
             payload = (f"{_SHORTCUT_MARK}forged:{serial}",)
-        elif role == ROLE_SYBIL:
-            # Sybils withhold: they hold real key ranges (the join/repair
-            # path replicated entries onto them) but answer with nothing.
-            counters.sec_poisoned_answers += 1
-            payload = ()
         else:  # poisoner
             # Fabricated index entries.  They parse as garbage (or cover
             # nothing), so the lookup burns its budget chasing them
             # while the honest entries are suppressed.
             counters.sec_poisoned_answers += 1
             payload = (f"poison={serial}", f"poison={serial + 1000000}")
+        return self._forged_response(response, payload)
+
+    @staticmethod
+    def _forged_response(
+        response: Message, payload: tuple[str, ...]
+    ) -> Message:
         return Message(
             kind=response.kind,
             source=response.source,

@@ -123,6 +123,8 @@ class PerfCounters:
         "sec_eclipse_drops",
         "sec_sybil_joins",
         "sec_trust_updates",
+        "sec_entry_verify_failures",
+        "sec_contradictions",
     )
 
     def __init__(self) -> None:

@@ -81,8 +81,16 @@ class ClusterClient:
         discover_retries: int = 2,
         identity: Optional[NodeIdentity] = None,
         require_signed: bool = False,
+        peer_keys: Optional[dict[int, bytes]] = None,
     ) -> None:
         """Connect, discover the membership, and build the mirror.
+
+        ``peer_keys`` maps node ids to their daemons' ed25519 public
+        keys (the cluster membership roster): each discovered member's
+        endpoint names are *pinned* to its roster key, so a signed reply
+        from an impostor keypair is rejected even though its signature
+        is internally valid.  Members without a roster entry fall back
+        to trust-on-first-use pinning inside the transport.
 
         Must be called from a thread *other than* the loop's -- the
         client surface is blocking (it drives the sequential engine).
@@ -122,17 +130,25 @@ class ClusterClient:
             self.members = self._discover(bootstrap)
             if not self.members:
                 raise TransportError("bootstrap daemon reported no members")
+            roster = dict(peer_keys or {})
+            for node_id, address in self.members.items():
+                name = IndexService.endpoint_name(node_id)
+                control = daemon_endpoint_name(*address)
+                self.transport.add_route(name, address)
+                self.transport.add_route(control, address)
+                key = roster.get(node_id)
+                if key is not None:
+                    # A conflict here (e.g. the TOFU pin learned during
+                    # discovery disagreeing with the roster) raises: the
+                    # bootstrap answered with a non-member key.
+                    self.transport.pin_peer(name, key)
+                    self.transport.pin_peer(control, key)
         except BaseException:
             # Failed construction must not leak the client socket.
             asyncio.run_coroutine_threadsafe(
                 self.transport.close(), loop
             ).result()
             raise
-        for node_id, address in self.members.items():
-            self.transport.add_route(
-                IndexService.endpoint_name(node_id), address
-            )
-            self.transport.add_route(daemon_endpoint_name(*address), address)
         protocol = build_substrate(
             substrate, sorted(self.members), bits=bits
         )
@@ -537,6 +553,13 @@ class LocalCluster:
         if self.signed:
             options["identity"] = NodeIdentity("cluster-client")
             options["require_signed"] = True
+            # Membership roster: pin each daemon's endpoint names to its
+            # (deterministic, restart-stable) identity key.
+            options["peer_keys"] = {
+                daemon.node_id: daemon.identity.public_key
+                for daemon in self.daemons
+                if daemon.identity is not None
+            }
         options.update(overrides)
         return ClusterClient(self._loop, self.daemons[0].address, **options)
 

@@ -78,6 +78,17 @@ verifying the signature itself is the caller's job via
 :func:`repro.sec.verify_signature` over ``SignedEnvelope.signed``.
 Unsigned frames keep encoding exactly as version 1, bit-identically.
 
+**Replay is out of scope of the frame format.**  A signed frame carries
+no freshness field (no counter, timestamp, or nonce), so a recorded
+frame remains a valid signed frame forever.  In practice a replayed
+*request* is absorbed by the server's ``(addr, request id)`` dedupe
+cache within its TTL/capacity bounds and re-executed past them, and a
+replayed *response* is only accepted while its request id is pending --
+adding per-peer freshness state would couple the stateless codec to
+connection state for an attack the index workload (idempotent inserts,
+read-only queries) gives little leverage to.  Deployments that need
+replay protection should wrap frames in a channel that provides it.
+
 Transport mapping: a frame travels as one UDP datagram, or over a TCP
 stream prefixed with a u32 frame length (``encode_stream`` /
 :class:`StreamUnframer`).  Decoding rejects bad magic, unknown versions,

@@ -81,7 +81,7 @@ from repro.rpc.codec import (
     encode_stream,
     sign_frame,
 )
-from repro.sec import NodeIdentity, verify_signature
+from repro.sec import PUBLIC_KEY_BYTES, NodeIdentity, verify_signature
 
 if TYPE_CHECKING:
     from repro.obs.tracer import Tracer
@@ -159,6 +159,7 @@ class AsyncioTransport:
         tcp_pool_cap: int = 4,
         identity: Optional[NodeIdentity] = None,
         require_signed: bool = False,
+        peer_keys: Optional[dict[str, bytes]] = None,
     ) -> None:
         """``request_timeout_ms`` is the first attempt's deadline; each
         retry doubles it up to ``backoff_cap_ms`` (capped exponential
@@ -180,6 +181,15 @@ class AsyncioTransport:
         ``verify_failed`` ERROR reply on the serving side.  Unsigned
         peers still interop (their frames stay version 1) unless
         ``require_signed`` is set, which rejects unsigned traffic too.
+
+        A valid signature alone only proves the reply came from *some*
+        keypair, so signed replies are additionally checked against a
+        per-endpoint-name **key pin**: ``peer_keys`` seeds the pins from
+        out-of-band knowledge (cluster membership roster), and endpoints
+        without a seed pin on first contact (trust-on-first-use).  A
+        signed reply whose key differs from the pin is rejected like a
+        bad signature -- a keypair-swapping impostor cannot satisfy an
+        established pin.
         """
         if require_signed and identity is None:
             raise ValueError("require_signed needs an identity to sign with")
@@ -199,6 +209,10 @@ class AsyncioTransport:
         self.udp_max_bytes = udp_max_bytes
         self.identity = identity
         self.require_signed = require_signed
+        #: Endpoint name -> pinned ed25519 public key (see pin_peer).
+        self._pinned_keys: dict[str, bytes] = {}
+        for name, key in (peer_keys or {}).items():
+            self.pin_peer(name, key)
         self.tracer: Optional["Tracer"] = None
         self._endpoints: dict[str, Endpoint] = {}
         self._ever_registered: set[str] = set()
@@ -323,6 +337,26 @@ class AsyncioTransport:
         """Forget a remote endpoint (e.g. a departed daemon's names)."""
         self._routes.pop(name, None)
 
+    def pin_peer(self, name: str, public_key: bytes) -> None:
+        """Pin ``name``'s ed25519 public key from out-of-band knowledge.
+
+        Signed replies from ``name`` must thereafter carry exactly this
+        key; anything else is rejected as ``verify_failed``.  Re-pinning
+        the same key is a no-op; changing an established pin must be an
+        explicit operator decision, so a conflicting pin raises.
+        """
+        key = bytes(public_key)
+        if len(key) != PUBLIC_KEY_BYTES:
+            raise ValueError(f"bad public key length: {len(key)}")
+        current = self._pinned_keys.get(name)
+        if current is not None and current != key:
+            raise TransportError(f"conflicting key pin for {name!r}")
+        self._pinned_keys[name] = key
+
+    def pinned_key(self, name: str) -> Optional[bytes]:
+        """The pinned (seeded or learned) key of ``name``, if any."""
+        return self._pinned_keys.get(name)
+
     def _resolve(self, name: str) -> Address:
         address = self._routes.get(name)
         if address is None:
@@ -394,6 +428,12 @@ class AsyncioTransport:
         -- surfaces as ``DeliveryError(verify_failed)``: transient and
         ``retry_elsewhere``, so the service fails over to another
         replica exactly as the simulated adversary path does.
+
+        A *valid* signature is then bound to the expected peer: the
+        envelope's key must match ``destination``'s pin (seeded via
+        ``peer_keys``/``pin_peer``, or learned on first contact).  The
+        signature alone proves only that some keypair produced the
+        frame; the pin is what stops an impostor substituting its own.
         """
         if envelope is None:
             if self.require_signed:
@@ -407,6 +447,19 @@ class AsyncioTransport:
             if self.tracer is not None:
                 self.tracer.sec_verify_fail(
                     destination=destination, role="unknown"
+                )
+            raise DeliveryError(DeliveryError.VERIFY_FAILED, destination)
+        reply_key = bytes(envelope.public_key)
+        pinned = self._pinned_keys.get(destination)
+        if pinned is None:
+            # Trust on first use: remember the key this endpoint first
+            # answered with and hold it to that from now on.
+            self._pinned_keys[destination] = reply_key
+        elif reply_key != pinned:
+            counters.sec_verify_failures += 1
+            if self.tracer is not None:
+                self.tracer.sec_verify_fail(
+                    destination=destination, role="impostor"
                 )
             raise DeliveryError(DeliveryError.VERIFY_FAILED, destination)
 
@@ -751,13 +804,17 @@ class AsyncioTransport:
                 encode_error(DeliveryError.VERIFY_FAILED),
             )
         if self.require_signed and envelope is None:
-            reply = self._reply_frame(
+            # Refused, and NOT cached -- like the forged-signature path
+            # above.  An unsigned datagram's source address is attacker
+            # chosen, so remembering this rejection under
+            # ``(addr, request_id)`` would let a spoofer pre-poison the
+            # reply slot of an honest peer's next (guessably sequential)
+            # request id.
+            return self._reply_frame(
                 FRAME_ERROR,
                 request_id,
                 encode_error(DeliveryError.VERIFY_FAILED),
             )
-            self._remember_reply(cache_key, reply)
-            return reply
         try:
             message = decode_message(body, signed=envelope is not None)
         except CodecError:

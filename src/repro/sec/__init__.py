@@ -8,6 +8,13 @@ low-trust replicas during failover.  The wire-level half lives in
 the keys and the policy.
 """
 
+from repro.sec.entries import (
+    ATTEST_SEP,
+    attest_entry,
+    is_attested,
+    split_attested,
+    verify_entry,
+)
 from repro.sec.identity import (
     PUBLIC_KEY_BYTES,
     SEED_BYTES,
@@ -18,10 +25,15 @@ from repro.sec.identity import (
 from repro.sec.trust import TrustLedger
 
 __all__ = [
+    "ATTEST_SEP",
     "PUBLIC_KEY_BYTES",
     "SEED_BYTES",
     "SIGNATURE_BYTES",
     "NodeIdentity",
     "TrustLedger",
+    "attest_entry",
+    "is_attested",
+    "split_attested",
+    "verify_entry",
     "verify_signature",
 ]

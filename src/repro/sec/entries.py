@@ -1,0 +1,147 @@
+"""Publisher-signed index entries: content authentication for answers.
+
+Transport signatures (the version-2 frames of :mod:`repro.rpc.codec`)
+authenticate the *channel*: they prove which keypair produced a frame
+and that nothing altered it in transit.  They are powerless against the
+Byzantine threat this repo's adversarial model centres on -- a node
+that participates in the protocol but lies about its state signs its
+forged answer with its own perfectly valid key and passes every
+transport check.  Catching that lie requires authenticating the
+*content* of the answer, independently of whoever relayed it:
+
+- **index entries** are attested by their publisher at insert time: the
+  stored value carries the publisher's public key and an ed25519
+  signature over ``(index key, entry)``, so a responding node can
+  neither fabricate entries (it holds no trusted publisher key) nor
+  replay a real entry under a different index key (the key is inside
+  the signed span);
+- **file descriptors** are content-addressed (the descriptor *is* the
+  most-specific-query hash the lookup asked for), so forged content is
+  detected by recomputing the hash over what was actually fetched.
+
+Verification is membership-based, never self-referential: the verifier
+accepts only publishers whose public keys it already trusts.  An
+attestation whose embedded key were trusted *by virtue of being
+embedded* would prove nothing -- the forger would simply sign its
+garbage with a fresh key of its own.
+
+What attestation does **not** provide: it cannot force a node to
+answer.  A malicious replica that *withholds* entries returns a
+perfectly valid (empty) answer; the defence against withholding is
+replication plus cross-replica second opinions (see
+``IndexService.query_key``), not signatures.  Nor does authenticity
+imply truth -- a trusted publisher can publish nonsense; attestation
+only removes the ability of other nodes to put words in its mouth.
+
+Wire form: an attested entry is one payload string,
+``entry <US> pubkey-hex <US> signature-hex`` with ``<US>`` the ASCII
+unit separator (0x1f), a byte that cannot appear in canonical keys.
+The attested string travels and is stored in place of the raw entry,
+so the byte cost of attestation is metered like any other payload.
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Optional, Union
+
+from repro.perf import counters
+from repro.sec.identity import (
+    PUBLIC_KEY_BYTES,
+    SIGNATURE_BYTES,
+    NodeIdentity,
+    verify_signature,
+)
+
+#: Field separator inside an attested entry (ASCII unit separator).
+#: Canonical keys and entries are printable text and never contain it.
+ATTEST_SEP = "\x1f"
+
+#: Domain-separation prefix of the signed span, so an entry signature
+#: can never be confused with a frame signature over the same bytes.
+_SPAN_PREFIX = b"repro.sec.entry\x00"
+
+
+def _signed_span(key: str, entry: str) -> bytes:
+    """The byte span an entry attestation signs: domain prefix, the
+    index key the entry is filed under, and the entry itself.  Binding
+    the key prevents replaying a real attested entry under a different
+    query."""
+    return (
+        _SPAN_PREFIX
+        + key.encode("utf-8")
+        + b"\x00"
+        + entry.encode("utf-8")
+    )
+
+
+def attest_entry(key: str, entry: str, identity: NodeIdentity) -> str:
+    """Attest ``entry`` (filed under index ``key``) as ``identity``.
+
+    Returns the attested wire/storage form.  Deterministic: ed25519 is
+    a deterministic signature scheme, so the same publisher attesting
+    the same mapping always produces the same string (which is what
+    lets deletion recompute and remove the stored value).
+    """
+    if ATTEST_SEP in key or ATTEST_SEP in entry:
+        raise ValueError("keys and entries cannot contain the attest separator")
+    signature = identity.sign(_signed_span(key, entry))
+    return (
+        entry
+        + ATTEST_SEP
+        + identity.public_key.hex()
+        + ATTEST_SEP
+        + signature.hex()
+    )
+
+
+def is_attested(value: str) -> bool:
+    """True when ``value`` has the structural shape of an attested entry."""
+    return ATTEST_SEP in value
+
+
+def split_attested(value: str) -> Optional[tuple[str, bytes, bytes]]:
+    """Split an attested entry into ``(entry, public_key, signature)``.
+
+    Returns ``None`` for anything structurally malformed (wrong field
+    count, non-hex, wrong lengths) -- a wire payload is attacker
+    input, so this never raises.
+    """
+    parts = value.split(ATTEST_SEP)
+    if len(parts) != 3:
+        return None
+    entry, pub_hex, sig_hex = parts
+    try:
+        public_key = bytes.fromhex(pub_hex)
+        signature = bytes.fromhex(sig_hex)
+    except ValueError:
+        return None
+    if len(public_key) != PUBLIC_KEY_BYTES or len(signature) != SIGNATURE_BYTES:
+        return None
+    return entry, public_key, signature
+
+
+def verify_entry(
+    key: str,
+    value: str,
+    trusted_publishers: Union[Collection[bytes], frozenset],
+) -> Optional[str]:
+    """Verify one answer payload string against the trusted publishers.
+
+    Returns the raw entry when ``value`` is a well-formed attestation
+    by a publisher in ``trusted_publishers`` over ``(key, entry)``;
+    returns ``None`` -- and counts ``sec_entry_verify_failures`` -- for
+    everything else: unattested strings, malformed attestations,
+    untrusted publisher keys, and signatures that do not verify.
+    """
+    parsed = split_attested(value)
+    if parsed is None:
+        counters.sec_entry_verify_failures += 1
+        return None
+    entry, public_key, signature = parsed
+    if public_key not in trusted_publishers:
+        counters.sec_entry_verify_failures += 1
+        return None
+    if not verify_signature(public_key, _signed_span(key, entry), signature):
+        counters.sec_entry_verify_failures += 1
+        return None
+    return entry

@@ -98,11 +98,21 @@ class NodeIdentity:
     # -- persistence -------------------------------------------------
 
     def save(self, directory: Union[str, Path]) -> Path:
-        """Write the seed to ``<directory>/identity.key`` (0600)."""
+        """Write the seed to ``<directory>/identity.key`` (0600).
+
+        The file is *created* with mode 0600 (O_CREAT with the mode, not
+        create-then-chmod), so the secret seed is never readable by
+        other users, not even for the instant between the two calls.
+        """
         path = Path(directory)
         path.mkdir(parents=True, exist_ok=True)
         key_path = path / IDENTITY_FILENAME
-        key_path.write_text(self.seed.hex() + "\n", encoding="ascii")
+        fd = os.open(
+            key_path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o600
+        )
+        with os.fdopen(fd, "w", encoding="ascii") as handle:
+            handle.write(self.seed.hex() + "\n")
+        # A pre-existing file keeps its old mode under O_CREAT: clamp it.
         os.chmod(key_path, 0o600)
         return key_path
 

@@ -465,6 +465,7 @@ def _sec_cell_metrics(result: ExperimentResult) -> dict:
         "poisoned_result_rate": round(result.poisoned_result_rate, 4),
         "forged_answers": result.forged_answers,
         "verify_failures": result.verify_failures,
+        "contradictions": result.contradictions,
         "eclipse_drops": result.eclipse_drops,
         "adversarial_nodes": result.adversarial_nodes,
         "sybil_joins": result.sybil_joins,
@@ -509,6 +510,8 @@ def run_sec_comparison(
          off.forged_answers, on.forged_answers],
         ["forgeries caught by verification",
          off.verify_failures, on.verify_failures],
+        ["withheld answers contradicted",
+         off.contradictions, on.contradictions],
         ["lookups eaten by eclipse sets",
          off.eclipse_drops, on.eclipse_drops],
         ["adversarial nodes (of which Sybils)",

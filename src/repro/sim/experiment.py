@@ -212,11 +212,16 @@ class ExperimentConfig:
     adversary_sybil_joins: int = 0
     adversary_eclipse_victims: int = 0
     adversary_eclipse_drop: float = 1.0
-    #: The repro.sec defence: signed-frame verification (forged
-    #: responses surface as typed ``verify_failed`` delivery errors and
-    #: trigger replica failover) plus a per-peer trust ledger that
-    #: deprioritizes misbehaving replicas.  Off is the undefended
-    #: baseline the adversarial comparison measures against.
+    #: The repro.sec defence: content authentication (publisher-signed
+    #: index entries and content-addressed descriptors -- see
+    #: :mod:`repro.sec.entries`; *fabricated* responses surface as
+    #: typed ``verify_failed`` delivery errors and trigger replica
+    #: failover, while withheld answers are cross-checked against the
+    #: next replica) plus a per-peer trust ledger that deprioritizes
+    #: misbehaving replicas.  Transport frame signatures alone would
+    #: not help here -- a lying endpoint signs its forgery with its own
+    #: valid key.  Off is the undefended baseline the adversarial
+    #: comparison measures against.
     verify_signatures: bool = False
 
     def __post_init__(self) -> None:
@@ -623,6 +628,7 @@ class Experiment:
         result.repair_bytes = self.repair_bytes
         counts = result.perf_counters
         result.verify_failures = counts.get("sec_verify_failures", 0)
+        result.contradictions = counts.get("sec_contradictions", 0)
         result.poisoned_results = counts.get("sec_poisoned_results", 0)
         result.forged_answers = counts.get(
             "sec_poisoned_answers", 0

@@ -130,6 +130,7 @@ class ExperimentResult:
     poisoned_result_rate: float = 0.0  # poisoned_results / searches
     forged_answers: int = 0            # fabricated index answers delivered
     verify_failures: int = 0           # forgeries caught by verification
+    contradictions: int = 0            # withheld answers another replica held
     eclipse_drops: int = 0             # lookup messages eaten by eclipses
     low_trust_peers: int = 0           # peers below the trust threshold
 
@@ -252,6 +253,7 @@ class ExperimentResult:
              f"{self.poisoned_results} "
              f"({100 * self.poisoned_result_rate:.2f}% of lookups)"],
             ["forgeries caught by verification", self.verify_failures],
+            ["withheld answers contradicted", self.contradictions],
             ["lookups eaten by eclipse sets", self.eclipse_drops],
             ["peers below trust threshold", self.low_trust_peers],
         ]

@@ -198,6 +198,31 @@ class TestVerification:
         transport.mark("node:1", ROLE_POISONER)
         assert transport.send(query()).payload[0].startswith("poison=")
 
+    def test_liar_referrals_caught(self, wired):
+        transport, _ = wired(verify=True)
+        transport.mark("node:1", ROLE_LIAR)
+        with pytest.raises(DeliveryError) as excinfo:
+            transport.send(query())
+        assert excinfo.value.reason == DeliveryError.VERIFY_FAILED
+
+    def test_file_forgeries_caught(self, wired):
+        transport, _ = wired(verify=True)
+        transport.mark("node:1", ROLE_SYBIL)
+        with pytest.raises(DeliveryError) as excinfo:
+            transport.send(fetch(key="desc-3"))
+        assert excinfo.value.reason == DeliveryError.VERIFY_FAILED
+
+    def test_sybil_withholding_passes_verification(self, wired):
+        """No signature can prove a node *has* an entry it denies:
+        verification must deliver the empty answer unmolested.  The
+        defence against withholding lives a layer up (replica second
+        opinions, repro.core.service)."""
+        transport, _ = wired(verify=True)
+        transport.mark("node:1", ROLE_SYBIL)
+        before = perf.counters.sec_verify_failures
+        assert transport.send(query()).payload == ()
+        assert perf.counters.sec_verify_failures == before
+
 
 class TestEclipse:
     def test_lookups_to_victims_drop(self, wired):

@@ -131,3 +131,77 @@ def test_bounds_are_validated():
         AsyncioTransport(dedupe_cap=0)
     with pytest.raises(ValueError):
         AsyncioTransport(dedupe_ttl_s=0.0)
+
+
+class TestSpoofedRejectionNotCached:
+    """A require_signed rejection must not occupy the reply cache.
+
+    The source address of an unsigned datagram is attacker-chosen, so a
+    cached rejection under ``(victim addr, request id)`` would let a
+    spoofer pre-poison the reply slot of the victim's next (guessably
+    sequential) request.
+    """
+
+    @pytest.fixture
+    def signed_harness(self):
+        from repro.rpc.codec import (
+            FRAME_REQUEST,
+            decode_frame_signed,
+            sign_frame,
+        )
+        from repro.sec import NodeIdentity
+
+        clock = ManualClock()
+        transport = AsyncioTransport(
+            clock=clock,
+            identity=NodeIdentity("dedupe-server"),
+            require_signed=True,
+        )
+        calls = []
+
+        def handler(message):
+            calls.append(message.payload)
+            return message.reply(MessageKind.QUERY_RESPONSE, message.payload)
+
+        transport.register("node:1", handler)
+
+        def serve_signed(request_id, identity, payload=("hello",)):
+            message = Message(
+                kind=MessageKind.QUERY_REQUEST,
+                source="user:0",
+                destination="node:1",
+                payload=payload,
+            )
+            frame = sign_frame(
+                FRAME_REQUEST,
+                request_id,
+                encode_message(message, signed=True),
+                identity,
+            )
+            _, _, body, envelope = decode_frame_signed(frame)
+            return transport._serve_request(
+                request_id, bytes(body), ADDR, via_udp=True, envelope=envelope
+            )
+
+        return transport, calls, serve_signed
+
+    def test_unsigned_rejection_not_remembered(self, signed_harness):
+        transport, calls, _ = signed_harness
+        transport._serve_request(7, request_body(), ADDR, via_udp=True)
+        assert (ADDR, 7) not in transport._served
+        assert calls == []
+
+    def test_victim_request_survives_spoofed_prepoisoning(
+        self, signed_harness
+    ):
+        """A spoofed unsigned datagram under the victim's next id must
+        not mask the victim's authentic signed request."""
+        from repro.sec import NodeIdentity
+
+        transport, calls, serve_signed = signed_harness
+        # Attacker spoofs the victim's address and guesses id 7.
+        transport._serve_request(7, request_body(), ADDR, via_udp=True)
+        # The victim's authentic request still reaches the handler.
+        serve_signed(7, NodeIdentity("dedupe-victim"))
+        assert calls == [("hello",)]
+        assert (ADDR, 7) in transport._served  # the real reply is cached

@@ -95,3 +95,76 @@ def test_verify_failed_is_a_typed_reason():
     error = DeliveryError(DeliveryError.VERIFY_FAILED, "node:1")
     assert error.reason == "verify_failed"
     assert error.retry_elsewhere  # forged replicas trigger failover
+
+
+class TestPeerKeyPinning:
+    """A valid signature from the *wrong* keypair must not be accepted."""
+
+    def test_verify_reply_binds_envelope_key_to_pin(self):
+        from repro.rpc.codec import (
+            FRAME_RESPONSE,
+            decode_frame_signed,
+            encode_message,
+            sign_frame,
+        )
+        from repro.net.message import Message, MessageKind
+        from repro.rpc.transport import AsyncioTransport
+
+        honest = NodeIdentity("pin-honest")
+        impostor = NodeIdentity("pin-impostor")
+        transport = AsyncioTransport(
+            identity=NodeIdentity("pin-client"),
+            require_signed=True,
+            peer_keys={"node:7": honest.public_key},
+        )
+
+        def envelope_from(identity):
+            body = encode_message(
+                Message(
+                    kind=MessageKind.QUERY_RESPONSE,
+                    source="node:7",
+                    destination="user:0",
+                    payload=(),
+                ),
+                signed=True,
+            )
+            frame = sign_frame(FRAME_RESPONSE, 3, body, identity)
+            return decode_frame_signed(frame)[3]
+
+        # The pinned key passes; the impostor's internally valid
+        # signature is rejected with the typed verify reason.
+        transport._verify_reply(envelope_from(honest), "node:7")
+        before = counters.sec_verify_failures
+        with pytest.raises(DeliveryError) as excinfo:
+            transport._verify_reply(envelope_from(impostor), "node:7")
+        assert excinfo.value.reason == DeliveryError.VERIFY_FAILED
+        assert counters.sec_verify_failures == before + 1
+
+        # An unpinned peer is learned on first use, then held to it.
+        transport._verify_reply(envelope_from(impostor), "node:8")
+        assert transport.pinned_key("node:8") == impostor.public_key
+        with pytest.raises(DeliveryError):
+            transport._verify_reply(envelope_from(honest), "node:8")
+
+    def test_conflicting_pin_refused(self):
+        from repro.rpc.transport import AsyncioTransport
+
+        transport = AsyncioTransport()
+        transport.pin_peer("node:1", NodeIdentity("pin-a").public_key)
+        transport.pin_peer("node:1", NodeIdentity("pin-a").public_key)  # noop
+        with pytest.raises(TransportError):
+            transport.pin_peer("node:1", NodeIdentity("pin-b").public_key)
+        with pytest.raises(ValueError):
+            transport.pin_peer("node:2", b"short-key")
+
+    def test_cluster_client_pins_the_membership_roster(self, cluster):
+        client = cluster.client()
+        try:
+            for daemon in cluster.daemons:
+                name = f"node:{daemon.node_id:x}"
+                assert (
+                    client.transport.pinned_key(name)
+                    == daemon.identity.public_key
+                )
+        finally:
+            client.close()

@@ -1,0 +1,97 @@
+"""Unit tests for publisher-signed index entries (repro.sec.entries)."""
+
+import pytest
+
+from repro import perf
+from repro.sec import (
+    ATTEST_SEP,
+    NodeIdentity,
+    attest_entry,
+    is_attested,
+    split_attested,
+    verify_entry,
+)
+
+PUBLISHER = NodeIdentity("publisher-1")
+OTHER = NodeIdentity("publisher-2")
+TRUSTED = frozenset({PUBLISHER.public_key})
+
+
+def failures():
+    return perf.counters.sec_entry_verify_failures
+
+
+class TestAttest:
+    def test_round_trip(self):
+        value = attest_entry("science:k", "desc-1", PUBLISHER)
+        assert is_attested(value)
+        assert verify_entry("science:k", value, TRUSTED) == "desc-1"
+
+    def test_deterministic(self):
+        """ed25519 is deterministic, so deletion can recompute the
+        stored value byte-for-byte."""
+        a = attest_entry("science:k", "desc-1", PUBLISHER)
+        b = attest_entry("science:k", "desc-1", PUBLISHER)
+        assert a == b
+
+    def test_separator_rejected_in_inputs(self):
+        with pytest.raises(ValueError):
+            attest_entry("bad" + ATTEST_SEP, "desc", PUBLISHER)
+        with pytest.raises(ValueError):
+            attest_entry("key", "bad" + ATTEST_SEP + "entry", PUBLISHER)
+
+    def test_split_round_trip(self):
+        value = attest_entry("k", "entry", PUBLISHER)
+        entry, public_key, signature = split_attested(value)
+        assert entry == "entry"
+        assert public_key == PUBLISHER.public_key
+        assert signature == PUBLISHER.sign(b"repro.sec.entry\x00k\x00entry")
+
+
+class TestRejection:
+    def test_unattested_value_rejected(self):
+        before = failures()
+        assert verify_entry("k", "bare-entry", TRUSTED) is None
+        assert failures() == before + 1
+
+    def test_malformed_values_rejected(self):
+        for bad in (
+            ATTEST_SEP.join(["a", "b"]),                 # too few fields
+            ATTEST_SEP.join(["a", "b", "c", "d"]),        # too many
+            ATTEST_SEP.join(["a", "zz-not-hex", "00"]),   # non-hex
+            ATTEST_SEP.join(["a", "00" * 4, "00" * 64]),  # short pubkey
+        ):
+            assert split_attested(bad) is None
+            assert verify_entry("k", bad, TRUSTED) is None
+
+    def test_untrusted_publisher_rejected(self):
+        """Self-signed garbage from an attacker's own fresh key must
+        not verify: trust is membership-based, never self-referential."""
+        forged = attest_entry("k", "forged-entry", OTHER)
+        before = failures()
+        assert verify_entry("k", forged, TRUSTED) is None
+        assert failures() == before + 1
+
+    def test_wrong_key_binding_rejected(self):
+        """A real attested entry replayed under a different index key
+        fails: the index key is inside the signed span."""
+        value = attest_entry("science:k1", "desc-1", PUBLISHER)
+        assert verify_entry("science:k2", value, TRUSTED) is None
+
+    def test_tampered_entry_rejected(self):
+        value = attest_entry("k", "desc-1", PUBLISHER)
+        tampered = value.replace("desc-1", "desc-2", 1)
+        assert verify_entry("k", tampered, TRUSTED) is None
+
+    def test_swapped_signature_rejected(self):
+        """Signature from one mapping pasted onto another fails even
+        when the publisher is trusted."""
+        both = frozenset({PUBLISHER.public_key, OTHER.public_key})
+        a = attest_entry("k", "desc-1", PUBLISHER)
+        b = attest_entry("k", "desc-2", PUBLISHER)
+        _, _, sig_b = split_attested(b)
+        entry_a, pub_a, _ = split_attested(a)
+        frankenstein = ATTEST_SEP.join(
+            [entry_a, pub_a.hex(), sig_b.hex()]
+        )
+        assert verify_entry("k", frankenstein, both) is None
